@@ -1,0 +1,36 @@
+(** uvm_sim — reproduce the tables and figures of "The UVM Virtual Memory
+    System" (Cranor & Parulkar, USENIX 1999) on the simulated substrate.
+
+    Each subcommand regenerates one paper artifact, comparing UVM with the
+    BSD VM baseline on an identical simulated machine. *)
+
+open Cmdliner
+
+let experiments =
+  [
+    ("table1", "Table 1: allocated map entries", Experiments.Table1.print);
+    ("table2", "Table 2: page fault counts", Experiments.Table2.print);
+    ("table3", "Table 3: single-page map-fault-unmap time", Experiments.Table3.print);
+    ("fig2", "Figure 2: object cache effect on file access", Experiments.Fig2.print);
+    ("fig5", "Figure 5: anonymous memory allocation time", Experiments.Fig5.print);
+    ("fig6", "Figure 6: fork+wait overhead", Experiments.Fig6.print);
+    ("datamove", "Section 7: loanout/transfer/mexp vs copy", Experiments.Datamove.print);
+    ("swapleak", "Section 5.3: swap leak demonstration", Experiments.Swapleak.print);
+  ]
+
+let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
+
+let cmd_of (name, doc, f) =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence")
+    Term.(const run_all $ const ())
+
+let () =
+  let info =
+    Cmd.info "uvm_sim" ~version:"1.0"
+      ~doc:"Reproduction harness for the UVM virtual memory system paper"
+  in
+  exit (Cmd.eval (Cmd.group info (all_cmd :: List.map cmd_of experiments)))

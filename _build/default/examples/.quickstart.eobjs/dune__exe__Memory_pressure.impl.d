@@ -1,0 +1,1 @@
+examples/memory_pressure.ml: Bsdvm Bytes Pmap Printf Sim Uvm Vmiface

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Physmem Pmap Printf Sim Swap Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+examples/web_server.ml: Bsdvm Bytes Char Pmap Printf Sim Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+examples/zero_copy.ml: Bytes List Physmem Pmap Printf Sim Uvm Vmiface

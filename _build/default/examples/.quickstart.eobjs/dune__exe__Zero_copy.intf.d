@@ -1,0 +1,1 @@
+examples/zero_copy.mli:

@@ -1,0 +1,1 @@
+lib/bsdvm/bsdvm.ml: Bsd_sys Bytes Hashtbl List Physmem Pmap Sim Swap Vfs Vm_fault Vm_map Vm_objcache Vm_object Vm_pageout Vmiface

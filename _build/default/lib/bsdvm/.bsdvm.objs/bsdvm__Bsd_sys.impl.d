@@ -1,0 +1,1 @@
+lib/bsdvm/bsd_sys.ml: Sim Vmiface

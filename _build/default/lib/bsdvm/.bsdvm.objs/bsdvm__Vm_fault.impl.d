@@ -1,0 +1,1 @@
+lib/bsdvm/vm_fault.ml: Bsd_sys Physmem Pmap Sim Vm_map Vm_object Vmiface

@@ -1,0 +1,1 @@
+lib/bsdvm/vm_map.ml: Bsd_sys List Pmap Sim Vm_objcache Vm_object Vmiface

@@ -1,0 +1,1 @@
+lib/bsdvm/vm_objcache.ml: Bsd_sys Hashtbl List Physmem Sim Vfs Vm_object

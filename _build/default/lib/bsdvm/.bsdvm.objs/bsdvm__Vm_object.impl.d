@@ -1,0 +1,1 @@
+lib/bsdvm/vm_object.ml: Bsd_sys Hashtbl List Physmem Pmap Sim Swap Vfs

@@ -1,0 +1,1 @@
+lib/bsdvm/vm_pageout.ml: Bsd_sys Hashtbl List Physmem Pmap Swap Vfs Vm_object

@@ -1,0 +1,47 @@
+(** Global state of the BSD VM baseline (the 4.4BSD / Mach-derived system
+    the paper replaces).
+
+    [obj_cache_limit] is the famous one-hundred-object cap on the VM
+    object cache (paper §4, Figure 2).  [two_step_probe], when set, is
+    invoked between the two steps of the historical insert-then-protect
+    mapping path, letting tests observe the read-write security window
+    (paper §3.1). *)
+
+module Machine = Vmiface.Machine
+
+type t = {
+  mach : Machine.t;
+  obj_cache_limit : int;
+  uid : int;  (** distinguishes objects of different booted systems *)
+  mutable two_step_probe : (int -> unit) option;
+  mutable next_id : int;
+}
+
+let uid_counter = ref 0
+
+let create ?(obj_cache_limit = 100) mach =
+  incr uid_counter;
+  {
+    mach;
+    obj_cache_limit;
+    uid = !uid_counter;
+    two_step_probe = None;
+    next_id = 0;
+  }
+
+let id_counter = ref 0
+
+let fresh_id t =
+  incr id_counter;
+  t.next_id <- t.next_id + 1;
+  !id_counter
+
+let clock t = t.mach.Machine.clock
+let costs t = t.mach.Machine.costs
+let stats t = t.mach.Machine.stats
+let physmem t = t.mach.Machine.physmem
+let swapdev t = t.mach.Machine.swap
+let vfs t = t.mach.Machine.vfs
+let pmap_ctx t = t.mach.Machine.pmap_ctx
+let charge t us = Sim.Simclock.advance (clock t) us
+let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc

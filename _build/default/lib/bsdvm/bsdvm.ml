@@ -1,0 +1,385 @@
+(** The BSD VM baseline, assembled.
+
+    [Bsdvm.Sys] implements {!Vmiface.Vm_sig.VM_SYS} with the 4.4BSD
+    behaviours the paper measures against: two-step mapping with its
+    security window, single-phase unmap, shadow-object chains with
+    collapse, the hundred-object cache, per-page I/O, map-fragmenting
+    wiring, and no fault-ahead. *)
+
+module Object = Vm_object
+module Objcache = Vm_objcache
+module Map = Vm_map
+module Fault = Vm_fault
+module Pageout = Vm_pageout
+module State = Bsd_sys
+module Machine = Vmiface.Machine
+module Vmtypes = Vmiface.Vmtypes
+open Vmtypes
+
+let va_lo = 16
+let va_hi = 1 lsl 20
+
+module Sys = struct
+  let name = "BSD VM"
+
+  type vmspace = { vid : int; map : Vm_map.t; pmap : Pmap.t }
+
+  type sys = {
+    bsys : Bsd_sys.t;
+    cache : Vm_objcache.t;
+    kernel : vmspace;
+    vmspaces : (int, vmspace) Hashtbl.t;
+  }
+
+  let machine sys = sys.bsys.Bsd_sys.mach
+  let kernel_vmspace sys = sys.kernel
+
+  let make_vmspace sys ~kernel =
+    let bsys = sys.bsys in
+    let pmap = Pmap.create (Bsd_sys.pmap_ctx bsys) in
+    let vm =
+      {
+        vid = Bsd_sys.fresh_id bsys;
+        map =
+          Vm_map.create bsys ~cache:sys.cache ~pmap ~lo:va_lo ~hi:va_hi ~kernel;
+        pmap;
+      }
+    in
+    Hashtbl.replace sys.vmspaces vm.vid vm;
+    vm
+
+  let boot ?config () =
+    let mach = Machine.boot ?config () in
+    let bsys = Bsd_sys.create mach in
+    Vm_pageout.install bsys;
+    let cache = Vm_objcache.create bsys in
+    let kpmap = Pmap.create (Bsd_sys.pmap_ctx bsys) in
+    let kernel =
+      {
+        vid = Bsd_sys.fresh_id bsys;
+        map = Vm_map.create bsys ~cache ~pmap:kpmap ~lo:va_lo ~hi:va_hi ~kernel:true;
+        pmap = kpmap;
+      }
+    in
+    let sys = { bsys; cache; kernel; vmspaces = Hashtbl.create 32 } in
+    Hashtbl.replace sys.vmspaces kernel.vid kernel;
+    sys
+
+  let new_vmspace sys = make_vmspace sys ~kernel:false
+
+  let clone_entry bsys map (e : Vm_map.entry) =
+    (Bsd_sys.stats bsys).Sim.Stats.map_entries_allocated <-
+      (Bsd_sys.stats bsys).Sim.Stats.map_entries_allocated + 1;
+    Bsd_sys.charge_struct_alloc bsys;
+    ignore map;
+    {
+      Vm_map.spage = e.Vm_map.spage;
+      epage = e.Vm_map.epage;
+      obj = e.Vm_map.obj;
+      objoff = e.Vm_map.objoff;
+      prot = e.Vm_map.prot;
+      maxprot = e.Vm_map.maxprot;
+      inh = e.Vm_map.inh;
+      advice = e.Vm_map.advice;
+      wired = 0;
+      cow = e.Vm_map.cow;
+      needs_copy = e.Vm_map.needs_copy;
+      prev = None;
+      next = None;
+    }
+
+  let fork sys parent =
+    let bsys = sys.bsys in
+    Bsd_sys.charge bsys (Bsd_sys.costs bsys).Sim.Cost_model.proc_overhead;
+    let pmap = Pmap.create (Bsd_sys.pmap_ctx bsys) in
+    let child =
+      {
+        vid = Bsd_sys.fresh_id bsys;
+        map =
+          Vm_map.create bsys ~cache:sys.cache ~pmap ~lo:va_lo ~hi:va_hi
+            ~kernel:false;
+        pmap;
+      }
+    in
+    Vm_map.lock parent.map;
+    Vm_map.iter_entries
+      (fun e ->
+        match e.Vm_map.inh with
+        | Inh_none -> ()
+        | Inh_shared ->
+            (match e.Vm_map.obj with
+            | Some o -> Vm_object.reference o
+            | None -> ());
+            Vm_map.insert_entry_raw child.map (clone_entry bsys child.map e)
+        | Inh_copy ->
+            (* Figure 3 upper row: share the object, set needs-copy on both
+               sides, write-protect the parent's view. *)
+            (match e.Vm_map.obj with
+            | Some o -> Vm_object.reference o
+            | None -> ());
+            let fresh = clone_entry bsys child.map e in
+            fresh.Vm_map.cow <- true;
+            fresh.Vm_map.needs_copy <- true;
+            e.Vm_map.cow <- true;
+            e.Vm_map.needs_copy <- true;
+            Pmap.restrict_range parent.pmap ~lo:e.Vm_map.spage
+              ~hi:e.Vm_map.epage
+              ~prot:(Pmap.Prot.remove_write Pmap.Prot.rwx);
+            Vm_map.insert_entry_raw child.map fresh)
+      parent.map;
+    Vm_map.unlock parent.map;
+    Hashtbl.replace sys.vmspaces child.vid child;
+    child
+
+  let destroy_vmspace sys vm =
+    Vm_map.destroy vm.map;
+    Pmap.destroy vm.pmap;
+    Hashtbl.remove sys.vmspaces vm.vid
+
+  let map_entry_count vm = Vm_map.entry_count vm.map
+  let resident_pages vm = Pmap.resident_count vm.pmap
+
+  (* The historical two-step mapping: establish with default attributes
+     (read-write!), then relock and adjust each non-default attribute.
+     Between the steps a read-only mapping is briefly writable — the
+     security window of paper §3.1, observable via the probe. *)
+  let mmap sys vm ?fixed_at ~npages ~prot ~share source =
+    let bsys = sys.bsys in
+    let spage =
+      match fixed_at with
+      | Some vpn -> vpn
+      | None -> Vm_map.find_space vm.map ~npages
+    in
+    let obj, objoff, cow, needs_copy =
+      match (source, share) with
+      | Zero, Private -> (Vm_object.alloc_anon_object bsys, 0, false, false)
+      | Zero, Shared -> (Vm_object.alloc_anon_object bsys, 0, false, false)
+      | File (vn, off), Shared ->
+          (Vm_objcache.vnode_object bsys sys.cache vn, off, false, false)
+      | File (vn, off), Private ->
+          (Vm_objcache.vnode_object bsys sys.cache vn, off, true, true)
+    in
+    let _e =
+      Vm_map.insert_default vm.map ~spage ~npages ~obj:(Some obj) ~objoff ~cow
+        ~needs_copy
+    in
+    (match bsys.Bsd_sys.two_step_probe with
+    | Some probe -> probe spage
+    | None -> ());
+    if not (Pmap.Prot.equal prot Pmap.Prot.rw) then
+      Vm_map.protect vm.map ~spage ~npages ~prot;
+    (match share with
+    | Shared -> Vm_map.set_inherit vm.map ~spage ~npages Inh_shared
+    | Private -> ());
+    spage
+
+  let munmap _sys vm ~vpn ~npages = Vm_map.unmap vm.map ~spage:vpn ~npages
+
+  let mprotect _sys vm ~vpn ~npages prot =
+    Vm_map.protect vm.map ~spage:vpn ~npages ~prot
+
+  let minherit _sys vm ~vpn ~npages inh =
+    Vm_map.set_inherit vm.map ~spage:vpn ~npages inh
+
+  let madvise _sys vm ~vpn ~npages advice =
+    Vm_map.set_advice vm.map ~spage:vpn ~npages advice
+
+  let fault_or_segv vm ~vpn ~access ~wire =
+    match Vm_fault.fault vm.map ~vpn ~access ~wire with
+    | Ok () -> ()
+    | Error error -> raise (Segv { vpn; error })
+
+  let wire_pages vm ~vpn ~npages =
+    for v = vpn to vpn + npages - 1 do
+      fault_or_segv vm ~vpn:v ~access:Read ~wire:true
+    done
+
+  let unwire_pages sys vm ~vpn ~npages =
+    let physmem = Bsd_sys.physmem sys.bsys in
+    for v = vpn to vpn + npages - 1 do
+      match Pmap.lookup vm.pmap ~vpn:v with
+      | Some pte -> Physmem.unwire physmem pte.Pmap.page
+      | None -> ()
+    done
+
+  let mlock _sys vm ~vpn ~npages =
+    Vm_map.mark_wired vm.map ~spage:vpn ~npages;
+    wire_pages vm ~vpn ~npages
+
+  let munlock sys vm ~vpn ~npages =
+    Vm_map.mark_unwired vm.map ~spage:vpn ~npages;
+    unwire_pages sys vm ~vpn ~npages
+
+  type wired_buffer = { wb_vpn : int; wb_npages : int }
+
+  (* BSD records sysctl/physio buffer wiring in the process map: the range
+     is clipped out of its entry, and the fragmentation persists after
+     unwiring (paper §3.2 — the map-entry demand Table 1 measures). *)
+  let vslock _sys vm ~vpn ~npages =
+    Vm_map.mark_wired vm.map ~spage:vpn ~npages;
+    wire_pages vm ~vpn ~npages;
+    { wb_vpn = vpn; wb_npages = npages }
+
+  let vsunlock sys vm wb =
+    Vm_map.mark_unwired vm.map ~spage:wb.wb_vpn ~npages:wb.wb_npages;
+    unwire_pages sys vm ~vpn:wb.wb_vpn ~npages:wb.wb_npages
+
+  let wanted_prot = function
+    | Read -> { Pmap.Prot.r = true; w = false; x = false }
+    | Write -> Pmap.Prot.rw
+
+  let touch sys vm ~vpn access =
+    let bsys = sys.bsys in
+    Bsd_sys.charge bsys (Bsd_sys.costs bsys).Sim.Cost_model.mem_access;
+    let ok () =
+      match Pmap.lookup vm.pmap ~vpn with
+      | Some pte -> Pmap.Prot.subsumes pte.Pmap.prot (wanted_prot access)
+      | None -> false
+    in
+    if not (ok ()) then fault_or_segv vm ~vpn ~access ~wire:false;
+    Pmap.mark_access vm.pmap ~vpn ~write:(access = Write)
+
+  let access_range sys vm ~vpn ~npages access =
+    for v = vpn to vpn + npages - 1 do
+      touch sys vm ~vpn:v access
+    done
+
+  let page_of sys vm ~vpn access =
+    touch sys vm ~vpn access;
+    match Pmap.lookup vm.pmap ~vpn with
+    | Some pte -> pte.Pmap.page
+    | None -> assert false
+
+  let read_bytes sys vm ~addr ~len =
+    let page_size = Machine.page_size (machine sys) in
+    let out = Bytes.create len in
+    let copied = ref 0 in
+    while !copied < len do
+      let a = addr + !copied in
+      let vpn = a / page_size and off = a mod page_size in
+      let n = min (len - !copied) (page_size - off) in
+      let page = page_of sys vm ~vpn Read in
+      Bytes.blit page.Physmem.Page.data off out !copied n;
+      copied := !copied + n
+    done;
+    out
+
+  let write_bytes sys vm ~addr data =
+    let page_size = Machine.page_size (machine sys) in
+    let len = Bytes.length data in
+    let copied = ref 0 in
+    while !copied < len do
+      let a = addr + !copied in
+      let vpn = a / page_size and off = a mod page_size in
+      let n = min (len - !copied) (page_size - off) in
+      let page = page_of sys vm ~vpn Write in
+      Bytes.blit data !copied page.Physmem.Page.data off n;
+      page.Physmem.Page.dirty <- true;
+      copied := !copied + n
+    done
+
+  let msync sys vm ~vpn ~npages =
+    let bsys = sys.bsys in
+    List.iter
+      (fun (e : Vm_map.entry) ->
+        match e.Vm_map.obj with
+        | Some obj -> (
+            match obj.Vm_object.kind with
+            | Vm_object.Vnode vn ->
+                let lo =
+                  e.Vm_map.objoff + (max vpn e.Vm_map.spage - e.Vm_map.spage)
+                and hi =
+                  e.Vm_map.objoff
+                  + (min (vpn + npages) e.Vm_map.epage - e.Vm_map.spage)
+                in
+                List.iter
+                  (fun (p : Physmem.Page.t) ->
+                    if p.owner_offset >= lo && p.owner_offset < hi then
+                      (* One write per page, as ever. *)
+                      Vfs.write_pages (Bsd_sys.vfs bsys) vn
+                        ~start_page:p.owner_offset ~srcs:[ p ])
+                  (Vm_object.dirty_pages obj)
+            | Vm_object.Anon -> ())
+        | None -> ())
+      (List.filter
+         (fun (e : Vm_map.entry) ->
+           e.Vm_map.spage < vpn + npages && vpn < e.Vm_map.epage)
+         (Vm_map.entries vm.map))
+
+  (* Kernel wired allocations: BSD creates a map entry per allocation and
+     records the wiring in the kernel map — two kernel entries per process
+     (user structure + page tables), paper §3.2. *)
+  let kernel_alloc_wired sys ~npages =
+    let vpn =
+      mmap sys sys.kernel ~npages ~prot:Pmap.Prot.rw ~share:Private Zero
+    in
+    Vm_map.mark_wired sys.kernel.map ~spage:vpn ~npages;
+    wire_pages sys.kernel ~vpn ~npages;
+    vpn
+
+  let kernel_free_wired sys ~vpn ~npages =
+    Vm_map.mark_unwired sys.kernel.map ~spage:vpn ~npages;
+    unwire_pages sys sys.kernel ~vpn ~npages;
+    munmap sys sys.kernel ~vpn ~npages
+
+  (* BSD records the user structure's wiring in the kernel map too, so a
+     process swapout/swapin pays map lock/lookup/clip traffic that UVM
+     avoids. *)
+  let swapout_ustruct sys ~vpn ~npages =
+    Vm_map.mark_unwired sys.kernel.map ~spage:vpn ~npages;
+    unwire_pages sys sys.kernel ~vpn ~npages
+
+  let swapin_ustruct sys ~vpn ~npages =
+    Vm_map.mark_wired sys.kernel.map ~spage:vpn ~npages;
+    wire_pages sys.kernel ~vpn ~npages
+
+  (* i386 page-table pages: BSD allocates them from the kernel map and
+     records the wiring there too — one more kernel entry per process. *)
+  type ptp = { ptp_vpn : int; ptp_npages : int }
+
+  let pmap_alloc_ptp sys ~npages =
+    { ptp_vpn = kernel_alloc_wired sys ~npages; ptp_npages = npages }
+
+  let pmap_free_ptp sys ptp =
+    kernel_free_wired sys ~vpn:ptp.ptp_vpn ~npages:ptp.ptp_npages
+
+  let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Bsd_sys.swapdev sys.bsys)
+
+  (* Audit anonymous pages that no lookup path can reach any more — the
+     swap-leak pathology of paper §5.3.  For every mapped offset we walk
+     the chain exactly as the fault routine would; the first hit is
+     reachable, deeper copies of the same offset are not. *)
+  let leaked_pages sys =
+    let reachable : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+    let rec walk obj off =
+      if Hashtbl.mem obj.Vm_object.pages off then
+        Hashtbl.replace reachable (obj.Vm_object.id, off) ()
+      else
+        match obj.Vm_object.shadow with
+        | Some backing -> walk backing (off + obj.Vm_object.shadow_offset)
+        | None -> ()
+    in
+    Hashtbl.iter
+      (fun _ vm ->
+        Vm_map.iter_entries
+          (fun e ->
+            match e.Vm_map.obj with
+            | Some obj ->
+                for i = 0 to Vm_map.entry_npages e - 1 do
+                  walk obj (e.Vm_map.objoff + i)
+                done
+            | None -> ())
+          vm.map)
+      sys.vmspaces;
+    let leaked = ref 0 in
+    List.iter
+      (fun (obj : Vm_object.t) ->
+        if not obj.Vm_object.dead then
+          Hashtbl.iter
+            (fun off (_ : Physmem.Page.t) ->
+              if not (Hashtbl.mem reachable (obj.Vm_object.id, off)) then
+                incr leaked)
+            obj.Vm_object.pages)
+      (Vm_objcache.anon_objects sys.cache);
+    !leaked
+end

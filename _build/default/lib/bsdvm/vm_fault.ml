@@ -1,0 +1,113 @@
+(** The BSD VM page-fault routine.
+
+    Most of its work is object-chain management (paper §5.4): allocate a
+    shadow object when needs-copy is set — even on read faults of private
+    mappings, where it is unnecessary (paper Table 3 note) — then walk the
+    shadow chain for the page, copy it up on write, and attempt a collapse.
+    There is no fault-ahead: exactly one page is mapped per fault
+    (paper Table 2). *)
+
+module Vmtypes = Vmiface.Vmtypes
+open Vm_map
+
+(* Clear needs-copy by interposing a shadow object between the entry and
+   its current object (paper Figure 3, upper row). *)
+let clear_needs_copy sys entry =
+  let backing =
+    match entry.obj with
+    | Some o -> o
+    | None -> invalid_arg "vm_fault: needs-copy entry without object"
+  in
+  let shadow = Vm_object.alloc_shadow sys ~backing ~offset:entry.objoff in
+  entry.obj <- Some shadow;
+  entry.objoff <- 0;
+  entry.needs_copy <- false
+
+let fault map ~vpn ~access ~wire =
+  let sys = map.sys in
+  let stats = Bsd_sys.stats sys in
+  let costs = Bsd_sys.costs sys in
+  Bsd_sys.charge sys costs.Sim.Cost_model.fault_entry;
+  stats.Sim.Stats.faults <- stats.Sim.Stats.faults + 1;
+  Vm_map.lock map;
+  let finish r =
+    Vm_map.unlock map;
+    r
+  in
+  match Vm_map.lookup map ~vpn with
+  | None -> finish (Error Vmtypes.No_entry)
+  | Some entry ->
+      let write =
+        access = Vmtypes.Write || (wire && entry.prot.Pmap.Prot.w && entry.cow)
+      in
+      let wanted =
+        if write then Pmap.Prot.rw
+        else { Pmap.Prot.r = true; w = false; x = false }
+      in
+      if not (Pmap.Prot.subsumes entry.prot wanted) then
+        finish (Error Vmtypes.Prot_denied)
+      else begin
+        (* BSD clears needs-copy on *any* fault of a COW mapping, paying
+           for a shadow object even when only reading. *)
+        if entry.cow && entry.needs_copy then clear_needs_copy sys entry;
+        let first_obj =
+          match entry.obj with
+          | Some o -> o
+          | None -> invalid_arg "vm_fault: BSD entry without object"
+        in
+        let off = entry.objoff + (vpn - entry.spage) in
+        let physmem = Bsd_sys.physmem sys in
+        let found = Vm_object.find_in_chain sys first_obj ~off ~depth:0 in
+        let page =
+          match found with
+          | Some (owner, _, page, depth) ->
+              if depth = 0 then begin
+                (* Page already in the top object: ours to use. *)
+                if write then page.Physmem.Page.dirty <- true;
+                Physmem.activate physmem page;
+                Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+                page
+              end
+              else if write then begin
+                (* Copy the page up to the first object, then try to
+                   collapse the chain (extra work on every COW fault). *)
+                let fresh =
+                  Physmem.alloc physmem
+                    ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
+                in
+                Physmem.copy_data physmem ~src:page ~dst:fresh;
+                stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+                Vm_object.insert_page first_obj ~pgno:off fresh;
+                fresh.Physmem.Page.dirty <- true;
+                Physmem.activate physmem fresh;
+                Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot
+                  ~wired:wire;
+                Vm_object.collapse sys first_obj;
+                ignore owner;
+                fresh
+              end
+              else begin
+                (* Read from an underlying object: map read-only so a later
+                   write still faults. *)
+                Physmem.activate physmem page;
+                Pmap.enter map.pmap ~vpn ~page
+                  ~prot:(Pmap.Prot.remove_write entry.prot)
+                  ~wired:wire;
+                page
+              end
+          | None ->
+              (* Chain exhausted: zero-fill in the first object. *)
+              let fresh =
+                Physmem.alloc physmem ~zero:true
+                  ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
+              in
+              Vm_object.insert_page first_obj ~pgno:off fresh;
+              if write then fresh.Physmem.Page.dirty <- true;
+              Physmem.activate physmem fresh;
+              Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot ~wired:wire;
+              fresh
+        in
+        if wire then Physmem.wire physmem page;
+        page.Physmem.Page.referenced <- true;
+        finish (Ok ())
+      end

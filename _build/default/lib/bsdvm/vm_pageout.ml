@@ -1,0 +1,85 @@
+(** The BSD VM pageout daemon.
+
+    Same queue discipline as UVM's (second-chance over the inactive list,
+    refill from the active list) — that part predates UVM — but every dirty
+    page goes to backing store as its own I/O operation: anonymous pages
+    keep fixed per-object swap slots (no reassignment, so scattered dirty
+    pages cannot be clustered), and vnode pages are written one at a time
+    (paper §1.1, §6; Figure 5 measures the consequence). *)
+
+let reclaim sys (page : Physmem.Page.t) =
+  Pmap.page_remove_all (Bsd_sys.pmap_ctx sys) page;
+  (match page.owner with
+  | Vm_object.Obj_page obj -> Vm_object.remove_page obj ~pgno:page.owner_offset
+  | _ -> ());
+  Physmem.free_page (Bsd_sys.physmem sys) page
+
+let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
+  match obj.Vm_object.kind with
+  | Vm_object.Vnode vn ->
+      Vfs.write_pages (Bsd_sys.vfs sys) vn ~start_page:page.owner_offset
+        ~srcs:[ page ];
+      true
+  | Vm_object.Anon -> (
+      let swapdev = Bsd_sys.swapdev sys in
+      let slot =
+        match Hashtbl.find_opt obj.Vm_object.swslots page.owner_offset with
+        | Some slot -> Some slot
+        | None ->
+            let fresh = Swap.Swapdev.alloc_slots swapdev ~n:1 in
+            (match fresh with
+            | Some slot ->
+                Hashtbl.replace obj.Vm_object.swslots page.owner_offset slot
+            | None -> ());
+            fresh
+      in
+      match slot with
+      | Some slot ->
+          Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ];
+          true
+      | None -> false (* swap exhausted *))
+
+let run sys =
+  let physmem = Bsd_sys.physmem sys in
+  let target = Physmem.freetarg physmem in
+  let scan (page : Physmem.Page.t) =
+    if Physmem.free_count physmem < target then
+      if page.busy || page.wire_count > 0 || page.loan_count > 0 then ()
+      else if page.referenced then Physmem.activate physmem page
+      else
+        match page.owner with
+        | Vm_object.Obj_page obj ->
+            let has_backing_copy =
+              match obj.Vm_object.kind with
+              | Vm_object.Vnode _ -> not page.dirty
+              | Vm_object.Anon ->
+                  (not page.dirty)
+                  && Hashtbl.mem obj.Vm_object.swslots page.owner_offset
+            in
+            if has_backing_copy then reclaim sys page
+            else if pageout_one sys obj page then reclaim sys page
+        | _ -> assert false
+  in
+  List.iter scan (Physmem.inactive_pages physmem);
+  if Physmem.free_count physmem < target then begin
+    let need =
+      2 * (target - Physmem.free_count physmem) - Physmem.inactive_count physmem
+    in
+    let moved = ref 0 in
+    List.iter
+      (fun (page : Physmem.Page.t) ->
+        if
+          !moved < need && (not page.busy) && page.wire_count = 0
+          && page.loan_count = 0
+        then begin
+          if page.referenced then page.referenced <- false
+          else begin
+            Pmap.page_remove_all (Bsd_sys.pmap_ctx sys) page;
+            Physmem.deactivate physmem page;
+            incr moved
+          end
+        end)
+      (Physmem.active_pages physmem)
+  end
+
+let install sys = Physmem.set_pagedaemon (Bsd_sys.physmem sys) (fun () -> run sys)

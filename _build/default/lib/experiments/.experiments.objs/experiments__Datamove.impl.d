@@ -1,0 +1,1 @@
+lib/experiments/datamove.ml: List Pmap Printf Report Sim Uvm Vmiface

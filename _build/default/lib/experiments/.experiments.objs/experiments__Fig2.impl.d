@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Bsdvm List Pmap Printf Report Sim Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Bsdvm List Pmap Report Sim Uvm Vmiface

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Bsdvm List Pmap Report Sim Uvm Vmiface

@@ -1,0 +1,1 @@
+lib/experiments/swapleak.ml: Bsdvm List Pmap Report Uvm Vfs Vmiface

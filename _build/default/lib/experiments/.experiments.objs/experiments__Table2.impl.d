@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Bsdvm List Oslayer Report Sim Uvm Vmiface

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Bsdvm List Pmap Report Sim Uvm Vfs Vmiface

@@ -1,0 +1,20 @@
+(** Small helpers for printing paper-style tables and series. *)
+
+let hr () = print_endline (String.make 72 '-')
+
+let title fmt =
+  Printf.ksprintf
+    (fun s ->
+      hr ();
+      print_endline s;
+      hr ())
+    fmt
+
+let row3 label a b = Printf.printf "%-34s %12s %12s\n" label a b
+let row4 label a b c = Printf.printf "%-26s %12s %12s %12s\n" label a b c
+
+let seconds us = Printf.sprintf "%.4f s" (us /. 1e6)
+let micros us = Printf.sprintf "%.1f us" us
+
+let ratio bsd uvm =
+  if uvm = 0.0 then "-" else Printf.sprintf "%.2fx" (bsd /. uvm)

@@ -1,0 +1,1 @@
+lib/oslayer/procsim.ml: Array List Pmap Programs Trace Vfs Vmiface

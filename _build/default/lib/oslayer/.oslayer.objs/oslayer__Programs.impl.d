@@ -1,0 +1,1 @@
+lib/oslayer/programs.ml: List

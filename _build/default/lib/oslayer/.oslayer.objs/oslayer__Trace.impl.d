@@ -1,0 +1,1 @@
+lib/oslayer/trace.ml: Array Fun Hashtbl List Programs Sim Vmiface

@@ -1,0 +1,191 @@
+(** Process-level simulation on top of a VM system.
+
+    A functor over {!Vmiface.Vm_sig.VM_SYS}: the exact same process
+    lifecycle — exec mapping text/data/bss/stack/heap and shared
+    libraries, startup sysctl calls that temporarily wire buffers, the
+    kernel-side user-structure and page-table allocations — runs against
+    UVM and BSD VM, so differences in map-entry counts (Table 1) and fault
+    counts (Table 2) come only from the VM system under test. *)
+
+module Vmtypes = Vmiface.Vmtypes
+
+module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
+  type segment = { seg_vpn : int; seg_pages : int }
+
+  type proc = {
+    pid : int;
+    vm : V.vmspace;
+    prog : Programs.t;
+    ustruct_vpn : int;
+    ptp : V.ptp;
+    text : segment;
+    data : segment;
+    bss : segment;
+    stack : segment;
+    heap : segment;
+    lib_segs : (Programs.shared_lib * segment * segment * segment) list;
+        (** text, data, bss per shared library *)
+    mutable dead : bool;
+  }
+
+  let pid_counter = ref 0
+
+  let ustruct_pages = 2
+  let ptp_pages = 1
+  let kernel_anchor_pages = 64
+
+  (* Boot-time kernel allocation (kernel text/data/static tables).  Gives
+     UVM's kernel-map merging an anchor entry, and models the always-wired
+     kernel memory that UVM does not re-record in the map. *)
+  let boot_kernel sys = ignore (V.kernel_alloc_wired sys ~npages:kernel_anchor_pages)
+
+  let get_file sys name ~pages =
+    let vfs = (V.machine sys).Vmiface.Machine.vfs in
+    match Vfs.lookup vfs ~name with
+    | vn -> vn
+    | exception Not_found ->
+        Vfs.create_file vfs ~name
+          ~size:(pages * (V.machine sys).Vmiface.Machine.config.page_size)
+
+  let map_image sys vm name ~text ~data ~bss =
+    let vfs = (V.machine sys).Vmiface.Machine.vfs in
+    let vn = get_file sys name ~pages:(text + data) in
+    let text_vpn =
+      V.mmap sys vm ~npages:text ~prot:Pmap.Prot.rx ~share:Vmtypes.Private
+        (Vmtypes.File (vn, 0))
+    in
+    let data_vpn =
+      if data > 0 then
+        V.mmap sys vm ~npages:data ~prot:Pmap.Prot.rw ~share:Vmtypes.Private
+          (Vmtypes.File (vn, text))
+      else text_vpn
+    in
+    let bss_vpn =
+      if bss > 0 then
+        V.mmap sys vm ~npages:bss ~prot:Pmap.Prot.rw ~share:Vmtypes.Private
+          Vmtypes.Zero
+      else data_vpn
+    in
+    Vfs.vrele vfs vn;
+    ( { seg_vpn = text_vpn; seg_pages = text },
+      { seg_vpn = data_vpn; seg_pages = data },
+      { seg_vpn = bss_vpn; seg_pages = bss } )
+
+  (* Startup sysctl calls: each temporarily wires a one-page user buffer.
+     Buffers land inside different segments, as crt0/ld.so/libc do. *)
+  let run_startup_sysctls sys vm ~(stack : segment) ~(heap : segment) n =
+    let spots =
+      [|
+        stack.seg_vpn + 1;
+        heap.seg_vpn + 1;
+        heap.seg_vpn + 2;
+        stack.seg_vpn + 2;
+      |]
+    in
+    for i = 0 to n - 1 do
+      let buf = spots.(i mod Array.length spots) in
+      let wb = V.vslock sys vm ~vpn:buf ~npages:1 in
+      V.vsunlock sys vm wb
+    done
+
+  let exec sys vm (prog : Programs.t) =
+    let text, data, bss =
+      map_image sys vm prog.name ~text:prog.text_pages ~data:prog.data_pages
+        ~bss:prog.bss_pages
+    in
+    let stack_vpn =
+      V.mmap sys vm ~npages:prog.stack_pages ~prot:Pmap.Prot.rw
+        ~share:Vmtypes.Private Vmtypes.Zero
+    in
+    let heap_npages = max prog.heap_pages prog.work_pages in
+    let heap_vpn =
+      V.mmap sys vm ~npages:heap_npages ~prot:Pmap.Prot.rw
+        ~share:Vmtypes.Private Vmtypes.Zero
+    in
+    (* The ps_strings / signal-trampoline page at the top of the space. *)
+    let _ps =
+      V.mmap sys vm ~npages:1 ~prot:Pmap.Prot.rw ~share:Vmtypes.Private
+        Vmtypes.Zero
+    in
+    let lib_segs =
+      List.map
+        (fun (lib : Programs.shared_lib) ->
+          let t, d, b =
+            map_image sys vm lib.lib_name ~text:lib.lib_text
+              ~data:lib.lib_data ~bss:lib.lib_bss
+          in
+          (lib, t, d, b))
+        prog.libs
+    in
+    let stack = { seg_vpn = stack_vpn; seg_pages = prog.stack_pages } in
+    let heap = { seg_vpn = heap_vpn; seg_pages = heap_npages } in
+    run_startup_sysctls sys vm ~stack ~heap prog.startup_sysctls;
+    (text, data, bss, stack, heap, lib_segs)
+
+  (* Spawn a fresh process running [prog] (fork+exec collapsed: the
+     transient forked image is immediately replaced, as the paper notes
+     needs-copy makes nearly free). *)
+  let spawn sys (prog : Programs.t) =
+    incr pid_counter;
+    let ustruct_vpn = V.kernel_alloc_wired sys ~npages:ustruct_pages in
+    let ptp = V.pmap_alloc_ptp sys ~npages:ptp_pages in
+    let vm = V.new_vmspace sys in
+    let text, data, bss, stack, heap, lib_segs = exec sys vm prog in
+    {
+      pid = !pid_counter;
+      vm;
+      prog;
+      ustruct_vpn;
+      ptp;
+      text;
+      data;
+      bss;
+      stack;
+      heap;
+      lib_segs;
+      dead = false;
+    }
+
+  (* Swap a process out/in: its user structure is unwired while it cannot
+     run (paper §3.2).  Under BSD this is kernel-map traffic; under UVM the
+     state lives in the proc structure alone. *)
+  let swapout_proc sys proc =
+    V.swapout_ustruct sys ~vpn:proc.ustruct_vpn ~npages:ustruct_pages
+
+  let swapin_proc sys proc =
+    V.swapin_ustruct sys ~vpn:proc.ustruct_vpn ~npages:ustruct_pages
+
+  let exit_proc sys proc =
+    assert (not proc.dead);
+    V.destroy_vmspace sys proc.vm;
+    V.kernel_free_wired sys ~vpn:proc.ustruct_vpn ~npages:ustruct_pages;
+    V.pmap_free_ptp sys proc.ptp;
+    proc.dead <- true
+
+  (* Total live map entries attributable to user processes plus the
+     kernel map — the quantity Table 1 reports. *)
+  let live_entries sys procs =
+    V.map_entry_count (V.kernel_vmspace sys)
+    + List.fold_left
+        (fun acc proc -> if proc.dead then acc else acc + V.map_entry_count proc.vm)
+        0 procs
+
+  (* Replay an access trace (from {!Trace}) against a process. *)
+  let replay sys proc trace =
+    List.iter
+      (fun (seg, page, access) ->
+        let segment =
+          match seg with
+          | Trace.Seg_text -> proc.text
+          | Trace.Seg_data -> proc.data
+          | Trace.Seg_bss -> proc.bss
+          | Trace.Seg_stack -> proc.stack
+          | Trace.Seg_heap -> proc.heap
+          | Trace.Seg_lib i ->
+              let _, t, _, _ = List.nth proc.lib_segs i in
+              t
+        in
+        if page < segment.seg_pages then
+          V.touch sys proc.vm ~vpn:(segment.seg_vpn + page) access)
+      trace
+end

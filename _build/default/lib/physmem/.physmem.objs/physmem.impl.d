@@ -1,0 +1,1 @@
+lib/physmem/physmem.ml: Bytes Fun Page Sim

@@ -1,0 +1,1 @@
+lib/physmem/physmem.mli: Page Sim

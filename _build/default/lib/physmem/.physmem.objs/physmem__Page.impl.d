@@ -1,0 +1,1 @@
+lib/physmem/page.ml: Format Sim

@@ -1,0 +1,32 @@
+type tag = ..
+type tag += No_owner
+
+type queue = Q_none | Q_free | Q_active | Q_inactive
+
+type t = {
+  id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable busy : bool;
+  mutable wire_count : int;
+  mutable loan_count : int;
+  mutable owner : tag;
+  mutable owner_offset : int;
+  mutable queue : queue;
+  mutable node : t Sim.Dlist.node option;
+  mutable referenced : bool;
+}
+
+let is_free t = t.queue = Q_free
+let is_wired t = t.wire_count > 0
+let is_loaned t = t.loan_count > 0
+
+let queue_name = function
+  | Q_none -> "none"
+  | Q_free -> "free"
+  | Q_active -> "active"
+  | Q_inactive -> "inactive"
+
+let pp ppf t =
+  Format.fprintf ppf "page#%d{q=%s wire=%d loan=%d dirty=%b}" t.id
+    (queue_name t.queue) t.wire_count t.loan_count t.dirty

@@ -1,0 +1,43 @@
+(** Physical page frames ([vm_page] in the paper's Figure 1).
+
+    One [Page.t] is allocated for every page of simulated physical memory at
+    boot.  Pages carry their actual contents as [bytes], so copy-on-write,
+    loanout and paging can be validated for data correctness.
+
+    Ownership: the machine-independent VM layer above (UVM or BSD VM) tags
+    each allocated page with an owner via the extensible variant {!tag} —
+    this keeps [physmem] independent of the layers built on top of it while
+    still letting the page point back at its memory object or anon, as real
+    [vm_page] structures do. *)
+
+type tag = ..
+(** Extensible ownership tag.  Each VM layer adds its own constructors
+    (e.g. [Uvm_object of ...], [Anon of ...], [Shadow of ...]). *)
+
+type tag += No_owner  (** The page is free or ownership was dropped. *)
+
+type queue =
+  | Q_none  (** not on any paging queue (e.g. wired or busy) *)
+  | Q_free
+  | Q_active
+  | Q_inactive
+
+type t = {
+  id : int;  (** physical frame number *)
+  data : bytes;  (** page contents, [page_size] bytes *)
+  mutable dirty : bool;  (** modified since last cleaned *)
+  mutable busy : bool;  (** I/O in progress (asserted by pagers) *)
+  mutable wire_count : int;  (** > 0 means the page may not be paged out *)
+  mutable loan_count : int;  (** outstanding loans (UVM page loanout) *)
+  mutable owner : tag;
+  mutable owner_offset : int;  (** page index within the owner object *)
+  mutable queue : queue;
+  mutable node : t Sim.Dlist.node option;  (** paging-queue linkage *)
+  mutable referenced : bool;  (** software-emulated reference bit *)
+}
+
+val is_free : t -> bool
+val is_wired : t -> bool
+val is_loaned : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,200 @@
+module Page = Page
+
+exception Out_of_pages
+
+type t = {
+  page_size : int;
+  total_pages : int;
+  clock : Sim.Simclock.t;
+  costs : Sim.Cost_model.t;
+  stats : Sim.Stats.t;
+  free : Page.t Sim.Dlist.t;
+  active : Page.t Sim.Dlist.t;
+  inactive : Page.t Sim.Dlist.t;
+  mutable free_count : int;
+  freemin : int;
+  freetarg : int;
+  mutable pagedaemon : (unit -> unit) option;
+  mutable daemon_running : bool;
+}
+
+let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
+  if npages < 16 then invalid_arg "Physmem.create: need at least 16 pages";
+  let t =
+    {
+      page_size;
+      total_pages = npages;
+      clock;
+      costs;
+      stats;
+      free = Sim.Dlist.create ();
+      active = Sim.Dlist.create ();
+      inactive = Sim.Dlist.create ();
+      free_count = 0;
+      freemin = max 8 (npages / 32);
+      freetarg = max 16 (npages / 16);
+      pagedaemon = None;
+      daemon_running = false;
+    }
+  in
+  for i = 0 to npages - 1 do
+    let page =
+      {
+        Page.id = i;
+        data = Bytes.create page_size;
+        dirty = false;
+        busy = false;
+        wire_count = 0;
+        loan_count = 0;
+        owner = Page.No_owner;
+        owner_offset = 0;
+        queue = Page.Q_free;
+        node = None;
+        referenced = false;
+      }
+    in
+    page.Page.node <- Some (Sim.Dlist.push_tail t.free page);
+    t.free_count <- t.free_count + 1
+  done;
+  t
+
+let page_size t = t.page_size
+let total_pages t = t.total_pages
+let free_count t = t.free_count
+let active_count t = Sim.Dlist.length t.active
+let inactive_count t = Sim.Dlist.length t.inactive
+let freemin t = t.freemin
+let freetarg t = t.freetarg
+let set_pagedaemon t f = t.pagedaemon <- Some f
+let page_shortage t = t.free_count < t.freemin
+
+let queue_of t = function
+  | Page.Q_free -> Some t.free
+  | Page.Q_active -> Some t.active
+  | Page.Q_inactive -> Some t.inactive
+  | Page.Q_none -> None
+
+(* Unlink [page] from whatever queue it is on. *)
+let unlink t (page : Page.t) =
+  match (queue_of t page.queue, page.node) with
+  | Some q, Some node ->
+      Sim.Dlist.remove q node;
+      if page.queue = Page.Q_free then t.free_count <- t.free_count - 1;
+      page.node <- None;
+      page.queue <- Page.Q_none
+  | None, _ -> ()
+  | Some _, None -> assert false
+
+let enqueue t (page : Page.t) kind =
+  unlink t page;
+  match queue_of t kind with
+  | None -> ()
+  | Some q ->
+      page.Page.node <- Some (Sim.Dlist.push_tail q page);
+      page.Page.queue <- kind;
+      if kind = Page.Q_free then t.free_count <- t.free_count + 1
+
+let run_pagedaemon t =
+  match t.pagedaemon with
+  | Some daemon when not t.daemon_running ->
+      t.daemon_running <- true;
+      Fun.protect ~finally:(fun () -> t.daemon_running <- false) daemon
+  | Some _ | None -> ()
+
+let alloc t ?(zero = false) ~owner ~offset () =
+  if t.free_count <= t.freemin then run_pagedaemon t;
+  let grab () =
+    match Sim.Dlist.pop_head t.free with
+    | Some page ->
+        t.free_count <- t.free_count - 1;
+        page.Page.node <- None;
+        page.Page.queue <- Page.Q_none;
+        Some page
+    | None -> None
+  in
+  let page =
+    match grab () with
+    | Some page -> page
+    | None -> (
+        run_pagedaemon t;
+        match grab () with Some page -> page | None -> raise Out_of_pages)
+  in
+  page.Page.owner <- owner;
+  page.Page.owner_offset <- offset;
+  page.Page.dirty <- false;
+  page.Page.busy <- false;
+  page.Page.referenced <- false;
+  assert (page.Page.wire_count = 0);
+  assert (page.Page.loan_count = 0);
+  if zero then begin
+    Bytes.fill page.Page.data 0 t.page_size '\000';
+    Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.page_zero;
+    t.stats.Sim.Stats.pages_zeroed <- t.stats.Sim.Stats.pages_zeroed + 1
+  end;
+  page
+
+let free_page t (page : Page.t) =
+  if page.queue = Page.Q_free then
+    invalid_arg "Physmem.free_page: page already free";
+  if page.loan_count > 0 then begin
+    (* The owner dropped the page while it is loaned out (possibly wired by
+       the borrower): the borrower keeps using the frame; it is finally
+       freed when the last loan is ended (uvm_loan handles that). *)
+    page.owner <- Page.No_owner;
+    page.owner_offset <- 0;
+    unlink t page
+  end
+  else if page.wire_count > 0 then
+    invalid_arg "Physmem.free_page: page is wired"
+  else begin
+    page.owner <- Page.No_owner;
+    page.owner_offset <- 0;
+    page.dirty <- false;
+    page.busy <- false;
+    page.referenced <- false;
+    enqueue t page Page.Q_free
+  end
+
+let activate t (page : Page.t) =
+  if page.wire_count > 0 then unlink t page
+  else enqueue t page Page.Q_active
+
+let deactivate t (page : Page.t) =
+  page.referenced <- false;
+  if page.wire_count > 0 then unlink t page
+  else enqueue t page Page.Q_inactive
+
+let dequeue t page = unlink t page
+let inactive_pages t = Sim.Dlist.to_list t.inactive
+let active_pages t = Sim.Dlist.to_list t.active
+
+let wire t (page : Page.t) =
+  page.wire_count <- page.wire_count + 1;
+  if page.wire_count = 1 then unlink t page
+
+let unwire t (page : Page.t) =
+  if page.wire_count <= 0 then invalid_arg "Physmem.unwire: page not wired";
+  page.wire_count <- page.wire_count - 1;
+  if page.wire_count = 0 then enqueue t page Page.Q_active
+
+let release_loan t (page : Page.t) =
+  if page.loan_count <= 0 then
+    invalid_arg "Physmem.release_loan: page not loaned";
+  page.loan_count <- page.loan_count - 1;
+  if page.loan_count = 0 && page.owner = Page.No_owner && page.wire_count = 0
+  then begin
+    page.dirty <- false;
+    page.busy <- false;
+    page.referenced <- false;
+    enqueue t page Page.Q_free
+  end
+
+let copy_data t ~(src : Page.t) ~(dst : Page.t) =
+  Bytes.blit src.data 0 dst.data 0 t.page_size;
+  Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.page_copy;
+  t.stats.Sim.Stats.pages_copied <- t.stats.Sim.Stats.pages_copied + 1
+
+let zero_data t (page : Page.t) =
+  Bytes.fill page.data 0 t.page_size '\000';
+  Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.page_zero;
+  t.stats.Sim.Stats.pages_zeroed <- t.stats.Sim.Stats.pages_zeroed + 1

@@ -1,0 +1,90 @@
+(** Physical memory: the page allocator and the paging queues.
+
+    Simulates the machine's RAM as a fixed array of {!Page.t} frames plus
+    the classic BSD free / active / inactive queues.  When the free list
+    drops below [freemin] the registered pagedaemon callback is invoked —
+    each VM system (UVM, BSD VM) installs its own pageout strategy, which is
+    exactly the axis Figure 5 of the paper measures. *)
+
+module Page = Page
+
+exception Out_of_pages
+(** Raised when an allocation cannot be satisfied even after running the
+    pagedaemon — the simulated equivalent of a memory deadlock. *)
+
+type t
+
+val create :
+  ?page_size:int ->
+  npages:int ->
+  clock:Sim.Simclock.t ->
+  costs:Sim.Cost_model.t ->
+  stats:Sim.Stats.t ->
+  unit ->
+  t
+(** [create ~npages ...] boots a machine with [npages] frames of physical
+    memory.  [page_size] defaults to 4096 bytes. *)
+
+val page_size : t -> int
+val total_pages : t -> int
+val free_count : t -> int
+val active_count : t -> int
+val inactive_count : t -> int
+
+val freemin : t -> int
+(** Free-page threshold below which the pagedaemon is kicked. *)
+
+val freetarg : t -> int
+(** Free-page count the pagedaemon aims for when it runs. *)
+
+val set_pagedaemon : t -> (unit -> unit) -> unit
+(** Install the VM system's pageout routine.  It is called by {!alloc} when
+    free pages are scarce and must try to move clean/cleaned pages to the
+    free list. *)
+
+val alloc : t -> ?zero:bool -> owner:Page.tag -> offset:int -> unit -> Page.t
+(** Allocate a page frame for [owner] at page-index [offset] within it.
+    If [zero] (default false) the page data is zero-filled and the zeroing
+    cost is charged.  The returned page is on no queue ([Q_none]), not busy,
+    clean, and unwired.
+    @raise Out_of_pages if memory cannot be reclaimed. *)
+
+val free_page : t -> Page.t -> unit
+(** Return a frame to the free list, clearing ownership.  A loaned page
+    ([loan_count > 0]) only drops ownership; the frame is actually freed
+    when the last loan ends (see UVM loanout semantics, paper §7).
+    @raise Invalid_argument if the page is wired or already free. *)
+
+val activate : t -> Page.t -> unit
+(** Put a page on the active queue (unlinking it from wherever it is). *)
+
+val deactivate : t -> Page.t -> unit
+(** Put a page on the inactive queue and clear its reference bit. *)
+
+val dequeue : t -> Page.t -> unit
+(** Remove a page from any paging queue (used when wiring or starting I/O). *)
+
+val inactive_pages : t -> Page.t list
+(** Snapshot of the inactive queue, LRU first (pagedaemon scan order). *)
+
+val active_pages : t -> Page.t list
+
+val wire : t -> Page.t -> unit
+(** Increment the wire count; a newly-wired page leaves the paging queues. *)
+
+val unwire : t -> Page.t -> unit
+(** Decrement the wire count; when it reaches zero the page goes active. *)
+
+val release_loan : t -> Page.t -> unit
+(** End one loan on a page.  If the owner already dropped the page and no
+    loans remain, the frame finally returns to the free list (paper §7's
+    loanout lifetime rule). *)
+
+val copy_data : t -> src:Page.t -> dst:Page.t -> unit
+(** Copy page contents, charging the page-copy cost. *)
+
+val zero_data : t -> Page.t -> unit
+(** Zero page contents, charging the page-zero cost. *)
+
+val page_shortage : t -> bool
+(** True when the free list is below [freemin]. *)

@@ -1,0 +1,1 @@
+lib/pmap/pmap.ml: Hashtbl List Physmem Prot Sim

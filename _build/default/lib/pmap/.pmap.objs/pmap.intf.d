@@ -1,0 +1,1 @@
+lib/pmap/pmap.mli: Physmem Prot Sim

@@ -1,0 +1,1 @@
+lib/pmap/prot.ml: Format Printf

@@ -1,0 +1,25 @@
+type t = { r : bool; w : bool; x : bool }
+
+let none = { r = false; w = false; x = false }
+let read = { r = true; w = false; x = false }
+let rw = { r = true; w = true; x = false }
+let rx = { r = true; w = false; x = true }
+let rwx = { r = true; w = true; x = true }
+let all = rwx
+
+let subsumes granted wanted =
+  (granted.r || not wanted.r)
+  && (granted.w || not wanted.w)
+  && (granted.x || not wanted.x)
+
+let intersect a b = { r = a.r && b.r; w = a.w && b.w; x = a.x && b.x }
+let remove_write t = { t with w = false }
+let equal a b = a = b
+
+let to_string t =
+  Printf.sprintf "%c%c%c"
+    (if t.r then 'r' else '-')
+    (if t.w then 'w' else '-')
+    (if t.x then 'x' else '-')
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/sim/disk.ml: Cost_model Simclock Stats

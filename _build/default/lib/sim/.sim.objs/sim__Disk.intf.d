@@ -1,0 +1,1 @@
+lib/sim/disk.mli: Cost_model Simclock Stats

@@ -1,0 +1,77 @@
+type t = {
+  mem_access : float;
+  page_copy : float;
+  page_zero : float;
+  struct_alloc : float;
+  object_alloc : float;
+  hash_lookup : float;
+  lock_acquire : float;
+  map_entry_search : float;
+  map_insert : float;
+  map_remove : float;
+  fault_entry : float;
+  object_search : float;
+  pmap_enter : float;
+  pmap_remove : float;
+  pmap_protect : float;
+  disk_op_latency : float;
+  disk_page_transfer : float;
+  loan_page : float;
+  proc_overhead : float;
+  syscall_overhead : float;
+}
+
+let default =
+  {
+    mem_access = 0.05;
+    page_copy = 22.0;
+    page_zero = 20.0;
+    struct_alloc = 1.5;
+    object_alloc = 4.0;
+    hash_lookup = 1.0;
+    lock_acquire = 0.8;
+    map_entry_search = 0.4;
+    map_insert = 2.0;
+    map_remove = 1.5;
+    fault_entry = 9.0;
+    object_search = 1.0;
+    pmap_enter = 2.0;
+    pmap_remove = 1.2;
+    pmap_protect = 0.9;
+    disk_op_latency = 10_000.0;
+    disk_page_transfer = 400.0;
+    loan_page = 4.0;
+    proc_overhead = 250.0;
+    syscall_overhead = 20.0;
+  }
+
+let zero =
+  {
+    mem_access = 0.0;
+    page_copy = 0.0;
+    page_zero = 0.0;
+    struct_alloc = 0.0;
+    object_alloc = 0.0;
+    hash_lookup = 0.0;
+    lock_acquire = 0.0;
+    map_entry_search = 0.0;
+    map_insert = 0.0;
+    map_remove = 0.0;
+    fault_entry = 0.0;
+    object_search = 0.0;
+    pmap_enter = 0.0;
+    pmap_remove = 0.0;
+    pmap_protect = 0.0;
+    disk_op_latency = 0.0;
+    disk_page_transfer = 0.0;
+    loan_page = 0.0;
+    proc_overhead = 0.0;
+    syscall_overhead = 0.0;
+  }
+
+let fast_disk t =
+  {
+    t with
+    disk_op_latency = t.disk_op_latency /. 100.0;
+    disk_page_transfer = t.disk_page_transfer /. 100.0;
+  }

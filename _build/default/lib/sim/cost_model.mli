@@ -1,0 +1,52 @@
+(** Cost model: how many simulated microseconds each primitive operation
+    takes.
+
+    Both VM systems (UVM and the BSD VM baseline) charge costs from the same
+    model, so any difference in measured time comes only from algorithmic
+    differences (extra allocations, object-chain walks, per-page I/O
+    operations, lock phases) — mirroring the paper's methodology of running
+    both systems on the same 333 MHz Pentium-II.
+
+    The defaults are calibrated so the reproduced tables/figures land in the
+    paper's order of magnitude (see EXPERIMENTS.md). *)
+
+type t = {
+  (* -- CPU / memory ------------------------------------------------- *)
+  mem_access : float;  (** touching an already-mapped page (TLB-hit path) *)
+  page_copy : float;  (** copying one page of data (COW resolution, bulk copy) *)
+  page_zero : float;  (** zero-filling a fresh page *)
+  struct_alloc : float;  (** allocating a small kernel structure (anon, entry, pager) *)
+  object_alloc : float;  (** allocating a memory-object structure *)
+  hash_lookup : float;  (** one hash-table probe (BSD pager hash) *)
+  lock_acquire : float;  (** acquiring a sleep lock (map lock etc.) *)
+  (* -- map operations ----------------------------------------------- *)
+  map_entry_search : float;  (** examining one map entry during lookup *)
+  map_insert : float;  (** linking an entry into a map *)
+  map_remove : float;  (** unlinking an entry from a map *)
+  (* -- fault handling ------------------------------------------------ *)
+  fault_entry : float;  (** trap entry/exit + fault-routine fixed overhead *)
+  object_search : float;  (** examining one memory object for a page *)
+  (* -- pmap (MMU) ---------------------------------------------------- *)
+  pmap_enter : float;  (** installing one translation *)
+  pmap_remove : float;  (** removing one translation *)
+  pmap_protect : float;  (** changing protection of one translation *)
+  (* -- devices -------------------------------------------------------- *)
+  disk_op_latency : float;  (** fixed per-I/O-operation cost (seek + rotation) *)
+  disk_page_transfer : float;  (** per-page transfer time *)
+  (* -- data movement --------------------------------------------------- *)
+  loan_page : float;  (** per-page loanout bookkeeping (pv walk, counters) *)
+  (* -- process bookkeeping ------------------------------------------- *)
+  proc_overhead : float;  (** non-VM part of fork+exit+wait *)
+  syscall_overhead : float;  (** fixed syscall entry/exit cost *)
+}
+
+val default : t
+(** Calibrated to 1999-era hardware: ~10 ms disk ops, ~400 µs 4 KB
+    transfers, ~22 µs page copies, ~20 µs page zeroing. *)
+
+val zero : t
+(** All costs zero — for tests that check pure semantics. *)
+
+val fast_disk : t -> t
+(** Same CPU costs but a 100x faster disk; for tests that exercise paging
+    paths without caring about I/O magnitudes. *)

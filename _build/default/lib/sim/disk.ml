@@ -1,0 +1,37 @@
+type t = {
+  clock : Simclock.t;
+  costs : Cost_model.t;
+  stats : Stats.t;
+  mutable read_ops : int;
+  mutable write_ops : int;
+  mutable pages_read : int;
+  mutable pages_written : int;
+}
+
+let create ~clock ~costs ~stats =
+  { clock; costs; stats; read_ops = 0; write_ops = 0; pages_read = 0; pages_written = 0 }
+
+let transfer_cost ?(sequential = false) t npages =
+  (if sequential then 0.0 else t.costs.Cost_model.disk_op_latency)
+  +. (float_of_int npages *. t.costs.Cost_model.disk_page_transfer)
+
+let read ?sequential t ~npages =
+  if npages < 1 then invalid_arg "Disk.read: npages must be >= 1";
+  Simclock.advance t.clock (transfer_cost ?sequential t npages);
+  t.read_ops <- t.read_ops + 1;
+  t.pages_read <- t.pages_read + npages;
+  t.stats.Stats.disk_read_ops <- t.stats.Stats.disk_read_ops + 1;
+  t.stats.Stats.disk_pages_read <- t.stats.Stats.disk_pages_read + npages
+
+let write t ~npages =
+  if npages < 1 then invalid_arg "Disk.write: npages must be >= 1";
+  Simclock.advance t.clock (transfer_cost t npages);
+  t.write_ops <- t.write_ops + 1;
+  t.pages_written <- t.pages_written + npages;
+  t.stats.Stats.disk_write_ops <- t.stats.Stats.disk_write_ops + 1;
+  t.stats.Stats.disk_pages_written <- t.stats.Stats.disk_pages_written + npages
+
+let read_ops t = t.read_ops
+let write_ops t = t.write_ops
+let pages_read t = t.pages_read
+let pages_written t = t.pages_written

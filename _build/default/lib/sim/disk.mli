@@ -1,0 +1,26 @@
+(** Rotating-disk cost model.
+
+    An I/O operation costs a fixed latency (seek + rotational delay) plus a
+    per-page transfer time.  This captures the property the paper's Figure 5
+    depends on: writing n scattered pages as n single-page operations costs
+    [n * (latency + transfer)], while one clustered operation costs
+    [latency + n * transfer]. *)
+
+type t
+
+val create : clock:Simclock.t -> costs:Cost_model.t -> stats:Stats.t -> t
+
+val read : ?sequential:bool -> t -> npages:int -> unit
+(** One read operation transferring [npages] contiguous pages; advances the
+    simulated clock and counts the op.  With [sequential:true] the fixed
+    per-operation latency is waived — the filesystem's read-ahead already
+    has the head positioned (UFS-style streaming).  [npages] must be
+    >= 1. *)
+
+val write : t -> npages:int -> unit
+(** One write operation transferring [npages] contiguous pages. *)
+
+val read_ops : t -> int
+val write_ops : t -> int
+val pages_read : t -> int
+val pages_written : t -> int

@@ -1,0 +1,16 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now t = t.now
+
+let advance t us =
+  if not (Float.is_finite us) || us < 0.0 then
+    invalid_arg "Simclock.advance: negative or non-finite duration";
+  t.now <- t.now +. us
+
+let elapsed_since t t0 = t.now -. t0
+
+let pp_duration ppf us =
+  if us < 1_000.0 then Format.fprintf ppf "%.1fus" us
+  else if us < 1_000_000.0 then Format.fprintf ppf "%.2fms" (us /. 1e3)
+  else Format.fprintf ppf "%.3fs" (us /. 1e6)

@@ -1,0 +1,24 @@
+(** Discrete simulated clock.
+
+    All durations and timestamps are in microseconds, matching the units the
+    paper reports (Tables 3, Figure 6).  Every VM operation in the simulator
+    charges time here via {!advance}; experiments read elapsed time with
+    {!now} deltas.  The clock is strictly monotone. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at time 0. *)
+
+val now : t -> float
+(** Current simulated time in microseconds. *)
+
+val advance : t -> float -> unit
+(** [advance t us] moves the clock forward by [us] microseconds.
+    @raise Invalid_argument if [us] is negative or not finite. *)
+
+val elapsed_since : t -> float -> float
+(** [elapsed_since t t0] is [now t -. t0]. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Pretty-print a duration, choosing µs / ms / s units. *)

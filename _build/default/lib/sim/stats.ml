@@ -1,0 +1,218 @@
+type t = {
+  mutable faults : int;
+  mutable fault_ahead_mapped : int;
+  mutable pageins : int;
+  mutable pageouts : int;
+  mutable disk_read_ops : int;
+  mutable disk_write_ops : int;
+  mutable disk_pages_read : int;
+  mutable disk_pages_written : int;
+  mutable pages_copied : int;
+  mutable pages_zeroed : int;
+  mutable map_entries_allocated : int;
+  mutable map_entries_freed : int;
+  mutable objects_allocated : int;
+  mutable pager_structs_allocated : int;
+  mutable hash_lookups : int;
+  mutable collapse_attempts : int;
+  mutable collapse_successes : int;
+  mutable anons_allocated : int;
+  mutable anons_freed : int;
+  mutable amaps_allocated : int;
+  mutable amaps_freed : int;
+  mutable shadow_objects_allocated : int;
+  mutable obj_cache_hits : int;
+  mutable obj_cache_misses : int;
+  mutable obj_cache_evictions : int;
+  mutable vnode_recycles : int;
+  mutable cow_copies : int;
+  mutable cow_reuses : int;
+  mutable loanouts : int;
+  mutable pages_loaned : int;
+  mutable page_transfers : int;
+  mutable swap_slots_allocated : int;
+  mutable swap_slots_freed : int;
+  mutable pmap_enters : int;
+  mutable pmap_removes : int;
+  mutable pmap_protects : int;
+  mutable lock_acquisitions : int;
+  mutable map_lock_held_us : float;
+}
+
+let create () =
+  {
+    faults = 0;
+    fault_ahead_mapped = 0;
+    pageins = 0;
+    pageouts = 0;
+    disk_read_ops = 0;
+    disk_write_ops = 0;
+    disk_pages_read = 0;
+    disk_pages_written = 0;
+    pages_copied = 0;
+    pages_zeroed = 0;
+    map_entries_allocated = 0;
+    map_entries_freed = 0;
+    objects_allocated = 0;
+    pager_structs_allocated = 0;
+    hash_lookups = 0;
+    collapse_attempts = 0;
+    collapse_successes = 0;
+    anons_allocated = 0;
+    anons_freed = 0;
+    amaps_allocated = 0;
+    amaps_freed = 0;
+    shadow_objects_allocated = 0;
+    obj_cache_hits = 0;
+    obj_cache_misses = 0;
+    obj_cache_evictions = 0;
+    vnode_recycles = 0;
+    cow_copies = 0;
+    cow_reuses = 0;
+    loanouts = 0;
+    pages_loaned = 0;
+    page_transfers = 0;
+    swap_slots_allocated = 0;
+    swap_slots_freed = 0;
+    pmap_enters = 0;
+    pmap_removes = 0;
+    pmap_protects = 0;
+    lock_acquisitions = 0;
+    map_lock_held_us = 0.0;
+  }
+
+let reset t =
+  t.faults <- 0;
+  t.fault_ahead_mapped <- 0;
+  t.pageins <- 0;
+  t.pageouts <- 0;
+  t.disk_read_ops <- 0;
+  t.disk_write_ops <- 0;
+  t.disk_pages_read <- 0;
+  t.disk_pages_written <- 0;
+  t.pages_copied <- 0;
+  t.pages_zeroed <- 0;
+  t.map_entries_allocated <- 0;
+  t.map_entries_freed <- 0;
+  t.objects_allocated <- 0;
+  t.pager_structs_allocated <- 0;
+  t.hash_lookups <- 0;
+  t.collapse_attempts <- 0;
+  t.collapse_successes <- 0;
+  t.anons_allocated <- 0;
+  t.anons_freed <- 0;
+  t.amaps_allocated <- 0;
+  t.amaps_freed <- 0;
+  t.shadow_objects_allocated <- 0;
+  t.obj_cache_hits <- 0;
+  t.obj_cache_misses <- 0;
+  t.obj_cache_evictions <- 0;
+  t.vnode_recycles <- 0;
+  t.cow_copies <- 0;
+  t.cow_reuses <- 0;
+  t.loanouts <- 0;
+  t.pages_loaned <- 0;
+  t.page_transfers <- 0;
+  t.swap_slots_allocated <- 0;
+  t.swap_slots_freed <- 0;
+  t.pmap_enters <- 0;
+  t.pmap_removes <- 0;
+  t.pmap_protects <- 0;
+  t.lock_acquisitions <- 0;
+  t.map_lock_held_us <- 0.0
+
+let snapshot t = { t with faults = t.faults }
+
+let diff ~after ~before =
+  {
+    faults = after.faults - before.faults;
+    fault_ahead_mapped = after.fault_ahead_mapped - before.fault_ahead_mapped;
+    pageins = after.pageins - before.pageins;
+    pageouts = after.pageouts - before.pageouts;
+    disk_read_ops = after.disk_read_ops - before.disk_read_ops;
+    disk_write_ops = after.disk_write_ops - before.disk_write_ops;
+    disk_pages_read = after.disk_pages_read - before.disk_pages_read;
+    disk_pages_written = after.disk_pages_written - before.disk_pages_written;
+    pages_copied = after.pages_copied - before.pages_copied;
+    pages_zeroed = after.pages_zeroed - before.pages_zeroed;
+    map_entries_allocated =
+      after.map_entries_allocated - before.map_entries_allocated;
+    map_entries_freed = after.map_entries_freed - before.map_entries_freed;
+    objects_allocated = after.objects_allocated - before.objects_allocated;
+    pager_structs_allocated =
+      after.pager_structs_allocated - before.pager_structs_allocated;
+    hash_lookups = after.hash_lookups - before.hash_lookups;
+    collapse_attempts = after.collapse_attempts - before.collapse_attempts;
+    collapse_successes = after.collapse_successes - before.collapse_successes;
+    anons_allocated = after.anons_allocated - before.anons_allocated;
+    anons_freed = after.anons_freed - before.anons_freed;
+    amaps_allocated = after.amaps_allocated - before.amaps_allocated;
+    amaps_freed = after.amaps_freed - before.amaps_freed;
+    shadow_objects_allocated =
+      after.shadow_objects_allocated - before.shadow_objects_allocated;
+    obj_cache_hits = after.obj_cache_hits - before.obj_cache_hits;
+    obj_cache_misses = after.obj_cache_misses - before.obj_cache_misses;
+    obj_cache_evictions = after.obj_cache_evictions - before.obj_cache_evictions;
+    vnode_recycles = after.vnode_recycles - before.vnode_recycles;
+    cow_copies = after.cow_copies - before.cow_copies;
+    cow_reuses = after.cow_reuses - before.cow_reuses;
+    loanouts = after.loanouts - before.loanouts;
+    pages_loaned = after.pages_loaned - before.pages_loaned;
+    page_transfers = after.page_transfers - before.page_transfers;
+    swap_slots_allocated =
+      after.swap_slots_allocated - before.swap_slots_allocated;
+    swap_slots_freed = after.swap_slots_freed - before.swap_slots_freed;
+    pmap_enters = after.pmap_enters - before.pmap_enters;
+    pmap_removes = after.pmap_removes - before.pmap_removes;
+    pmap_protects = after.pmap_protects - before.pmap_protects;
+    lock_acquisitions = after.lock_acquisitions - before.lock_acquisitions;
+    map_lock_held_us = after.map_lock_held_us -. before.map_lock_held_us;
+  }
+
+let to_rows t =
+  [
+    ("faults", float_of_int t.faults);
+    ("fault_ahead_mapped", float_of_int t.fault_ahead_mapped);
+    ("pageins", float_of_int t.pageins);
+    ("pageouts", float_of_int t.pageouts);
+    ("disk_read_ops", float_of_int t.disk_read_ops);
+    ("disk_write_ops", float_of_int t.disk_write_ops);
+    ("disk_pages_read", float_of_int t.disk_pages_read);
+    ("disk_pages_written", float_of_int t.disk_pages_written);
+    ("pages_copied", float_of_int t.pages_copied);
+    ("pages_zeroed", float_of_int t.pages_zeroed);
+    ("map_entries_allocated", float_of_int t.map_entries_allocated);
+    ("map_entries_freed", float_of_int t.map_entries_freed);
+    ("objects_allocated", float_of_int t.objects_allocated);
+    ("pager_structs_allocated", float_of_int t.pager_structs_allocated);
+    ("hash_lookups", float_of_int t.hash_lookups);
+    ("collapse_attempts", float_of_int t.collapse_attempts);
+    ("collapse_successes", float_of_int t.collapse_successes);
+    ("anons_allocated", float_of_int t.anons_allocated);
+    ("anons_freed", float_of_int t.anons_freed);
+    ("amaps_allocated", float_of_int t.amaps_allocated);
+    ("amaps_freed", float_of_int t.amaps_freed);
+    ("shadow_objects_allocated", float_of_int t.shadow_objects_allocated);
+    ("obj_cache_hits", float_of_int t.obj_cache_hits);
+    ("obj_cache_misses", float_of_int t.obj_cache_misses);
+    ("obj_cache_evictions", float_of_int t.obj_cache_evictions);
+    ("vnode_recycles", float_of_int t.vnode_recycles);
+    ("cow_copies", float_of_int t.cow_copies);
+    ("cow_reuses", float_of_int t.cow_reuses);
+    ("loanouts", float_of_int t.loanouts);
+    ("pages_loaned", float_of_int t.pages_loaned);
+    ("page_transfers", float_of_int t.page_transfers);
+    ("swap_slots_allocated", float_of_int t.swap_slots_allocated);
+    ("swap_slots_freed", float_of_int t.swap_slots_freed);
+    ("pmap_enters", float_of_int t.pmap_enters);
+    ("pmap_removes", float_of_int t.pmap_removes);
+    ("pmap_protects", float_of_int t.pmap_protects);
+    ("lock_acquisitions", float_of_int t.lock_acquisitions);
+    ("map_lock_held_us", t.map_lock_held_us);
+  ]
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      if v <> 0.0 then Format.fprintf ppf "%-28s %12.1f@." name v)
+    (to_rows t)

@@ -1,0 +1,62 @@
+(** Event counters shared by every layer of the simulator.
+
+    A single [Stats.t] is threaded through a simulated system; the
+    experiments read counters (page faults for Table 2, map entries for
+    Table 1, disk operations for Figures 2/5, ...) and tests assert
+    accounting invariants against them. *)
+
+type t = {
+  mutable faults : int;  (** page faults taken *)
+  mutable fault_ahead_mapped : int;  (** resident neighbours mapped by fault-ahead *)
+  mutable pageins : int;  (** pages read from backing store *)
+  mutable pageouts : int;  (** pages written to backing store *)
+  mutable disk_read_ops : int;
+  mutable disk_write_ops : int;
+  mutable disk_pages_read : int;
+  mutable disk_pages_written : int;
+  mutable pages_copied : int;
+  mutable pages_zeroed : int;
+  mutable map_entries_allocated : int;
+  mutable map_entries_freed : int;
+  mutable objects_allocated : int;
+  mutable pager_structs_allocated : int;
+  mutable hash_lookups : int;
+  mutable collapse_attempts : int;
+  mutable collapse_successes : int;
+  mutable anons_allocated : int;
+  mutable anons_freed : int;
+  mutable amaps_allocated : int;
+  mutable amaps_freed : int;
+  mutable shadow_objects_allocated : int;
+  mutable obj_cache_hits : int;
+  mutable obj_cache_misses : int;
+  mutable obj_cache_evictions : int;
+  mutable vnode_recycles : int;
+  mutable cow_copies : int;  (** COW faults resolved by copying *)
+  mutable cow_reuses : int;  (** COW faults resolved in place (refs = 1) *)
+  mutable loanouts : int;
+  mutable pages_loaned : int;
+  mutable page_transfers : int;
+  mutable swap_slots_allocated : int;
+  mutable swap_slots_freed : int;
+  mutable pmap_enters : int;
+  mutable pmap_removes : int;
+  mutable pmap_protects : int;
+  mutable lock_acquisitions : int;
+  mutable map_lock_held_us : float;  (** total simulated time map locks were held *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val snapshot : t -> t
+(** An independent copy (for before/after deltas in experiments). *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction. *)
+
+val to_rows : t -> (string * float) list
+(** All counters as printable rows, in declaration order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Print the non-zero counters, one per line. *)

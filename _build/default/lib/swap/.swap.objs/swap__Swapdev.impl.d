@@ -1,0 +1,1 @@
+lib/swap/swapdev.ml: Bytes Hashtbl List Physmem Sim Swapmap

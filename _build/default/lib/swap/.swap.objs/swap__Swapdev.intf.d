@@ -1,0 +1,1 @@
+lib/swap/swapdev.mli: Physmem Sim

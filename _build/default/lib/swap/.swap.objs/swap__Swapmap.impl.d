@@ -1,0 +1,1 @@
+lib/swap/swapmap.ml: Array

@@ -1,0 +1,73 @@
+type t = {
+  map : Swapmap.t;
+  disk : Sim.Disk.t;
+  page_size : int;
+  store : (int, bytes) Hashtbl.t;
+  stats : Sim.Stats.t;
+}
+
+let create ~nslots ~page_size ~clock ~costs ~stats =
+  {
+    map = Swapmap.create ~nslots;
+    disk = Sim.Disk.create ~clock ~costs ~stats;
+    page_size;
+    store = Hashtbl.create 256;
+    stats;
+  }
+
+let capacity t = Swapmap.capacity t.map
+let slots_in_use t = Swapmap.in_use t.map
+let disk t = t.disk
+
+let alloc_slots t ~n =
+  let r = Swapmap.alloc t.map ~n in
+  (match r with
+  | Some _ ->
+      t.stats.Sim.Stats.swap_slots_allocated <-
+        t.stats.Sim.Stats.swap_slots_allocated + n
+  | None -> ());
+  r
+
+let free_slots t ~slot ~n =
+  Swapmap.free t.map ~slot ~n;
+  for i = slot to slot + n - 1 do
+    Hashtbl.remove t.store i
+  done;
+  t.stats.Sim.Stats.swap_slots_freed <- t.stats.Sim.Stats.swap_slots_freed + n
+
+let write_cluster t ~slot ~pages =
+  let n = List.length pages in
+  if n = 0 then invalid_arg "Swapdev.write_cluster: no pages";
+  List.iteri
+    (fun i (page : Physmem.Page.t) ->
+      let s = slot + i in
+      if not (Swapmap.is_allocated t.map ~slot:s) then
+        invalid_arg "Swapdev.write_cluster: slot not allocated";
+      Hashtbl.replace t.store s (Bytes.copy page.data);
+      page.dirty <- false)
+    pages;
+  Sim.Disk.write t.disk ~npages:n;
+  t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n
+
+let read_slot t ~slot ~dst =
+  match Hashtbl.find_opt t.store slot with
+  | None -> invalid_arg "Swapdev.read_slot: slot holds no data"
+  | Some data ->
+      Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
+      Sim.Disk.read t.disk ~npages:1;
+      dst.Physmem.Page.dirty <- false;
+      t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + 1
+
+let read_cluster t ~slot ~dsts =
+  let n = List.length dsts in
+  if n = 0 then invalid_arg "Swapdev.read_cluster: no pages";
+  List.iteri
+    (fun i (dst : Physmem.Page.t) ->
+      match Hashtbl.find_opt t.store (slot + i) with
+      | None -> invalid_arg "Swapdev.read_cluster: slot holds no data"
+      | Some data ->
+          Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
+          dst.Physmem.Page.dirty <- false)
+    dsts;
+  Sim.Disk.read t.disk ~npages:n;
+  t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n

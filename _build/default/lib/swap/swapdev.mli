@@ -1,0 +1,38 @@
+(** The swap device: slot allocation plus actual paging I/O.
+
+    Page contents written out are retained per-slot, so a later pagein
+    restores the exact bytes — pageout/pagein is validated for data
+    correctness, not just accounting. *)
+
+type t
+
+val create :
+  nslots:int ->
+  page_size:int ->
+  clock:Sim.Simclock.t ->
+  costs:Sim.Cost_model.t ->
+  stats:Sim.Stats.t ->
+  t
+
+val capacity : t -> int
+val slots_in_use : t -> int
+
+val alloc_slots : t -> n:int -> int option
+(** Reserve [n] contiguous slots (no I/O yet). *)
+
+val free_slots : t -> slot:int -> n:int -> unit
+(** Release slots and discard their stored contents. *)
+
+val write_cluster : t -> slot:int -> pages:Physmem.Page.t list -> unit
+(** Write the pages to consecutive slots starting at [slot] as a single
+    I/O operation (this is UVM's clustered pageout: one seek, n transfers).
+    Marks the pages clean. *)
+
+val read_slot : t -> slot:int -> dst:Physmem.Page.t -> unit
+(** Page in one slot (one I/O operation).
+    @raise Invalid_argument if the slot holds no data. *)
+
+val read_cluster : t -> slot:int -> dsts:Physmem.Page.t list -> unit
+(** Page in consecutive slots in one I/O operation. *)
+
+val disk : t -> Sim.Disk.t

@@ -1,0 +1,59 @@
+type t = {
+  nslots : int;
+  used : bool array; (* index 0 unused; slots are 1..nslots *)
+  mutable hint : int;
+  mutable in_use : int;
+}
+
+let create ~nslots =
+  if nslots < 1 then invalid_arg "Swapmap.create: nslots must be >= 1";
+  { nslots; used = Array.make (nslots + 1) false; hint = 1; in_use = 0 }
+
+let capacity t = t.nslots
+let in_use t = t.in_use
+
+let run_free_at t start n =
+  let rec check i = i >= n || ((not t.used.(start + i)) && check (i + 1)) in
+  start + n - 1 <= t.nslots && check 0
+
+let alloc t ~n =
+  if n < 1 then invalid_arg "Swapmap.alloc: n must be >= 1";
+  if t.in_use + n > t.nslots then None
+  else begin
+    (* First fit, scanning from the hint and wrapping once. *)
+    let found = ref None in
+    let pos = ref t.hint in
+    let scanned = ref 0 in
+    while !found = None && !scanned <= t.nslots do
+      if !pos + n - 1 > t.nslots then begin
+        scanned := !scanned + (t.nslots - !pos + 1);
+        pos := 1
+      end
+      else if run_free_at t !pos n then found := Some !pos
+      else begin
+        incr pos;
+        incr scanned
+      end
+    done;
+    match !found with
+    | None -> None
+    | Some slot ->
+        for i = slot to slot + n - 1 do
+          t.used.(i) <- true
+        done;
+        t.in_use <- t.in_use + n;
+        t.hint <- (if slot + n > t.nslots then 1 else slot + n);
+        Some slot
+  end
+
+let free t ~slot ~n =
+  if slot < 1 || slot + n - 1 > t.nslots then
+    invalid_arg "Swapmap.free: slot range out of bounds";
+  for i = slot to slot + n - 1 do
+    if not t.used.(i) then invalid_arg "Swapmap.free: slot not allocated";
+    t.used.(i) <- false
+  done;
+  t.in_use <- t.in_use - n
+
+let is_allocated t ~slot =
+  slot >= 1 && slot <= t.nslots && t.used.(slot)

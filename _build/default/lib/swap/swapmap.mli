@@ -1,0 +1,24 @@
+(** Swap-slot allocator.
+
+    Slots are numbered from 1 ([0] means "no swap location", as in UVM's
+    [an_swslot = 0]).  Supports contiguous multi-slot allocation, which is
+    what lets UVM's pagedaemon *reassign* scattered dirty anonymous pages to
+    one contiguous range and push them out in a single I/O (paper §6). *)
+
+type t
+
+val create : nslots:int -> t
+val capacity : t -> int
+
+val in_use : t -> int
+(** Number of slots currently allocated. *)
+
+val alloc : t -> n:int -> int option
+(** [alloc t ~n] finds [n] contiguous free slots, first-fit from a rotating
+    hint.  Returns the first slot, or [None] if no run of [n] exists. *)
+
+val free : t -> slot:int -> n:int -> unit
+(** Release [n] slots starting at [slot].
+    @raise Invalid_argument on double free or out-of-range slots. *)
+
+val is_allocated : t -> slot:int -> bool

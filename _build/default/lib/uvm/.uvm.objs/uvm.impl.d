@@ -1,0 +1,1 @@
+lib/uvm/uvm.ml: Bytes Hashtbl List Physmem Pmap Sim Swap Uvm_amap Uvm_anon Uvm_aobj Uvm_device Uvm_fault Uvm_fork Uvm_loan Uvm_map Uvm_mexp Uvm_object Uvm_pdaemon Uvm_sys Uvm_vnode Vmiface

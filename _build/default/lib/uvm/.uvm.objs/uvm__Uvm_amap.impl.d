@@ -1,0 +1,1 @@
+lib/uvm/uvm_amap.ml: Array Format Option Printf Result Sim Uvm_anon Uvm_sys

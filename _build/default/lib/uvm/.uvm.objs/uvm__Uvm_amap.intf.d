@@ -1,0 +1,1 @@
+lib/uvm/uvm_amap.mli: Format Uvm_anon Uvm_sys

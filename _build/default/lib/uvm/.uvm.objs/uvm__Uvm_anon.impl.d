@@ -1,0 +1,1 @@
+lib/uvm/uvm_anon.ml: Format Physmem Pmap Sim Swap Uvm_sys

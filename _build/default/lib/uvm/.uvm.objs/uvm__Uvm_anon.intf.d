@@ -1,0 +1,1 @@
+lib/uvm/uvm_anon.mli: Format Physmem Uvm_sys

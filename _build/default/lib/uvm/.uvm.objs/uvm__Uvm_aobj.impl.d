@@ -1,0 +1,1 @@
+lib/uvm/uvm_aobj.ml: Hashtbl List Physmem Sim Swap Uvm_object Uvm_sys

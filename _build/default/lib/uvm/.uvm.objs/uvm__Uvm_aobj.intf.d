@@ -1,0 +1,1 @@
+lib/uvm/uvm_aobj.mli: Uvm_object Uvm_sys

@@ -1,0 +1,1 @@
+lib/uvm/uvm_device.ml: Array Bytes Hashtbl List Physmem Uvm_object Uvm_sys

@@ -1,0 +1,1 @@
+lib/uvm/uvm_fault.ml: List Option Physmem Pmap Sim Uvm_amap Uvm_anon Uvm_map Uvm_object Uvm_sys Vmiface

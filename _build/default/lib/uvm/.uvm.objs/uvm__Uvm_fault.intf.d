@@ -1,0 +1,1 @@
+lib/uvm/uvm_fault.mli: Uvm_map Uvm_sys Vmiface

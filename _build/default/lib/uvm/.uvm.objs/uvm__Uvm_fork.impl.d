@@ -1,0 +1,1 @@
+lib/uvm/uvm_fork.ml: Pmap Sim Uvm_amap Uvm_map Uvm_object Uvm_sys Vmiface

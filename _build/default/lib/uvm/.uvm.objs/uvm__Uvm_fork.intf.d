@@ -1,0 +1,1 @@
+lib/uvm/uvm_fork.mli: Pmap Uvm_map

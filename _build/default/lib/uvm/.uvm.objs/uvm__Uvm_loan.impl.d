@@ -1,0 +1,1 @@
+lib/uvm/uvm_loan.ml: List Physmem Pmap Sim Uvm_anon Uvm_fault Uvm_map Uvm_sys Vmiface

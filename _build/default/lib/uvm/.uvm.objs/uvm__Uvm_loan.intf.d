@@ -1,0 +1,1 @@
+lib/uvm/uvm_loan.mli: Physmem Uvm_anon Uvm_map Uvm_sys

@@ -1,0 +1,1 @@
+lib/uvm/uvm_map.ml: Format List Pmap Printf Sim Uvm_amap Uvm_object Uvm_sys Vmiface

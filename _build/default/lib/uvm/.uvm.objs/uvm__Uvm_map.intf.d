@@ -1,0 +1,1 @@
+lib/uvm/uvm_map.mli: Format Pmap Uvm_amap Uvm_object Uvm_sys Vmiface

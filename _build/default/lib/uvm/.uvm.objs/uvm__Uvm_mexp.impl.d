@@ -1,0 +1,1 @@
+lib/uvm/uvm_mexp.ml: List Pmap Sim Uvm_amap Uvm_map Uvm_object Uvm_sys Vmiface

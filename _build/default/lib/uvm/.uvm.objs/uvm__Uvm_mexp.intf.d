@@ -1,0 +1,1 @@
+lib/uvm/uvm_mexp.mli: Pmap Uvm_anon Uvm_map

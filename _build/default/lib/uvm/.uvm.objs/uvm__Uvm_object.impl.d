@@ -1,0 +1,1 @@
+lib/uvm/uvm_object.ml: Hashtbl Physmem Pmap Uvm_sys

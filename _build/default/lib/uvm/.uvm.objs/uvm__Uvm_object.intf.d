@@ -1,0 +1,1 @@
+lib/uvm/uvm_object.mli: Hashtbl Physmem Uvm_sys

@@ -1,0 +1,1 @@
+lib/uvm/uvm_pdaemon.ml: Hashtbl List Physmem Pmap Swap Uvm_anon Uvm_object Uvm_sys

@@ -1,0 +1,1 @@
+lib/uvm/uvm_pdaemon.mli: Uvm_sys

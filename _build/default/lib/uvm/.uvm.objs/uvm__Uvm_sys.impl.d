@@ -1,0 +1,1 @@
+lib/uvm/uvm_sys.ml: Sim Vmiface

@@ -1,0 +1,1 @@
+lib/uvm/uvm_vnode.ml: List Physmem Sim Uvm_object Uvm_sys Vfs

@@ -1,0 +1,1 @@
+lib/uvm/uvm_vnode.mli: Uvm_object Uvm_sys Vfs

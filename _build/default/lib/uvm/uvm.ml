@@ -1,0 +1,387 @@
+(** UVM: the paper's virtual memory system, assembled.
+
+    [Uvm.Sys] implements {!Vmiface.Vm_sig.VM_SYS} so the workload and
+    experiment layers can run identical code against UVM and the BSD VM
+    baseline.  The submodule aliases expose the building blocks for tests
+    and for programs that want UVM-only features (loanout, page transfer,
+    map-entry passing). *)
+
+module Anon = Uvm_anon
+module Amap = Uvm_amap
+module Object = Uvm_object
+module Vnode_pager = Uvm_vnode
+module Aobj = Uvm_aobj
+module Map = Uvm_map
+module Fault = Uvm_fault
+module Pdaemon = Uvm_pdaemon
+module Loan = Uvm_loan
+module Device = Uvm_device
+module Mexp = Uvm_mexp
+module Fork = Uvm_fork
+module State = Uvm_sys
+module Machine = Vmiface.Machine
+module Vmtypes = Vmiface.Vmtypes
+open Vmtypes
+
+(* Virtual address layout, in pages: a 4 GB address space. *)
+let va_lo = 16
+let va_hi = 1 lsl 20
+
+module Sys = struct
+  let name = "UVM"
+
+  type vmspace = { vid : int; map : Uvm_map.t; pmap : Pmap.t }
+
+  type sys = {
+    usys : Uvm_sys.t;
+    kernel : vmspace;
+    vmspaces : (int, vmspace) Hashtbl.t;  (** live address spaces *)
+  }
+
+  let machine sys = sys.usys.Uvm_sys.mach
+  let kernel_vmspace sys = sys.kernel
+
+  let make_vmspace sys ~kernel =
+    let usys = sys.usys in
+    let pmap = Pmap.create (Uvm_sys.pmap_ctx usys) in
+    let vm =
+      {
+        vid = Uvm_sys.fresh_id usys;
+        map = Uvm_map.create usys ~pmap ~lo:va_lo ~hi:va_hi ~kernel;
+        pmap;
+      }
+    in
+    Hashtbl.replace sys.vmspaces vm.vid vm;
+    vm
+
+  let boot ?config () =
+    let mach = Machine.boot ?config () in
+    let usys = Uvm_sys.create mach in
+    Uvm_pdaemon.install usys;
+    Uvm_vnode.install_recycle_hook usys;
+    let kpmap = Pmap.create (Uvm_sys.pmap_ctx usys) in
+    let kernel =
+      {
+        vid = Uvm_sys.fresh_id usys;
+        map = Uvm_map.create usys ~pmap:kpmap ~lo:va_lo ~hi:va_hi ~kernel:true;
+        pmap = kpmap;
+      }
+    in
+    let sys = { usys; kernel; vmspaces = Hashtbl.create 32 } in
+    Hashtbl.replace sys.vmspaces kernel.vid kernel;
+    sys
+
+  let new_vmspace sys = make_vmspace sys ~kernel:false
+
+  let fork sys parent =
+    let usys = sys.usys in
+    Uvm_sys.charge usys (Uvm_sys.costs usys).Sim.Cost_model.proc_overhead;
+    let pmap = Pmap.create (Uvm_sys.pmap_ctx usys) in
+    let map = Uvm_fork.fork_map parent.map ~child_pmap:pmap in
+    let vm = { vid = Uvm_sys.fresh_id usys; map; pmap } in
+    Hashtbl.replace sys.vmspaces vm.vid vm;
+    vm
+
+  let destroy_vmspace sys vm =
+    Uvm_map.destroy vm.map;
+    Pmap.destroy vm.pmap;
+    Hashtbl.remove sys.vmspaces vm.vid
+
+  let map_entry_count vm = Uvm_map.entry_count vm.map
+  let resident_pages vm = Pmap.resident_count vm.pmap
+
+  let default_inherit = function Private -> Inh_copy | Shared -> Inh_shared
+
+  let mmap sys vm ?fixed_at ~npages ~prot ~share source =
+    let usys = sys.usys in
+    let spage =
+      match fixed_at with
+      | Some vpn -> vpn
+      | None -> Uvm_map.find_space vm.map ~npages
+    in
+    let obj, objoff, cow, needs_copy =
+      match (source, share) with
+      (* Kernel zero-fill mappings are never forked, so needs-copy is
+         moot; leaving it clear keeps them mergeable (paper §3.2). *)
+      | Zero, Private -> (None, 0, true, not vm.map.Uvm_map.kernel)
+      | Zero, Shared -> (Some (Uvm_aobj.create usys), 0, false, false)
+      | File (vn, off), Shared -> (Some (Uvm_vnode.attach usys vn), off, false, false)
+      | File (vn, off), Private -> (Some (Uvm_vnode.attach usys vn), off, true, true)
+    in
+    (* The single-step uvm_map: every attribute goes in under one lock. *)
+    let _entry =
+      Uvm_map.insert vm.map ~spage ~npages ~obj ~objoff ~prot
+        ~maxprot:Pmap.Prot.rwx ~inh:(default_inherit share)
+        ~advice:Adv_normal ~cow ~needs_copy ~merge:vm.map.Uvm_map.kernel
+    in
+    spage
+
+  let munmap _sys vm ~vpn ~npages = Uvm_map.unmap vm.map ~spage:vpn ~npages
+
+  let mprotect _sys vm ~vpn ~npages prot =
+    Uvm_map.protect vm.map ~spage:vpn ~npages ~prot
+
+  let minherit _sys vm ~vpn ~npages inh =
+    Uvm_map.set_inherit vm.map ~spage:vpn ~npages inh
+
+  let madvise _sys vm ~vpn ~npages advice =
+    Uvm_map.set_advice vm.map ~spage:vpn ~npages advice
+
+  let fault_or_segv vm ~vpn ~access ~wire =
+    match Uvm_fault.fault vm.map ~vpn ~access ~wire with
+    | Ok () -> ()
+    | Error error -> raise (Segv { vpn; error })
+
+  let wire_pages vm ~vpn ~npages =
+    for v = vpn to vpn + npages - 1 do
+      fault_or_segv vm ~vpn:v ~access:Read ~wire:true
+    done
+
+  let unwire_pages sys vm ~vpn ~npages =
+    let physmem = Uvm_sys.physmem sys.usys in
+    for v = vpn to vpn + npages - 1 do
+      match Pmap.lookup vm.pmap ~vpn:v with
+      | Some pte -> Physmem.unwire physmem pte.Pmap.page
+      | None -> ()
+    done
+
+  (* mlock: the one wiring case whose state has no home other than the map
+     (paper §3.2), so it clips entries under UVM too. *)
+  let mlock sys vm ~vpn ~npages =
+    Uvm_map.mark_wired vm.map ~spage:vpn ~npages;
+    wire_pages vm ~vpn ~npages;
+    ignore sys
+
+  let munlock sys vm ~vpn ~npages =
+    Uvm_map.mark_unwired vm.map ~spage:vpn ~npages;
+    unwire_pages sys vm ~vpn ~npages
+
+  type wired_buffer = { wb_vpn : int; wb_npages : int }
+
+  (* sysctl/physio buffer wiring: the wired state lives in this token (the
+     "process kernel stack"), never in the map — no fragmentation. *)
+  let vslock sys vm ~vpn ~npages =
+    ignore sys;
+    wire_pages vm ~vpn ~npages;
+    { wb_vpn = vpn; wb_npages = npages }
+
+  let vsunlock sys vm wb =
+    unwire_pages sys vm ~vpn:wb.wb_vpn ~npages:wb.wb_npages
+
+  let wanted_prot = function
+    | Read -> { Pmap.Prot.r = true; w = false; x = false }
+    | Write -> Pmap.Prot.rw
+
+  let touch sys vm ~vpn access =
+    let usys = sys.usys in
+    Uvm_sys.charge usys (Uvm_sys.costs usys).Sim.Cost_model.mem_access;
+    let ok () =
+      match Pmap.lookup vm.pmap ~vpn with
+      | Some pte -> Pmap.Prot.subsumes pte.Pmap.prot (wanted_prot access)
+      | None -> false
+    in
+    if not (ok ()) then fault_or_segv vm ~vpn ~access ~wire:false;
+    Pmap.mark_access vm.pmap ~vpn ~write:(access = Write)
+
+  let access_range sys vm ~vpn ~npages access =
+    for v = vpn to vpn + npages - 1 do
+      touch sys vm ~vpn:v access
+    done
+
+  let page_of sys vm ~vpn access =
+    touch sys vm ~vpn access;
+    match Pmap.lookup vm.pmap ~vpn with
+    | Some pte -> pte.Pmap.page
+    | None -> assert false
+
+  let read_bytes sys vm ~addr ~len =
+    let page_size = Machine.page_size (machine sys) in
+    let out = Bytes.create len in
+    let copied = ref 0 in
+    while !copied < len do
+      let a = addr + !copied in
+      let vpn = a / page_size and off = a mod page_size in
+      let n = min (len - !copied) (page_size - off) in
+      let page = page_of sys vm ~vpn Read in
+      Bytes.blit page.Physmem.Page.data off out !copied n;
+      copied := !copied + n
+    done;
+    out
+
+  let write_bytes sys vm ~addr data =
+    let page_size = Machine.page_size (machine sys) in
+    let len = Bytes.length data in
+    let copied = ref 0 in
+    while !copied < len do
+      let a = addr + !copied in
+      let vpn = a / page_size and off = a mod page_size in
+      let n = min (len - !copied) (page_size - off) in
+      let page = page_of sys vm ~vpn Write in
+      Bytes.blit data !copied page.Physmem.Page.data off n;
+      page.Physmem.Page.dirty <- true;
+      copied := !copied + n
+    done
+
+  let msync sys vm ~vpn ~npages =
+    let usys = sys.usys in
+    List.iter
+      (fun (e : Uvm_map.entry) ->
+        match e.Uvm_map.obj with
+        | Some obj ->
+            let lo = e.Uvm_map.objoff + (max vpn e.Uvm_map.spage - e.Uvm_map.spage)
+            and hi =
+              e.Uvm_map.objoff
+              + (min (vpn + npages) e.Uvm_map.epage - e.Uvm_map.spage)
+            in
+            let dirty =
+              List.filter
+                (fun (p : Physmem.Page.t) ->
+                  p.owner_offset >= lo && p.owner_offset < hi)
+                (Uvm_object.dirty_pages obj)
+            in
+            if dirty <> [] then obj.Uvm_object.pgops.Uvm_object.pgo_put dirty
+        | None -> ())
+      (List.filter
+         (fun (e : Uvm_map.entry) ->
+           e.Uvm_map.spage < vpn + npages && vpn < e.Uvm_map.epage)
+         (Uvm_map.entries vm.map));
+    ignore usys
+
+  (* Kernel wired allocations (user structures, page tables): UVM allocates
+     from the kernel map with entry merging and records the wiring only in
+     the page frames — the kernel map stays compact (paper §3.2). *)
+  let kernel_alloc_wired sys ~npages =
+    let vpn =
+      mmap sys sys.kernel ~npages ~prot:Pmap.Prot.rw ~share:Private Zero
+    in
+    wire_pages sys.kernel ~vpn ~npages;
+    vpn
+
+  let kernel_free_wired sys ~vpn ~npages =
+    unwire_pages sys sys.kernel ~vpn ~npages;
+    munmap sys sys.kernel ~vpn ~npages
+
+  (* i386 page-table pages: UVM stores the wired state only inside the
+     pmap layer — raw wired frames, no kernel-map entry at all. *)
+  type ptp = Physmem.Page.t list
+
+  let pmap_alloc_ptp sys ~npages =
+    let physmem = Uvm_sys.physmem sys.usys in
+    List.init npages (fun _ ->
+        let page =
+          Physmem.alloc physmem ~zero:true ~owner:Physmem.Page.No_owner
+            ~offset:0 ()
+        in
+        Physmem.wire physmem page;
+        page)
+
+  let pmap_free_ptp sys pages =
+    let physmem = Uvm_sys.physmem sys.usys in
+    List.iter
+      (fun page ->
+        Physmem.unwire physmem page;
+        Physmem.dequeue physmem page;
+        page.Physmem.Page.owner <- Physmem.Page.No_owner;
+        Physmem.free_page physmem page)
+      pages
+
+  (* Process swapout: the user structure's wired state lives in the proc
+     structure, so unwiring it never touches the kernel map (paper §3.2,
+     second wiring case). *)
+  let swapout_ustruct sys ~vpn ~npages = unwire_pages sys sys.kernel ~vpn ~npages
+
+  let swapin_ustruct sys ~vpn ~npages = wire_pages sys.kernel ~vpn ~npages
+
+  let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Uvm_sys.swapdev sys.usys)
+
+  (* Audit: anonymous pages unreachable from any live address space.  UVM's
+     reference counting frees anons eagerly, so this is always 0 — the test
+     suite checks the audit agrees. *)
+  let leaked_pages sys =
+    let reachable = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun _ vm ->
+        Uvm_map.iter_entries
+          (fun e ->
+            match e.Uvm_map.amap with
+            | Some am ->
+                let n = Uvm_map.entry_npages e in
+                for i = 0 to n - 1 do
+                  match Uvm_amap.lookup am ~slot:(e.Uvm_map.amapoff + i) with
+                  | Some anon -> Hashtbl.replace reachable anon.Uvm_anon.id ()
+                  | None -> ()
+                done
+            | None -> ())
+          vm.map)
+      sys.vmspaces;
+    let physmem = Uvm_sys.physmem sys.usys in
+    let leaked = ref 0 in
+    List.iter
+      (fun (page : Physmem.Page.t) ->
+        match page.owner with
+        | Uvm_anon.Anon_page anon
+          when not (Hashtbl.mem reachable anon.Uvm_anon.id) ->
+            incr leaked
+        | _ -> ())
+      (Physmem.active_pages physmem @ Physmem.inactive_pages physmem);
+    !leaked
+end
+
+(* ------------------------------------------------------------------ *)
+(* Mapping arbitrary memory objects (device pager, §6).                 *)
+
+(** Map a memory object (e.g. a ROM from {!Device}) into an address
+    space; consumes one reference on [obj]. *)
+let map_object (_sys : Sys.sys) (vm : Sys.vmspace) ~obj ~npages ~prot
+    ~(share : Vmtypes.share) =
+  let spage = Uvm_map.find_space vm.Sys.map ~npages in
+  let cow = share = Vmtypes.Private in
+  ignore
+    (Uvm_map.insert vm.Sys.map ~spage ~npages ~obj:(Some obj) ~objoff:0 ~prot
+       ~maxprot:Pmap.Prot.rwx
+       ~inh:(match share with Vmtypes.Private -> Vmtypes.Inh_copy | Vmtypes.Shared -> Vmtypes.Inh_shared)
+       ~advice:Vmtypes.Adv_normal ~cow ~needs_copy:cow ~merge:false);
+  spage
+
+(* ------------------------------------------------------------------ *)
+(* UVM-only data movement entry points (paper §7), on [Sys]'s types.   *)
+
+(** Loan pages to the kernel (e.g. a zero-copy socket send). *)
+let loan_to_kernel (vm : Sys.vmspace) ~vpn ~npages =
+  Uvm_loan.to_kernel vm.Sys.map ~vpn ~npages
+
+let loan_finish (sys : Sys.sys) loan = Uvm_loan.finish sys.Sys.usys loan
+
+(** Page transfer: move [npages] pages from [src] into [dst] without
+    copying; returns the receiving virtual page. *)
+let page_transfer (src : Sys.vmspace) ~vpn ~npages ~(dst : Sys.vmspace)
+    ~prot =
+  let anons = Uvm_loan.to_anons src.Sys.map ~vpn ~npages in
+  Uvm_mexp.import_anons ~dst:dst.Sys.map ~anons ~prot
+
+(** Map-entry passing: share/copy/donate a range of address space. *)
+let mexp_extract (src : Sys.vmspace) ~vpn ~npages ~(dst : Sys.vmspace) mode =
+  Uvm_mexp.extract ~src:src.Sys.map ~spage:vpn ~npages ~dst:dst.Sys.map mode
+
+(** The copying baseline the paper compares loanout against: a simulated
+    copy-based kernel transfer of [npages] pages. *)
+let copy_to_kernel (sys : Sys.sys) (vm : Sys.vmspace) ~vpn ~npages =
+  let usys = sys.Sys.usys in
+  let costs = Uvm_sys.costs usys in
+  let physmem = Uvm_sys.physmem usys in
+  Uvm_sys.charge usys costs.Sim.Cost_model.syscall_overhead;
+  List.init npages (fun i ->
+      let vpn = vpn + i in
+      Sys.touch sys vm ~vpn Vmiface.Vmtypes.Read;
+      match Pmap.lookup vm.Sys.pmap ~vpn with
+      | Some pte ->
+          let kpage =
+            Physmem.alloc physmem ~owner:Physmem.Page.No_owner ~offset:0 ()
+          in
+          Physmem.copy_data physmem ~src:pte.Pmap.page ~dst:kpage;
+          kpage
+      | None -> assert false)
+
+let copy_finish (sys : Sys.sys) kpages =
+  let physmem = Uvm_sys.physmem sys.Sys.usys in
+  List.iter (fun page -> Physmem.free_page physmem page) kpages

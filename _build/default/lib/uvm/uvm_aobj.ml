@@ -1,0 +1,116 @@
+(* State of an anonymous object, reached through the closures of its pager
+   operations.  [swslots] maps page offsets to swap slots holding paged-out
+   data. *)
+type state = { swslots : (int, int) Hashtbl.t }
+
+let registry : (int, state) Hashtbl.t = Hashtbl.create 16
+(* Object id -> aobj state.  Keyed by id so that non-aobj objects simply
+   miss; entries are removed when the aobj dies. *)
+
+let free_slots sys st =
+  Hashtbl.iter
+    (fun _ slot -> Swap.Swapdev.free_slots (Uvm_sys.swapdev sys) ~slot ~n:1)
+    st.swslots;
+  Hashtbl.reset st.swslots
+
+let make_ops sys st obj =
+  let physmem = Uvm_sys.physmem sys in
+  let swapdev = Uvm_sys.swapdev sys in
+  let pgo_get ~center ~lo ~hi =
+    (if Uvm_object.find_page obj ~pgno:center = None then begin
+       let page =
+         Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj) ~offset:center
+           ()
+       in
+       (match Hashtbl.find_opt st.swslots center with
+       | Some slot -> Swap.Swapdev.read_slot swapdev ~slot ~dst:page
+       | None -> Physmem.zero_data physmem page);
+       Uvm_object.insert_page sys obj ~pgno:center page;
+       Physmem.activate physmem page
+     end);
+    List.filter (fun (pgno, _) -> pgno >= lo && pgno < hi) (Uvm_object.resident obj)
+  in
+  let pgo_put pages =
+    match pages with
+    | [] -> ()
+    | _ when sys.Uvm_sys.aggressive_clustering ->
+        (* Reassign swap locations so the whole batch is one contiguous
+           write (paper §6). *)
+        let n = List.length pages in
+        (match Swap.Swapdev.alloc_slots swapdev ~n with
+        | Some base ->
+            List.iteri
+              (fun i (page : Physmem.Page.t) ->
+                let pgno = page.owner_offset in
+                (match Hashtbl.find_opt st.swslots pgno with
+                | Some old -> Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
+                | None -> ());
+                Hashtbl.replace st.swslots pgno (base + i))
+              pages;
+            Swap.Swapdev.write_cluster swapdev ~slot:base ~pages
+        | None ->
+            (* Swap exhausted; write page-at-a-time into whatever slots
+               remain. *)
+            List.iter
+              (fun (page : Physmem.Page.t) ->
+                let pgno = page.owner_offset in
+                let slot =
+                  match Hashtbl.find_opt st.swslots pgno with
+                  | Some slot -> Some slot
+                  | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
+                in
+                match slot with
+                | Some slot ->
+                    Hashtbl.replace st.swslots pgno slot;
+                    Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
+                | None -> ())
+              pages)
+    | _ ->
+        (* Ablation mode: BSD-style fixed slots, one I/O per page. *)
+        List.iter
+          (fun (page : Physmem.Page.t) ->
+            let pgno = page.owner_offset in
+            let slot =
+              match Hashtbl.find_opt st.swslots pgno with
+              | Some slot -> Some slot
+              | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
+            in
+            match slot with
+            | Some slot ->
+                Hashtbl.replace st.swslots pgno slot;
+                Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
+            | None -> ())
+          pages
+  in
+  let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
+  let pgo_detach () =
+    assert (obj.Uvm_object.refs > 0);
+    obj.Uvm_object.refs <- obj.Uvm_object.refs - 1;
+    if obj.Uvm_object.refs = 0 then begin
+      (* Anonymous memory dies with its last reference. *)
+      Uvm_object.free_all_pages sys obj;
+      free_slots sys st;
+      Hashtbl.remove registry obj.Uvm_object.id
+    end
+  in
+  {
+    Uvm_object.pgo_name = "aobj";
+    pgo_get;
+    pgo_put;
+    pgo_reference;
+    pgo_detach;
+  }
+
+let create sys =
+  let st = { swslots = Hashtbl.create 8 } in
+  let obj = Uvm_object.make sys (make_ops sys st) in
+  Hashtbl.replace registry obj.Uvm_object.id st;
+  (Uvm_sys.stats sys).Sim.Stats.objects_allocated <-
+    (Uvm_sys.stats sys).Sim.Stats.objects_allocated + 1;
+  Uvm_sys.charge_struct_alloc sys;
+  obj
+
+let swslot_count obj =
+  match Hashtbl.find_opt registry obj.Uvm_object.id with
+  | Some st -> Hashtbl.length st.swslots
+  | None -> 0

@@ -1,0 +1,14 @@
+(** Anonymous UVM objects ([uvm_aobj]): shared zero-fill memory.
+
+    Backs shared anonymous mappings (System V shared memory, pageable
+    kernel memory).  Data lives in the object's pages and, when paged out,
+    in per-page swap slots.  Like all anonymous memory it is freed the
+    moment the last reference is dropped.  Pageout uses the same
+    swap-location reassignment trick as anons, so scattered dirty pages
+    still leave in one clustered I/O when aggressive clustering is on. *)
+
+val create : Uvm_sys.t -> Uvm_object.t
+(** A fresh anonymous object with one reference. *)
+
+val swslot_count : Uvm_object.t -> int
+(** Swap slots currently held by this aobj (0 for non-aobj objects). *)

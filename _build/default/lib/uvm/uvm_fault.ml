@@ -1,0 +1,235 @@
+module Vmtypes = Vmiface.Vmtypes
+open Uvm_map
+
+let window sys = function
+  | Vmtypes.Adv_normal -> (sys.Uvm_sys.fault_behind, sys.Uvm_sys.fault_ahead)
+  | Vmtypes.Adv_random -> (0, 0)
+  | Vmtypes.Adv_sequential -> (0, 2 * sys.Uvm_sys.fault_ahead)
+
+(* Clear the needs-copy flag of [entry] (paper Figure 3, lower row).  When
+   the entry holds the only reference to its amap no copying is needed at
+   all; otherwise a new amap aliasing the same anons is built and write
+   faults resolve at anon granularity later. *)
+let amap_copy_entry sys entry =
+  let npgs = entry_npages entry in
+  (match entry.amap with
+  | None ->
+      entry.amap <- Some (Uvm_amap.create sys ~nslots:npgs);
+      entry.amapoff <- 0
+  | Some am ->
+      if not (am.Uvm_amap.refs = 1 && not am.Uvm_amap.shared) then begin
+        let fresh = Uvm_amap.copy sys am ~slotoff:entry.amapoff ~len:npgs in
+        Uvm_amap.unref_range sys am ~slotoff:entry.amapoff ~len:npgs;
+        entry.amap <- Some fresh;
+        entry.amapoff <- 0
+      end);
+  entry.needs_copy <- false
+
+(* Map a resident neighbour page read-only; never does I/O. *)
+let map_neighbour map entry vpn =
+  let sys = map.sys in
+  match Pmap.lookup map.pmap ~vpn with
+  | Some _ -> ()
+  | None ->
+      let page =
+        match entry.amap with
+        | Some am -> (
+            match
+              Uvm_amap.lookup am ~slot:(entry.amapoff + (vpn - entry.spage))
+            with
+            | Some anon -> anon.Uvm_anon.page
+            | None -> (
+                match entry.obj with
+                | Some obj ->
+                    Uvm_object.find_page obj
+                      ~pgno:(entry.objoff + (vpn - entry.spage))
+                | None -> None))
+        | None -> (
+            match entry.obj with
+            | Some obj ->
+                Uvm_object.find_page obj
+                  ~pgno:(entry.objoff + (vpn - entry.spage))
+            | None -> None)
+      in
+      (match page with
+      | Some page when not page.Physmem.Page.busy ->
+          Pmap.enter map.pmap ~vpn ~page
+            ~prot:(Pmap.Prot.remove_write entry.prot)
+            ~wired:false;
+          (Uvm_sys.stats sys).Sim.Stats.fault_ahead_mapped <-
+            (Uvm_sys.stats sys).Sim.Stats.fault_ahead_mapped + 1
+      | Some _ | None -> ())
+
+let fault_ahead map entry ~vpn =
+  let sys = map.sys in
+  let behind, ahead = window sys entry.advice in
+  if behind > 0 || ahead > 0 then
+    for v = vpn - behind to vpn + ahead do
+      if v <> vpn && v >= entry.spage && v < entry.epage then
+        map_neighbour map entry v
+    done
+
+let resolve_anon_fault map entry ~vpn ~write ~wire anon =
+  let sys = map.sys in
+  let physmem = Uvm_sys.physmem sys in
+  let stats = Uvm_sys.stats sys in
+  let am = Option.get entry.amap in
+  let slot = entry.amapoff + (vpn - entry.spage) in
+  let page = Uvm_anon.ensure_resident sys anon in
+  if write then
+    if Uvm_anon.writable_in_place anon then begin
+      (* Sole reference, no loans: write straight into the page — the
+         optimisation BSD VM's chains cannot express (paper §5.3). *)
+      stats.Sim.Stats.cow_reuses <- stats.Sim.Stats.cow_reuses + 1;
+      page.Physmem.Page.dirty <- true;
+      Physmem.activate physmem page;
+      Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+      page
+    end
+    else begin
+      (* Copy-on-write at anon granularity: copy into a fresh anon and
+         drop one reference on the old one. *)
+      let fresh = Uvm_anon.alloc sys ~zero:false in
+      let fresh_page = Option.get fresh.Uvm_anon.page in
+      Physmem.copy_data physmem ~src:page ~dst:fresh_page;
+      stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+      (* Replacing an anon in a *shared* amap: other sharers still map the
+         displaced page — shoot those translations down so they refault
+         and find the new anon. *)
+      if am.Uvm_amap.shared then
+        Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
+      Uvm_amap.replace sys am ~slot fresh;
+      fresh_page.Physmem.Page.dirty <- true;
+      Physmem.activate physmem fresh_page;
+      Pmap.enter map.pmap ~vpn ~page:fresh_page ~prot:entry.prot ~wired:wire;
+      fresh_page
+    end
+  else begin
+    let prot =
+      if Uvm_anon.writable_in_place anon && not entry.needs_copy then
+        entry.prot
+      else Pmap.Prot.remove_write entry.prot
+    in
+    Physmem.activate physmem page;
+    Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+    page
+  end
+
+let resolve_object_fault map entry ~vpn ~write ~wire obj =
+  let sys = map.sys in
+  let physmem = Uvm_sys.physmem sys in
+  let stats = Uvm_sys.stats sys in
+  let pgno = entry.objoff + (vpn - entry.spage) in
+  Uvm_sys.charge sys (Uvm_sys.costs sys).Sim.Cost_model.object_search;
+  let resident =
+    obj.Uvm_object.pgops.Uvm_object.pgo_get ~center:pgno ~lo:entry.objoff
+      ~hi:(entry.objoff + entry_npages entry)
+  in
+  let page =
+    match List.assoc_opt pgno resident with
+    | Some page -> page
+    | None -> (
+        (* pgo_get guarantees the centre page; re-check directly in case
+           the pager reported a narrower window. *)
+        match Uvm_object.find_page obj ~pgno with
+        | Some page -> page
+        | None -> failwith "uvm_fault: pager failed to supply centre page")
+  in
+  if write && entry.cow then begin
+    (* Promote: anonymise the page so the object stays unmodified. *)
+    let am = Option.get entry.amap in
+    let slot = entry.amapoff + (vpn - entry.spage) in
+    let anon = Uvm_anon.alloc sys ~zero:false in
+    let anon_page = Option.get anon.Uvm_anon.page in
+    Physmem.copy_data physmem ~src:page ~dst:anon_page;
+    stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+    Uvm_amap.add sys am ~slot anon;
+    anon_page.Physmem.Page.dirty <- true;
+    Physmem.activate physmem anon_page;
+    Pmap.enter map.pmap ~vpn ~page:anon_page ~prot:entry.prot ~wired:wire;
+    anon_page
+  end
+  else begin
+    if write then page.Physmem.Page.dirty <- true;
+    let prot =
+      if entry.cow then Pmap.Prot.remove_write entry.prot else entry.prot
+    in
+    Physmem.activate physmem page;
+    Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+    page
+  end
+
+let resolve_zero_fill map entry ~vpn ~write ~wire =
+  let sys = map.sys in
+  let physmem = Uvm_sys.physmem sys in
+  let am = Option.get entry.amap in
+  let slot = entry.amapoff + (vpn - entry.spage) in
+  let anon = Uvm_anon.alloc sys ~zero:true in
+  let page = Option.get anon.Uvm_anon.page in
+  Uvm_amap.add sys am ~slot anon;
+  if write then page.Physmem.Page.dirty <- true;
+  Physmem.activate physmem page;
+  Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+  page
+
+let fault map ~vpn ~access ~wire =
+  let sys = map.sys in
+  let stats = Uvm_sys.stats sys in
+  let costs = Uvm_sys.costs sys in
+  Uvm_sys.charge sys costs.Sim.Cost_model.fault_entry;
+  stats.Sim.Stats.faults <- stats.Sim.Stats.faults + 1;
+  Uvm_map.lock map;
+  let finish r =
+    Uvm_map.unlock map;
+    r
+  in
+  match Uvm_map.lookup map ~vpn with
+  | None -> finish (Error Vmtypes.No_entry)
+  | Some entry ->
+      (* Wiring a writable COW mapping must resolve the copy now, or a
+         later write fault would swap out the wired page for a copy. *)
+      let write =
+        access = Vmtypes.Write || (wire && entry.prot.Pmap.Prot.w && entry.cow)
+      in
+      let wanted =
+        if write then Pmap.Prot.rw
+        else { Pmap.Prot.r = true; w = false; x = false }
+      in
+      if not (Pmap.Prot.subsumes entry.prot wanted) then
+        finish (Error Vmtypes.Prot_denied)
+      else begin
+        (* Step 1: anonymous-layer setup. *)
+        if entry.needs_copy && (write || entry.obj = None) then
+          amap_copy_entry sys entry;
+        if entry.amap = None && entry.obj = None then begin
+          (* Zero-fill mapping faulted for the first time. *)
+          entry.amap <- Some (Uvm_amap.create sys ~nslots:(entry_npages entry));
+          entry.amapoff <- 0
+        end;
+        if write && entry.cow && entry.amap = None then begin
+          (* Private object mapping about to be written: it needs an
+             anonymous layer to hold the promoted page. *)
+          entry.amap <- Some (Uvm_amap.create sys ~nslots:(entry_npages entry));
+          entry.amapoff <- 0
+        end;
+        (* Step 2: two-level lookup — amap first, then object. *)
+        let anon =
+          match entry.amap with
+          | Some am ->
+              Uvm_amap.lookup am ~slot:(entry.amapoff + (vpn - entry.spage))
+          | None -> None
+        in
+        let page =
+          match anon with
+          | Some anon -> resolve_anon_fault map entry ~vpn ~write ~wire anon
+          | None -> (
+              match entry.obj with
+              | Some obj -> resolve_object_fault map entry ~vpn ~write ~wire obj
+              | None -> resolve_zero_fill map entry ~vpn ~write ~wire)
+        in
+        if wire then Physmem.wire (Uvm_sys.physmem sys) page;
+        page.Physmem.Page.referenced <- true;
+        (* Step 3: opportunistically map resident neighbours. *)
+        if not wire then fault_ahead map entry ~vpn;
+        finish (Ok ())
+      end

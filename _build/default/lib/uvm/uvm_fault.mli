@@ -1,0 +1,25 @@
+(** The UVM page-fault routine (paper §5.4).
+
+    A single general-purpose handler — unlike SunOS, where each segment
+    driver resolves its own faults, and unlike BSD VM, whose handler is
+    mostly object-chain management.  Resolution is a simple two-level
+    lookup: the mapping's amap layer first, then the backing-object layer;
+    there are no chains to walk and no collapse to attempt.
+
+    The routine also implements fault-ahead: resident pages around the
+    faulting address (default 4 ahead / 3 behind, tuned by [madvise]) are
+    mapped in read-only, cutting future fault counts (paper Table 2). *)
+
+val fault :
+  Uvm_map.t ->
+  vpn:int ->
+  access:Vmiface.Vmtypes.access ->
+  wire:bool ->
+  (unit, Vmiface.Vmtypes.fault_error) result
+(** Resolve a fault at virtual page [vpn].  With [wire:true] the resolved
+    page is additionally wired (and copy-on-write is resolved eagerly if
+    the mapping is writable, so later writes cannot replace a wired
+    page). *)
+
+val window : Uvm_sys.t -> Vmiface.Vmtypes.advice -> int * int
+(** [(behind, ahead)] fault-ahead window for the given advice. *)

@@ -1,0 +1,83 @@
+module Vmtypes = Vmiface.Vmtypes
+open Uvm_map
+
+let clone_entry t (e : entry) =
+  (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated <-
+    (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated + 1;
+  Uvm_sys.charge_struct_alloc t.sys;
+  {
+    spage = e.spage;
+    epage = e.epage;
+    obj = e.obj;
+    objoff = e.objoff;
+    amap = e.amap;
+    amapoff = e.amapoff;
+    prot = e.prot;
+    maxprot = e.maxprot;
+    inh = e.inh;
+    advice = e.advice;
+    wired = 0;
+    cow = e.cow;
+    needs_copy = e.needs_copy;
+    prev = None;
+    next = None;
+  }
+
+let fork_shared sys child (e : entry) =
+  ignore sys;
+  (match e.amap with
+  | Some am ->
+      Uvm_amap.ref_range am ~slotoff:e.amapoff ~len:(entry_npages e);
+      am.Uvm_amap.shared <- true
+  | None -> ());
+  (match e.obj with
+  | Some o -> o.Uvm_object.pgops.Uvm_object.pgo_reference ()
+  | None -> ());
+  Uvm_map.insert_entry_raw child (clone_entry child e)
+
+let fork_copy sys parent child (e : entry) =
+  let fresh = clone_entry child e in
+  fresh.cow <- true;
+  (match e.obj with
+  | Some o -> o.Uvm_object.pgops.Uvm_object.pgo_reference ()
+  | None -> ());
+  (match e.amap with
+  | None ->
+      (* Nothing anonymous yet: pure needs-copy deferral. *)
+      fresh.needs_copy <- true
+  | Some am when am.Uvm_amap.shared ->
+      (* amap_cow_now: a shared amap's in-place writes would leak into a
+         deferred copy, so snapshot it at fork time. *)
+      fresh.amap <-
+        Some (Uvm_amap.copy sys am ~slotoff:e.amapoff ~len:(entry_npages e));
+      fresh.amapoff <- 0;
+      fresh.needs_copy <- false;
+      Pmap.restrict_range parent.pmap ~lo:e.spage ~hi:e.epage
+        ~prot:(Pmap.Prot.remove_write Pmap.Prot.rwx)
+  | Some am ->
+      (* Figure 3: share the amap, set needs-copy on both sides, and
+         write-protect the parent's view so either side's first write
+         faults. *)
+      Uvm_amap.ref_range am ~slotoff:e.amapoff ~len:(entry_npages e);
+      fresh.needs_copy <- true;
+      e.needs_copy <- true;
+      Pmap.restrict_range parent.pmap ~lo:e.spage ~hi:e.epage
+        ~prot:(Pmap.Prot.remove_write Pmap.Prot.rwx));
+  Uvm_map.insert_entry_raw child fresh
+
+let fork_map parent ~child_pmap =
+  let sys = parent.sys in
+  let child =
+    Uvm_map.create sys ~pmap:child_pmap ~lo:parent.lo ~hi:parent.hi
+      ~kernel:false
+  in
+  Uvm_map.lock parent;
+  Uvm_map.iter_entries
+    (fun e ->
+      match e.inh with
+      | Vmtypes.Inh_none -> ()
+      | Vmtypes.Inh_shared -> fork_shared sys child e
+      | Vmtypes.Inh_copy -> fork_copy sys parent child e)
+    parent;
+  Uvm_map.unlock parent;
+  child

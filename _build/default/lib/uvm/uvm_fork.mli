@@ -1,0 +1,15 @@
+(** Address-space duplication at fork (paper §5.2, Figure 3 lower row).
+
+    Each parent entry is handled according to its inheritance attribute:
+    - [Inh_none]: the child gets nothing;
+    - [Inh_shared]: the child references the same amap and object — writes
+      are mutually visible;
+    - [Inh_copy]: copy-on-write — the child shares the parent's amap with
+      the needs-copy flag set in both processes, and the parent's resident
+      pages are write-protected so the first write on either side faults
+      and resolves at anon granularity.  A shared amap cannot be deferred
+      with needs-copy (the sharers' in-place writes would leak through),
+      so it is copied immediately — the minherit corner case of §5.4. *)
+
+val fork_map : Uvm_map.t -> child_pmap:Pmap.t -> Uvm_map.t
+(** Build the child's map from the parent's.  No page data is copied. *)

@@ -1,0 +1,30 @@
+(** Page loanout (paper §7).
+
+    Lets pages from a process' address space be used by the kernel (I/O,
+    IPC) or handed to other processes without copying, while preserving
+    copy-on-write: a loaned page is write-protected everywhere, so a write
+    by the owner faults and resolves into a fresh page, leaving the
+    borrower's view intact.  A loaned page whose owner drops it survives
+    until the last loan ends.  Loanout never touches map entries, so it
+    causes no map fragmentation. *)
+
+type t
+(** An outstanding kernel loan (e.g. pages lent to the socket layer). *)
+
+val to_kernel : Uvm_map.t -> vpn:int -> npages:int -> t
+(** Loan the pages backing [vpn, vpn+npages) to the kernel: faults them in
+    as needed, wires them and write-protects the owner's view.
+    @raise Vmiface.Vmtypes.Segv if the range is not readable. *)
+
+val pages : t -> Physmem.Page.t list
+(** The loaned frames, for the borrowing subsystem to use. *)
+
+val finish : Uvm_sys.t -> t -> unit
+(** Return the loan (the kernel is done with the pages). *)
+
+val to_anons : Uvm_map.t -> vpn:int -> npages:int -> Uvm_anon.t list
+(** Loan pages out as anonymous memory: each page is wrapped in a fresh
+    anon (for anon-owned pages the anon itself is shared instead — no loan
+    needed).  The result can be installed in another address space with
+    {!Uvm_mexp.import_anons} (page transfer).  The caller owns one
+    reference on each returned anon. *)

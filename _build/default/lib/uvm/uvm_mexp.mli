@@ -1,0 +1,28 @@
+(** Map-entry passing and page transfer (paper §7).
+
+    Map-entry passing moves, copies or shares whole ranges of a virtual
+    address space between maps using the high-level mapping structures —
+    cheaper per page than loanout/transfer, at the price of possible map
+    fragmentation when used on small ranges.
+
+    Page transfer ({!import_anons}) installs anonymous pages (typically
+    produced by {!Uvm_loan.to_anons}) into a process' address space, where
+    they become ordinary anonymous memory. *)
+
+type mode =
+  | Share  (** both maps see the same memory; writes are mutually visible *)
+  | Copy  (** receiver gets a copy-on-write snapshot *)
+  | Donate  (** entries move; the source loses the range *)
+
+val extract :
+  src:Uvm_map.t -> spage:int -> npages:int -> dst:Uvm_map.t -> mode -> int
+(** Transfer the mappings covering [spage, spage+npages) from [src] into a
+    freshly chosen range of [dst]; returns the destination start page.
+    @raise Invalid_argument if the source range contains unmapped holes. *)
+
+val import_anons :
+  dst:Uvm_map.t -> anons:Uvm_anon.t list -> prot:Pmap.Prot.t -> int
+(** Page transfer: build a private anonymous mapping in [dst] whose amap is
+    pre-loaded with [anons] (the caller's references are consumed); returns
+    the start page.  The inserted memory is indistinguishable from
+    ordinary anonymous memory. *)

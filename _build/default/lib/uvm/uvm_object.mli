@@ -1,0 +1,47 @@
+(** UVM memory objects ([uvm_object], paper §4).
+
+    In UVM the object structure is a {e secondary} structure meant to be
+    embedded inside whatever kernel abstraction supplies the data (a vnode,
+    an anonymous-object record, a device).  It carries only the reference
+    count, the set of resident pages, and a pointer to the pager
+    operations; everything else belongs to the embedding subsystem and is
+    reached through the pager functions. *)
+
+type t = {
+  id : int;
+  mutable refs : int;
+  pages : (int, Physmem.Page.t) Hashtbl.t;  (** page offset -> resident page *)
+  mutable pgops : pager_ops;
+}
+
+(** The pager API (paper §6).  Unlike BSD VM, [pgo_get] allocates pages
+    itself, giving the pager full control over which page frames receive
+    the data. *)
+and pager_ops = {
+  pgo_name : string;
+  pgo_get : center:int -> lo:int -> hi:int -> (int * Physmem.Page.t) list;
+      (** Make the page at offset [center] resident (reading a cluster from
+          backing store if the pager chooses) and report every resident
+          page in [lo, hi) for the fault routine's fault-ahead window. *)
+  pgo_put : Physmem.Page.t list -> unit;
+      (** Write the given dirty pages of this object back to backing store,
+          clustering as the pager sees fit. *)
+  pgo_reference : unit -> unit;  (** add a reference *)
+  pgo_detach : unit -> unit;  (** drop a reference *)
+}
+
+type Physmem.Page.tag += Uobj_page of t
+
+val make : Uvm_sys.t -> (t -> pager_ops) -> t
+(** [make sys mk_ops] builds an object whose pager closes over the object
+    itself (refs starts at 1). *)
+
+val find_page : t -> pgno:int -> Physmem.Page.t option
+val insert_page : Uvm_sys.t -> t -> pgno:int -> Physmem.Page.t -> unit
+val remove_page : t -> pgno:int -> unit
+val resident_count : t -> int
+val resident : t -> (int * Physmem.Page.t) list
+val dirty_pages : t -> Physmem.Page.t list
+
+val free_all_pages : Uvm_sys.t -> t -> unit
+(** Unmap and free every resident page (object termination). *)

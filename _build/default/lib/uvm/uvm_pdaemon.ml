@@ -1,0 +1,132 @@
+(* Reclaim a page whose data is safe elsewhere (or nowhere needed). *)
+let reclaim sys (page : Physmem.Page.t) =
+  Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
+  (match page.owner with
+  | Uvm_anon.Anon_page anon -> anon.Uvm_anon.page <- None
+  | Uvm_object.Uobj_page obj -> Uvm_object.remove_page obj ~pgno:page.owner_offset
+  | _ -> ());
+  Physmem.free_page (Uvm_sys.physmem sys) page
+
+(* Push a batch of dirty anonymous pages to swap.  UVM mode: reassign all
+   their swap locations to one contiguous run and write a single cluster. *)
+let flush_anon_batch sys batch =
+  match batch with
+  | [] -> ()
+  | _ ->
+      let swapdev = Uvm_sys.swapdev sys in
+      let n = List.length batch in
+      let clustered =
+        if sys.Uvm_sys.aggressive_clustering then Swap.Swapdev.alloc_slots swapdev ~n
+        else None
+      in
+      (match clustered with
+      | Some base ->
+          List.iteri
+            (fun i (anon, _page) ->
+              (* Dynamic swap-location reassignment at page granularity. *)
+              Uvm_anon.set_swslot sys anon (base + i))
+            batch;
+          Swap.Swapdev.write_cluster swapdev ~slot:base
+            ~pages:(List.map snd batch)
+      | None ->
+          (* BSD-style (or swap-fragmented) path: one I/O per page. *)
+          List.iter
+            (fun (anon, page) ->
+              let slot =
+                if anon.Uvm_anon.swslot <> 0 then Some anon.Uvm_anon.swslot
+                else Swap.Swapdev.alloc_slots swapdev ~n:1
+              in
+              match slot with
+              | Some slot ->
+                  if anon.Uvm_anon.swslot = 0 then
+                    anon.Uvm_anon.swslot <- slot;
+                  Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
+              | None -> (* swap full; cannot clean this page *) ())
+            batch);
+      (* Pages that now have a swap copy are clean and reclaimable. *)
+      List.iter
+        (fun ((anon : Uvm_anon.t), (page : Physmem.Page.t)) ->
+          if (not page.dirty) && anon.swslot <> 0 then reclaim sys page)
+        batch
+
+let flush_object_batches sys batches =
+  Hashtbl.iter
+    (fun _ (obj, pages) ->
+      obj.Uvm_object.pgops.Uvm_object.pgo_put pages;
+      List.iter
+        (fun (page : Physmem.Page.t) ->
+          if not page.dirty then reclaim sys page)
+        pages)
+    batches
+
+let run sys =
+  let physmem = Uvm_sys.physmem sys in
+  let target = Physmem.freetarg physmem in
+  let anon_batch = ref [] in
+  let obj_batches : (int, Uvm_object.t * Physmem.Page.t list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let batched = ref 0 in
+  let scan (page : Physmem.Page.t) =
+    if Physmem.free_count physmem + !batched < target then
+      if page.busy || page.wire_count > 0 || page.loan_count > 0 then ()
+      else if page.referenced then
+        (* Second chance: recently used, give it another lap. *)
+        Physmem.activate physmem page
+      else
+        match page.owner with
+        | Uvm_anon.Anon_page anon ->
+            if page.dirty || anon.Uvm_anon.swslot = 0 then begin
+              anon_batch := (anon, page) :: !anon_batch;
+              incr batched;
+              page.dirty <- true;
+              if List.length !anon_batch >= sys.Uvm_sys.pageout_cluster then begin
+                flush_anon_batch sys (List.rev !anon_batch);
+                anon_batch := []
+              end
+            end
+            else reclaim sys page
+        | Uvm_object.Uobj_page obj ->
+            if page.dirty then begin
+              let prev =
+                match Hashtbl.find_opt obj_batches obj.Uvm_object.id with
+                | Some (_, pages) -> pages
+                | None -> []
+              in
+              Hashtbl.replace obj_batches obj.Uvm_object.id (obj, page :: prev);
+              incr batched
+            end
+            else reclaim sys page
+        | _ ->
+            (* Unowned pages on the inactive queue should not happen. *)
+            assert false
+  in
+  List.iter scan (Physmem.inactive_pages physmem);
+  flush_anon_batch sys (List.rev !anon_batch);
+  flush_object_batches sys obj_batches;
+  (* Still short: migrate cold active pages to the inactive queue so the
+     next pass can reclaim them.  Their translations are removed so reuse
+     refaults and reactivates. *)
+  if Physmem.free_count physmem < target then begin
+    let need =
+      2 * (target - Physmem.free_count physmem)
+      - Physmem.inactive_count physmem
+    in
+    let moved = ref 0 in
+    List.iter
+      (fun (page : Physmem.Page.t) ->
+        if
+          !moved < need && (not page.busy) && page.wire_count = 0
+          && page.loan_count = 0
+        then begin
+          if page.referenced then page.referenced <- false
+          else begin
+            Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
+            Physmem.deactivate physmem page;
+            incr moved
+          end
+        end)
+      (Physmem.active_pages physmem)
+  end
+
+let install sys = Physmem.set_pagedaemon (Uvm_sys.physmem sys) (fun () -> run sys)

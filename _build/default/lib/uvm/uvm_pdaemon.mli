@@ -1,0 +1,24 @@
+(** The UVM pagedaemon (paper §6).
+
+    Runs when physical memory is scarce.  Scans the inactive queue with a
+    second-chance policy; clean pages with a valid backing copy are
+    reclaimed immediately; dirty {e anonymous} pages are collected into a
+    batch whose swap locations are {b reassigned} to a freshly-allocated
+    contiguous range so the whole batch leaves in one clustered I/O — the
+    paper's example: dirty anonymous pages at offsets three, five and
+    seven still form a single cluster.  Dirty object pages are pushed
+    through their pager's [pgo_put], which clusters by contiguity.
+
+    Because the amap/anon layer needs no maps to find page owners, the
+    daemon never takes a map lock.
+
+    With [aggressive_clustering = false] (ablation) anonymous pageout
+    degrades to BSD VM's one-I/O-per-page behaviour. *)
+
+val run : Uvm_sys.t -> unit
+(** One daemon pass: reclaim/clean until the free target is met or the
+    inactive queue is exhausted, then refill the inactive queue from the
+    active queue if still short. *)
+
+val install : Uvm_sys.t -> unit
+(** Register {!run} as the physmem pagedaemon callback (done at boot). *)

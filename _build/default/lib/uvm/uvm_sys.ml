@@ -1,0 +1,55 @@
+(** Global UVM state: the machine plus UVM's tunables.
+
+    The tunables expose the paper's design knobs so the ablation benchmarks
+    can turn individual UVM improvements off:
+    - [fault_ahead]/[fault_behind]: the fault routine's window for mapping
+      resident neighbour pages (paper default: 4 ahead, 3 behind);
+    - [pageout_cluster]: how many dirty anonymous pages the pagedaemon
+      groups into one reassigned-swap I/O (§6);
+    - [io_cluster]: pager read clustering;
+    - [aggressive_clustering]: disable to fall back to BSD-style one-page
+      pageout while keeping the rest of UVM. *)
+
+module Machine = Vmiface.Machine
+
+type t = {
+  mach : Machine.t;
+  fault_ahead : int;
+  fault_behind : int;
+  pageout_cluster : int;
+  io_cluster : int;
+  aggressive_clustering : bool;
+  mutable next_id : int;
+}
+
+let create ?(fault_ahead = 4) ?(fault_behind = 3) ?(pageout_cluster = 4)
+    ?(io_cluster = 4) ?(aggressive_clustering = true) mach =
+  {
+    mach;
+    fault_ahead;
+    fault_behind;
+    pageout_cluster;
+    io_cluster;
+    aggressive_clustering;
+    next_id = 0;
+  }
+
+(* Ids are unique process-wide (not just per system) so they can key
+   registries shared by several booted systems (e.g. in tests that compare
+   two kernels side by side). *)
+let id_counter = ref 0
+
+let fresh_id t =
+  incr id_counter;
+  t.next_id <- t.next_id + 1;
+  !id_counter
+
+let clock t = t.mach.Machine.clock
+let costs t = t.mach.Machine.costs
+let stats t = t.mach.Machine.stats
+let physmem t = t.mach.Machine.physmem
+let swapdev t = t.mach.Machine.swap
+let vfs t = t.mach.Machine.vfs
+let pmap_ctx t = t.mach.Machine.pmap_ctx
+let charge t us = Sim.Simclock.advance (clock t) us
+let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc

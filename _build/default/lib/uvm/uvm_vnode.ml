@@ -1,0 +1,134 @@
+type uvn = {
+  obj : Uvm_object.t;
+  vnode : Vfs.Vnode.t;
+  mutable has_vref : bool;
+}
+
+type Vfs.Vnode.vm_private += Uvn of uvn
+
+let uvn_of_vnode (vn : Vfs.Vnode.t) =
+  match vn.vm_private with Uvn u -> Some u | _ -> None
+
+(* Group pages into runs of consecutive object offsets so each run is one
+   clustered I/O operation. *)
+let runs_of_pages pages =
+  let sorted =
+    List.sort
+      (fun (a : Physmem.Page.t) (b : Physmem.Page.t) ->
+        compare a.owner_offset b.owner_offset)
+      pages
+  in
+  let rec go acc current = function
+    | [] -> List.rev (match current with [] -> acc | c -> List.rev c :: acc)
+    | (p : Physmem.Page.t) :: rest -> (
+        match current with
+        | [] -> go acc [ p ] rest
+        | (last : Physmem.Page.t) :: _ when p.owner_offset = last.owner_offset + 1
+          ->
+            go acc (p :: current) rest
+        | _ -> go (List.rev current :: acc) [ p ] rest)
+  in
+  go [] [] sorted
+
+let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
+  let physmem = Uvm_sys.physmem sys in
+  let vfs = Uvm_sys.vfs sys in
+  let pgo_get ~center ~lo ~hi =
+    (if Uvm_object.find_page obj ~pgno:center = None then begin
+       (* Clustered read: the run of non-resident pages starting at the
+          center, capped by the io_cluster tunable. *)
+       let max_run = max 1 sys.Uvm_sys.io_cluster in
+       let rec run_len k =
+         if k >= max_run then k
+         else if Uvm_object.find_page obj ~pgno:(center + k) <> None then k
+         else run_len (k + 1)
+       in
+       let n = max 1 (run_len 0) in
+       let pages =
+         List.init n (fun i ->
+             Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj)
+               ~offset:(center + i) ())
+       in
+       Vfs.read_pages vfs vnode ~start_page:center ~dsts:pages;
+       List.iteri
+         (fun i page ->
+           Uvm_object.insert_page sys obj ~pgno:(center + i) page;
+           Physmem.activate physmem page)
+         pages
+     end);
+    List.filter (fun (pgno, _) -> pgno >= lo && pgno < hi) (Uvm_object.resident obj)
+  in
+  let pgo_put pages =
+    List.iter
+      (fun run ->
+        match run with
+        | [] -> ()
+        | (first : Physmem.Page.t) :: _ ->
+            Vfs.write_pages vfs vnode ~start_page:first.owner_offset ~srcs:run)
+      (runs_of_pages pages)
+  in
+  let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
+  let pgo_detach () =
+    assert (obj.Uvm_object.refs > 0);
+    obj.Uvm_object.refs <- obj.Uvm_object.refs - 1;
+    if obj.Uvm_object.refs = 0 then
+      (* Last mapping gone: drop the uvn's vnode reference so the vnode can
+         migrate to the free LRU.  The pages stay — this *is* the unified
+         cache: data persists exactly as long as the vnode does. *)
+      match !uvn_ref with
+      | Some uvn when uvn.has_vref ->
+          uvn.has_vref <- false;
+          Vfs.vrele vfs vnode
+      | Some _ | None -> ()
+  in
+  {
+    Uvm_object.pgo_name = "uvn";
+    pgo_get;
+    pgo_put;
+    pgo_reference;
+    pgo_detach;
+  }
+
+let attach sys (vnode : Vfs.Vnode.t) =
+  match vnode.vm_private with
+  | Uvn uvn ->
+      let obj = uvn.obj in
+      obj.Uvm_object.refs <- obj.Uvm_object.refs + 1;
+      if not uvn.has_vref then begin
+        (* Reviving a cached (unreferenced but in-core) object. *)
+        Vfs.vref (Uvm_sys.vfs sys) vnode;
+        uvn.has_vref <- true;
+        (Uvm_sys.stats sys).Sim.Stats.obj_cache_hits <-
+          (Uvm_sys.stats sys).Sim.Stats.obj_cache_hits + 1
+      end;
+      obj
+  | _ ->
+      (* First mapping of this vnode: the object is "allocated" as part of
+         the vnode itself — no pager structures, no hash table entry
+         (paper Figure 4). *)
+      let uvn_ref = ref None in
+      let obj = Uvm_object.make sys (make_ops sys vnode uvn_ref) in
+      let uvn = { obj; vnode; has_vref = true } in
+      uvn_ref := Some uvn;
+      Vfs.vref (Uvm_sys.vfs sys) vnode;
+      vnode.vm_private <- Uvn uvn;
+      (Uvm_sys.stats sys).Sim.Stats.obj_cache_misses <-
+        (Uvm_sys.stats sys).Sim.Stats.obj_cache_misses + 1;
+      obj
+
+let flush _sys obj =
+  match Uvm_object.dirty_pages obj with
+  | [] -> ()
+  | dirty -> obj.Uvm_object.pgops.Uvm_object.pgo_put dirty
+
+let terminate sys (vnode : Vfs.Vnode.t) =
+  match vnode.vm_private with
+  | Uvn uvn ->
+      assert (uvn.obj.Uvm_object.refs = 0);
+      flush sys uvn.obj;
+      Uvm_object.free_all_pages sys uvn.obj;
+      vnode.vm_private <- Vfs.Vnode.No_vm
+  | _ -> ()
+
+let install_recycle_hook sys =
+  Vfs.register_recycle_hook (Uvm_sys.vfs sys) (fun vnode -> terminate sys vnode)

@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Bytes Char Hashtbl List Physmem Printf Sim Vnode

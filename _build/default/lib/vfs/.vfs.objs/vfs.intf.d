@@ -1,0 +1,1 @@
+lib/vfs/vfs.mli: Physmem Sim Vnode

@@ -1,0 +1,1 @@
+lib/vfs/vnode.ml: Format Sim

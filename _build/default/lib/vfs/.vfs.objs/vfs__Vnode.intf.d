@@ -1,0 +1,1 @@
+lib/vfs/vnode.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/vmiface/machine.ml: Physmem Pmap Sim Swap Vfs

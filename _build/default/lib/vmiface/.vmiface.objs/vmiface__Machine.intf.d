@@ -1,0 +1,1 @@
+lib/vmiface/machine.mli: Physmem Pmap Sim Swap Vfs

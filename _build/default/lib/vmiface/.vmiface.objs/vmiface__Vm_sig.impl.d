@@ -1,0 +1,1 @@
+lib/vmiface/vm_sig.ml: Machine Pmap Vmtypes

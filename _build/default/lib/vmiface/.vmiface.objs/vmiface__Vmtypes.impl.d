@@ -1,0 +1,1 @@
+lib/vmiface/vmtypes.ml: Printexc Printf Vfs

@@ -1,0 +1,63 @@
+type config = {
+  ram_pages : int;
+  swap_pages : int;
+  page_size : int;
+  max_vnodes : int;
+  costs : Sim.Cost_model.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    ram_pages = 8192 (* 32 MB of 4 KB pages *);
+    swap_pages = 32768 (* 128 MB *);
+    page_size = 4096;
+    max_vnodes = 2048;
+    costs = Sim.Cost_model.default;
+    seed = 0xB5D;
+  }
+
+let config_mb ?(ram_mb = 32) ?(swap_mb = 128) () =
+  {
+    default_config with
+    ram_pages = ram_mb * 1024 * 1024 / default_config.page_size;
+    swap_pages = swap_mb * 1024 * 1024 / default_config.page_size;
+  }
+
+type t = {
+  config : config;
+  clock : Sim.Simclock.t;
+  costs : Sim.Cost_model.t;
+  stats : Sim.Stats.t;
+  rng : Sim.Rng.t;
+  physmem : Physmem.t;
+  pmap_ctx : Pmap.ctx;
+  swap : Swap.Swapdev.t;
+  vfs : Vfs.t;
+}
+
+let boot ?(config = default_config) () =
+  let clock = Sim.Simclock.create () in
+  let costs = config.costs in
+  let stats = Sim.Stats.create () in
+  {
+    config;
+    clock;
+    costs;
+    stats;
+    rng = Sim.Rng.create ~seed:config.seed;
+    physmem =
+      Physmem.create ~page_size:config.page_size ~npages:config.ram_pages
+        ~clock ~costs ~stats ();
+    pmap_ctx = Pmap.create_ctx ~clock ~costs ~stats;
+    swap =
+      Swap.Swapdev.create ~nslots:config.swap_pages
+        ~page_size:config.page_size ~clock ~costs ~stats;
+    vfs =
+      Vfs.create ~max_vnodes:config.max_vnodes ~page_size:config.page_size
+        ~clock ~costs ~stats ();
+  }
+
+let page_size t = t.config.page_size
+let now t = Sim.Simclock.now t.clock
+let charge t us = Sim.Simclock.advance t.clock us

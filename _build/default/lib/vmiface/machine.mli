@@ -1,0 +1,40 @@
+(** The simulated machine: every hardware/kernel substrate bundled together.
+
+    Both VM systems are booted on an identical machine (same clock, cost
+    model, RAM, swap, disk, filesystem), mirroring the paper's methodology
+    of measuring BSD VM and UVM on the same 333 MHz Pentium-II. *)
+
+type config = {
+  ram_pages : int;  (** physical memory size in pages *)
+  swap_pages : int;  (** swap partition size in pages *)
+  page_size : int;  (** bytes per page *)
+  max_vnodes : int;  (** in-core vnode limit *)
+  costs : Sim.Cost_model.t;
+  seed : int;  (** workload RNG seed *)
+}
+
+val default_config : config
+(** 32 MB of RAM and 128 MB of swap with 4 KB pages — the machine used for
+    the paper's Figure 5. *)
+
+val config_mb : ?ram_mb:int -> ?swap_mb:int -> unit -> config
+(** Convenience: sizes in megabytes on top of {!default_config}. *)
+
+type t = {
+  config : config;
+  clock : Sim.Simclock.t;
+  costs : Sim.Cost_model.t;
+  stats : Sim.Stats.t;
+  rng : Sim.Rng.t;
+  physmem : Physmem.t;
+  pmap_ctx : Pmap.ctx;
+  swap : Swap.Swapdev.t;
+  vfs : Vfs.t;
+}
+
+val boot : ?config:config -> unit -> t
+
+val page_size : t -> int
+val now : t -> float
+val charge : t -> float -> unit
+(** Advance the simulated clock. *)

@@ -1,0 +1,127 @@
+(** The common signature both virtual memory systems implement.
+
+    Workload generators ([oslayer]) and the experiment harness
+    ([experiments]) are functors over [VM_SYS], so every table and figure of
+    the paper runs the *same* workload code against UVM and the BSD VM
+    baseline — only the VM system under test changes. *)
+
+open Vmtypes
+
+module type VM_SYS = sig
+  val name : string
+  (** "UVM" or "BSD VM". *)
+
+  type sys
+  (** A booted kernel: machine substrates plus this VM system's global
+      state (object cache, pagedaemon configuration, kernel map...). *)
+
+  type vmspace
+  (** One virtual address space (a process, or the kernel). *)
+
+  val boot : ?config:Machine.config -> unit -> sys
+  val machine : sys -> Machine.t
+  val kernel_vmspace : sys -> vmspace
+
+  (* -- address spaces ---------------------------------------------- *)
+
+  val new_vmspace : sys -> vmspace
+  val fork : sys -> vmspace -> vmspace
+  (** Duplicate an address space honouring each mapping's inheritance
+      (the paper's §5 copy-on-write machinery). *)
+
+  val destroy_vmspace : sys -> vmspace -> unit
+  (** Tear down all mappings and the pmap (process exit). *)
+
+  val map_entry_count : vmspace -> int
+  (** Live map entries — the quantity Table 1 compares. *)
+
+  val resident_pages : vmspace -> int
+
+  (* -- mapping operations ------------------------------------------- *)
+
+  val mmap :
+    sys ->
+    vmspace ->
+    ?fixed_at:int ->
+    npages:int ->
+    prot:Pmap.Prot.t ->
+    share:share ->
+    source ->
+    int
+  (** Establish a mapping of [npages] pages and return its first virtual
+      page number.  Atomic single-step under UVM; the BSD baseline performs
+      the historical two-step insert-then-protect when attributes are not
+      the defaults.
+      @raise Invalid_argument if [fixed_at] overlaps an existing mapping. *)
+
+  val munmap : sys -> vmspace -> vpn:int -> npages:int -> unit
+  val mprotect : sys -> vmspace -> vpn:int -> npages:int -> Pmap.Prot.t -> unit
+  val minherit : sys -> vmspace -> vpn:int -> npages:int -> inherit_mode -> unit
+  val madvise : sys -> vmspace -> vpn:int -> npages:int -> advice -> unit
+
+  val mlock : sys -> vmspace -> vpn:int -> npages:int -> unit
+  (** Wire a range on behalf of the user ([mlock(2)]): recorded in the map
+      under both systems (the one wiring case where UVM has no other home
+      for the state). *)
+
+  val munlock : sys -> vmspace -> vpn:int -> npages:int -> unit
+
+  type wired_buffer
+  (** Token for a temporarily wired user buffer (sysctl / physio).  UVM
+      keeps the wiring on the "kernel stack" (inside the token) without
+      touching the map; BSD VM fragments the map (paper §3.2). *)
+
+  val vslock : sys -> vmspace -> vpn:int -> npages:int -> wired_buffer
+  val vsunlock : sys -> vmspace -> wired_buffer -> unit
+
+  (* -- memory access ------------------------------------------------- *)
+
+  val touch : sys -> vmspace -> vpn:int -> access -> unit
+  (** Access one byte on page [vpn], faulting if needed.
+      @raise Vmtypes.Segv on unresolvable faults. *)
+
+  val read_bytes : sys -> vmspace -> addr:int -> len:int -> bytes
+  (** Byte-addressed read through the mapping (faults as needed); used by
+      tests to verify mapping contents. *)
+
+  val write_bytes : sys -> vmspace -> addr:int -> bytes -> unit
+
+  val access_range : sys -> vmspace -> vpn:int -> npages:int -> access -> unit
+  (** Touch every page in the range once. *)
+
+  val msync : sys -> vmspace -> vpn:int -> npages:int -> unit
+  (** Flush dirty file-backed pages in the range to their vnode. *)
+
+  (* -- kernel-side wiring cases for Table 1 -------------------------- *)
+
+  val kernel_alloc_wired : sys -> npages:int -> int
+  (** Allocate wired kernel memory (user structures, page tables...).
+      Returns the kernel vpn.  BSD VM records the wiring in the kernel map
+      (fragmenting it); UVM does not. *)
+
+  val kernel_free_wired : sys -> vpn:int -> npages:int -> unit
+
+  val swapout_ustruct : sys -> vpn:int -> npages:int -> unit
+  (** Unwire a swapped-out process' user structure.  UVM keeps the wired
+      state in the proc structure; BSD VM also updates the kernel map
+      (§3.2, second wiring case). *)
+
+  val swapin_ustruct : sys -> vpn:int -> npages:int -> unit
+
+  type ptp
+  (** Hardware page-table pages (the i386 wiring case of §3.2).  BSD VM
+      allocates them through the kernel map, recording the wiring there as
+      well as in the pmap; UVM keeps the state only in the pmap layer, so
+      no kernel map entries are consumed. *)
+
+  val pmap_alloc_ptp : sys -> npages:int -> ptp
+  val pmap_free_ptp : sys -> ptp -> unit
+
+  (* -- introspection -------------------------------------------------- *)
+
+  val swap_slots_in_use : sys -> int
+  val leaked_pages : sys -> int
+  (** Pages of anonymous memory that are allocated but no longer reachable
+      from any map — the swap-leak pathology of §5.3.  Always 0 under UVM;
+      can be positive under BSD VM's object chains. *)
+end

@@ -1,0 +1,43 @@
+(** Types shared by both virtual memory systems (UVM and the BSD VM
+    baseline) and by the OS / workload layers above them. *)
+
+(** Mapping sharing mode, as in [mmap(2)]. *)
+type share = Private | Shared
+
+(** What backs a mapping. *)
+type source =
+  | File of Vfs.Vnode.t * int  (** vnode and starting page offset within it *)
+  | Zero  (** zero-fill (anonymous) memory *)
+
+(** Per-mapping inheritance across [fork], settable with [minherit(2)]
+    (paper §5.4). *)
+type inherit_mode = Inh_none | Inh_shared | Inh_copy
+
+(** Memory usage advice, settable with [madvise(2)]; controls UVM's
+    fault-ahead window (paper §5.4). *)
+type advice = Adv_normal | Adv_random | Adv_sequential
+
+(** Kind of memory access. *)
+type access = Read | Write
+
+(** Why a fault could not be resolved. *)
+type fault_error =
+  | No_entry  (** nothing mapped at the faulting address *)
+  | Prot_denied  (** mapping exists but forbids this access *)
+  | Out_of_memory
+
+exception Segv of { vpn : int; error : fault_error }
+(** Raised by the access paths when a fault cannot be resolved — the
+    simulated equivalent of delivering SIGSEGV. *)
+
+let string_of_fault_error = function
+  | No_entry -> "no entry"
+  | Prot_denied -> "protection denied"
+  | Out_of_memory -> "out of memory"
+
+let () =
+  Printexc.register_printer (function
+    | Segv { vpn; error } ->
+        Some
+          (Printf.sprintf "Segv(vpn=%d, %s)" vpn (string_of_fault_error error))
+    | _ -> None)

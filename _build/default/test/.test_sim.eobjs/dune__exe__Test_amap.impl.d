@@ -1,0 +1,1 @@
+test/test_amap.ml: Alcotest Array Bytes List Option Physmem Pmap QCheck QCheck_alcotest Sim Swap Uvm Vmiface

@@ -1,0 +1,1 @@
+test/test_bsdvm.ml: Alcotest Bsdvm Bytes Option Pmap Printf Sim Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Array Bsdvm Bytes Option Oslayer Physmem Pmap Sim Uvm Vmiface

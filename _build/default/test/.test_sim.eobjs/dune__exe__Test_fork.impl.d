@@ -1,0 +1,1 @@
+test/test_fork.ml: Alcotest Array Bytes Char Fun List Pmap Printf QCheck QCheck_alcotest Sim String Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+test/test_loan.ml: Alcotest Bytes List Physmem Pmap Sim Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+test/test_mexp.ml: Alcotest Bytes Pmap Sim Uvm Vfs Vmiface

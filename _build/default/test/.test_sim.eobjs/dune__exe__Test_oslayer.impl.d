@@ -1,0 +1,1 @@
+test/test_oslayer.ml: Alcotest Bsdvm Bytes List Option Oslayer Physmem Pmap Uvm Vmiface

@@ -1,0 +1,1 @@
+test/test_pdaemon.ml: Alcotest Bsdvm Bytes Option Physmem Pmap Printf Sim Uvm Vmiface

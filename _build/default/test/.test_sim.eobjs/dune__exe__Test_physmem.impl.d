@@ -1,0 +1,1 @@
+test/test_physmem.ml: Alcotest Bytes List Physmem QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_pmap.ml: Alcotest Array List Physmem Pmap QCheck QCheck_alcotest Sim

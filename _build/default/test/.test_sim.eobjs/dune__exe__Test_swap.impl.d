@@ -1,0 +1,1 @@
+test/test_swap.ml: Alcotest Bytes List Option Physmem QCheck QCheck_alcotest Sim Swap

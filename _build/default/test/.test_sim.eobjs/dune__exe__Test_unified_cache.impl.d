@@ -1,0 +1,1 @@
+test/test_unified_cache.ml: Alcotest Bytes Physmem Pmap Sim String Uvm Vfs Vmiface

@@ -1,0 +1,1 @@
+test/test_unified_cache.mli:

@@ -1,0 +1,1 @@
+test/test_uvm_fault.ml: Alcotest Bytes Option Physmem Pmap Sim Uvm Vfs Vmiface

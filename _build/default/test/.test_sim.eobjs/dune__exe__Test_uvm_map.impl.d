@@ -1,0 +1,1 @@
+test/test_uvm_map.ml: Alcotest List Option Pmap QCheck QCheck_alcotest Sim Uvm Vfs Vmiface

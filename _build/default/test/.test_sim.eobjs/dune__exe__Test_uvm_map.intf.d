@@ -1,0 +1,1 @@
+test/test_uvm_map.mli:

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Char Fun List Physmem Sim Vfs

@@ -1,0 +1,1 @@
+test/test_vm_generic.ml: Alcotest Array Bsdvm Bytes Char Fun List Pmap Printf QCheck QCheck_alcotest Sim Uvm Vfs Vmiface

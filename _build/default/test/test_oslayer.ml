@@ -1,0 +1,120 @@
+(* The OS layer: program catalog, deterministic traces, process
+   lifecycle, and the map-entry accounting Table 1 is built on. *)
+
+module Vt = Vmiface.Vmtypes
+module P = Oslayer.Programs
+
+let test_trace_deterministic () =
+  let t1 = Oslayer.Trace.command_trace P.ls in
+  let t2 = Oslayer.Trace.command_trace P.ls in
+  Alcotest.(check bool) "same trace twice" true (t1 = t2);
+  let t3 = Oslayer.Trace.command_trace P.man in
+  Alcotest.(check bool) "different commands differ" true (t1 <> t3)
+
+let test_trace_covers_text () =
+  let trace = Oslayer.Trace.command_trace P.ls in
+  let text_pages =
+    List.filter_map
+      (function Oslayer.Trace.Seg_text, p, _ -> Some p | _ -> None)
+      trace
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all text pages touched" P.ls.P.text_pages
+    (List.length text_pages)
+
+let test_trace_heap_writes () =
+  let trace = Oslayer.Trace.command_trace P.cc in
+  let heap_writes =
+    List.filter
+      (function Oslayer.Trace.Seg_heap, _, Vt.Write -> true | _ -> false)
+      trace
+  in
+  Alcotest.(check int) "work pages written" P.cc.P.work_pages
+    (List.length heap_writes)
+
+module Lifecycle (V : Vmiface.Vm_sig.VM_SYS) = struct
+  module Ps = Oslayer.Procsim.Make (V)
+
+  let test_spawn_exit_balanced () =
+    let sys = V.boot () in
+    Ps.boot_kernel sys;
+    let base_entries = Ps.live_entries sys [] in
+    let mach = V.machine sys in
+    let free0 = Physmem.free_count mach.Vmiface.Machine.physmem in
+    let procs = List.map (fun p -> Ps.spawn sys p) P.[ cat; od; sh ] in
+    Alcotest.(check bool) "entries grew" true (Ps.live_entries sys procs > base_entries);
+    List.iter (fun p -> Ps.exit_proc sys p) procs;
+    Alcotest.(check int) "all pages returned" free0
+      (Physmem.free_count mach.Vmiface.Machine.physmem);
+    Alcotest.(check int) "no leaked anon memory" 0 (V.leaked_pages sys)
+
+  let test_exec_segments_mapped () =
+    let sys = V.boot () in
+    Ps.boot_kernel sys;
+    let proc = Ps.spawn sys P.od in
+    (* Text is executable/read-only; writing it must fault. *)
+    (try
+       V.write_bytes sys proc.Ps.vm
+         ~addr:(proc.Ps.text.Ps.seg_vpn * 4096)
+         (Bytes.of_string "x");
+       Alcotest.fail "text must not be writable"
+     with Vt.Segv { error = Vt.Prot_denied; _ } -> ());
+    (* Data/bss/stack/heap are writable. *)
+    List.iter
+      (fun (seg : Ps.segment) ->
+        V.write_bytes sys proc.Ps.vm ~addr:(seg.Ps.seg_vpn * 4096)
+          (Bytes.of_string "w"))
+      [ proc.Ps.data; proc.Ps.bss; proc.Ps.stack; proc.Ps.heap ];
+    (* Dynamic od maps ld.so and libc. *)
+    Alcotest.(check int) "two shared libs" 2 (List.length proc.Ps.lib_segs);
+    Ps.exit_proc sys proc
+
+  let test_replay_full_trace () =
+    let sys = V.boot () in
+    Ps.boot_kernel sys;
+    let proc = Ps.spawn sys P.ls in
+    Ps.replay sys proc (Oslayer.Trace.command_trace P.ls);
+    Alcotest.(check bool) "resident set grew" true (V.resident_pages proc.Ps.vm > 10);
+    Ps.exit_proc sys proc
+end
+
+module LU = Lifecycle (Uvm.Sys)
+module LB = Lifecycle (Bsdvm.Sys)
+
+let test_image_text_is_file_backed () =
+  (* Two processes exec'ing the same binary share its text pages. *)
+  let module Ps = Oslayer.Procsim.Make (Uvm.Sys) in
+  let sys = Uvm.Sys.boot () in
+  Ps.boot_kernel sys;
+  let p1 = Ps.spawn sys P.sh in
+  let p2 = Ps.spawn sys P.sh in
+  Uvm.Sys.touch sys p1.Ps.vm ~vpn:p1.Ps.text.Ps.seg_vpn Vt.Read;
+  Uvm.Sys.touch sys p2.Ps.vm ~vpn:p2.Ps.text.Ps.seg_vpn Vt.Read;
+  let f1 = (Option.get (Pmap.lookup p1.Ps.vm.Uvm.Sys.pmap ~vpn:p1.Ps.text.Ps.seg_vpn)).Pmap.page in
+  let f2 = (Option.get (Pmap.lookup p2.Ps.vm.Uvm.Sys.pmap ~vpn:p2.Ps.text.Ps.seg_vpn)).Pmap.page in
+  Alcotest.(check int) "text frames shared" f1.Physmem.Page.id f2.Physmem.Page.id
+
+let () =
+  Alcotest.run "oslayer"
+    [
+      ( "traces",
+        [
+          Alcotest.test_case "deterministic" `Quick test_trace_deterministic;
+          Alcotest.test_case "covers text" `Quick test_trace_covers_text;
+          Alcotest.test_case "heap writes" `Quick test_trace_heap_writes;
+        ] );
+      ( "uvm lifecycle",
+        [
+          Alcotest.test_case "spawn/exit balanced" `Quick LU.test_spawn_exit_balanced;
+          Alcotest.test_case "exec segments" `Quick LU.test_exec_segments_mapped;
+          Alcotest.test_case "replay trace" `Quick LU.test_replay_full_trace;
+        ] );
+      ( "bsd lifecycle",
+        [
+          Alcotest.test_case "spawn/exit balanced" `Quick LB.test_spawn_exit_balanced;
+          Alcotest.test_case "exec segments" `Quick LB.test_exec_segments_mapped;
+          Alcotest.test_case "replay trace" `Quick LB.test_replay_full_trace;
+        ] );
+      ( "sharing",
+        [ Alcotest.test_case "text file-backed" `Quick test_image_text_is_file_backed ] );
+    ]

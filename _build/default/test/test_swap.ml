@@ -1,0 +1,154 @@
+(* Swap: the contiguous slot allocator and the paging device. *)
+
+let test_swapmap_basic () =
+  let m = Swap.Swapmap.create ~nslots:16 in
+  Alcotest.(check int) "capacity" 16 (Swap.Swapmap.capacity m);
+  (match Swap.Swapmap.alloc m ~n:4 with
+  | Some s ->
+      Alcotest.(check bool) "slot >= 1" true (s >= 1);
+      Alcotest.(check int) "in use" 4 (Swap.Swapmap.in_use m);
+      Alcotest.(check bool) "allocated" true (Swap.Swapmap.is_allocated m ~slot:s);
+      Swap.Swapmap.free m ~slot:s ~n:4;
+      Alcotest.(check int) "freed" 0 (Swap.Swapmap.in_use m)
+  | None -> Alcotest.fail "alloc failed")
+
+let test_swapmap_contiguity () =
+  let m = Swap.Swapmap.create ~nslots:16 in
+  (* Fragment: allocate singles, free every other one. *)
+  let slots = List.init 16 (fun _ -> Option.get (Swap.Swapmap.alloc m ~n:1)) in
+  List.iteri (fun i s -> if i mod 2 = 0 then Swap.Swapmap.free m ~slot:s ~n:1) slots;
+  Alcotest.(check bool) "no contiguous pair" true (Swap.Swapmap.alloc m ~n:2 = None);
+  Alcotest.(check bool) "single fits" true (Swap.Swapmap.alloc m ~n:1 <> None)
+
+let test_swapmap_exhaustion () =
+  let m = Swap.Swapmap.create ~nslots:8 in
+  Alcotest.(check bool) "full run ok" true (Swap.Swapmap.alloc m ~n:8 <> None);
+  Alcotest.(check bool) "exhausted" true (Swap.Swapmap.alloc m ~n:1 = None)
+
+let test_swapmap_errors () =
+  let m = Swap.Swapmap.create ~nslots:8 in
+  let s = Option.get (Swap.Swapmap.alloc m ~n:2) in
+  Swap.Swapmap.free m ~slot:s ~n:2;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Swapmap.free: slot not allocated") (fun () ->
+      Swap.Swapmap.free m ~slot:s ~n:2);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Swapmap.free: slot range out of bounds") (fun () ->
+      Swap.Swapmap.free m ~slot:7 ~n:5)
+
+(* Property: in_use always equals the number of allocated slots, and
+   allocated runs never overlap. *)
+let prop_swapmap_accounting =
+  QCheck.Test.make ~name:"swapmap accounting" ~count:100
+    QCheck.(list (int_range 1 5))
+    (fun sizes ->
+      let m = Swap.Swapmap.create ~nslots:64 in
+      let held = ref [] in
+      List.iteri
+        (fun i n ->
+          if i mod 3 = 2 then (
+            match !held with
+            | (s, k) :: rest ->
+                Swap.Swapmap.free m ~slot:s ~n:k;
+                held := rest
+            | [] -> ())
+          else
+            match Swap.Swapmap.alloc m ~n with
+            | Some s -> held := (s, n) :: !held
+            | None -> ())
+        sizes;
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 !held in
+      let no_overlap =
+        List.for_all
+          (fun (s1, n1) ->
+            List.for_all
+              (fun (s2, n2) ->
+                (s1 = s2 && n1 = n2) || s1 + n1 <= s2 || s2 + n2 <= s1)
+              !held)
+          !held
+      in
+      Swap.Swapmap.in_use m = total && no_overlap)
+
+let mk_dev () =
+  let clock = Sim.Simclock.create () in
+  let stats = Sim.Stats.create () in
+  let dev =
+    Swap.Swapdev.create ~nslots:64 ~page_size:256 ~clock
+      ~costs:Sim.Cost_model.default ~stats
+  in
+  let pm =
+    Physmem.create ~page_size:256 ~npages:32 ~clock
+      ~costs:Sim.Cost_model.zero ~stats ()
+  in
+  (dev, pm, clock, stats)
+
+let test_swapdev_roundtrip () =
+  let dev, pm, _, _ = mk_dev () in
+  let mkpage c =
+    let p = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
+    Bytes.fill p.Physmem.Page.data 0 256 c;
+    p.Physmem.Page.dirty <- true;
+    p
+  in
+  let pages = [ mkpage 'a'; mkpage 'b'; mkpage 'c' ] in
+  let slot = Option.get (Swap.Swapdev.alloc_slots dev ~n:3) in
+  Swap.Swapdev.write_cluster dev ~slot ~pages;
+  List.iter
+    (fun (p : Physmem.Page.t) ->
+      Alcotest.(check bool) "cleaned by write" false p.dirty)
+    pages;
+  let dst = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
+  Swap.Swapdev.read_slot dev ~slot:(slot + 1) ~dst;
+  Alcotest.(check char) "middle page restored" 'b' (Bytes.get dst.Physmem.Page.data 17);
+  let dsts =
+    [ Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 ();
+      Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () ]
+  in
+  Swap.Swapdev.read_cluster dev ~slot ~dsts;
+  Alcotest.(check char) "cluster page 0" 'a'
+    (Bytes.get (List.nth dsts 0).Physmem.Page.data 0);
+  Alcotest.(check char) "cluster page 1" 'b'
+    (Bytes.get (List.nth dsts 1).Physmem.Page.data 0)
+
+let test_swapdev_cluster_is_one_op () =
+  let dev, pm, clock, _ = mk_dev () in
+  let pages =
+    List.init 8 (fun _ -> Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 ())
+  in
+  let slot = Option.get (Swap.Swapdev.alloc_slots dev ~n:8) in
+  let t0 = Sim.Simclock.now clock in
+  Swap.Swapdev.write_cluster dev ~slot ~pages;
+  let c = Sim.Cost_model.default in
+  Alcotest.(check (float 1e-6)) "one op + 8 transfers"
+    (c.Sim.Cost_model.disk_op_latency +. (8.0 *. c.Sim.Cost_model.disk_page_transfer))
+    (Sim.Simclock.now clock -. t0);
+  Alcotest.(check int) "one write op" 1 (Sim.Disk.write_ops (Swap.Swapdev.disk dev))
+
+let test_swapdev_free_discards () =
+  let dev, pm, _, _ = mk_dev () in
+  let p = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
+  let slot = Option.get (Swap.Swapdev.alloc_slots dev ~n:1) in
+  Swap.Swapdev.write_cluster dev ~slot ~pages:[ p ];
+  Swap.Swapdev.free_slots dev ~slot ~n:1;
+  Alcotest.check_raises "data discarded"
+    (Invalid_argument "Swapdev.read_slot: slot holds no data") (fun () ->
+      Swap.Swapdev.read_slot dev ~slot ~dst:p)
+
+let () =
+  Alcotest.run "swap"
+    [
+      ( "swapmap",
+        [
+          Alcotest.test_case "basic" `Quick test_swapmap_basic;
+          Alcotest.test_case "contiguity" `Quick test_swapmap_contiguity;
+          Alcotest.test_case "exhaustion" `Quick test_swapmap_exhaustion;
+          Alcotest.test_case "errors" `Quick test_swapmap_errors;
+          QCheck_alcotest.to_alcotest prop_swapmap_accounting;
+        ] );
+      ( "swapdev",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_swapdev_roundtrip;
+          Alcotest.test_case "cluster one op" `Quick test_swapdev_cluster_is_one_op;
+          Alcotest.test_case "free discards" `Quick test_swapdev_free_discards;
+        ] );
+    ]
