@@ -94,6 +94,60 @@ let ablation_fault_ahead () =
         (mach.Vmiface.Machine.stats.Sim.Stats.faults - f0))
     [ (0, 0); (1, 2); (3, 4); (6, 8) ]
 
+(* Ablation: fault-rate sweep × pageout clustering.  At a fixed
+   per-operation write-error rate, clustering is also an exposure
+   reducer: fewer, larger writes meet fewer errors and so need fewer
+   retries for the same workload. *)
+let ablation_fault_rate () =
+  Experiments.Report.title
+    "Ablation: write-error rate x pageout clustering (24MB allocation, 16MB RAM)";
+  Printf.printf "%-10s %-10s %12s %10s %10s %10s\n" "werr" "cluster" "time"
+    "writes" "injected" "retries";
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun cluster ->
+          let config =
+            {
+              (Vmiface.Machine.config_mb ~ram_mb:16 ~swap_mb:64 ()) with
+              fault_plan =
+                Some
+                  (fun () ->
+                    Sim.Fault_plan.create ~write_error_rate:rate
+                      ~rate_severity:Sim.Fault_plan.Transient ());
+            }
+          in
+          let mach = Vmiface.Machine.boot ~config () in
+          let usys =
+            Uvm.State.create ~pageout_cluster:cluster
+              ~aggressive_clustering:(cluster > 1) mach
+          in
+          Uvm.Pdaemon.install usys;
+          Uvm.Vnode_pager.install_recycle_hook usys;
+          let pmap = Pmap.create (Uvm.State.pmap_ctx usys) in
+          let map = Uvm.Map.create usys ~pmap ~lo:16 ~hi:(1 lsl 20) ~kernel:false in
+          let npages = 24 * 256 in
+          let _e =
+            Uvm.Map.insert map ~spage:16 ~npages ~obj:None ~objoff:0
+              ~prot:Pmap.Prot.rw ~maxprot:Pmap.Prot.rwx ~inh:Inh_copy
+              ~advice:Adv_normal ~cow:true ~needs_copy:true ~merge:false
+          in
+          let clock = mach.Vmiface.Machine.clock in
+          let t0 = Sim.Simclock.now clock in
+          for v = 16 to 16 + npages - 1 do
+            (match Uvm.Fault.fault map ~vpn:v ~access:Write ~wire:false with
+            | Ok () -> ()
+            | Error _ -> assert false);
+            Pmap.mark_access pmap ~vpn:v ~write:true
+          done;
+          let dt = Sim.Simclock.now clock -. t0 in
+          let st = mach.Vmiface.Machine.stats in
+          Printf.printf "%-10.3f %-10d %10.3f s %10d %10d %10d\n" rate cluster
+            (dt /. 1e6) st.Sim.Stats.disk_write_ops
+            st.Sim.Stats.io_errors_injected st.Sim.Stats.pageout_retries)
+        [ 1; 8; 16 ])
+    [ 0.0; 0.01; 0.05 ]
+
 let reproduce_paper () =
   Experiments.Table1.print ();
   Experiments.Table2.print ();
@@ -103,8 +157,10 @@ let reproduce_paper () =
   Experiments.Fig6.print ();
   Experiments.Datamove.print ();
   Experiments.Swapleak.print ();
+  Experiments.Resilience.print ();
   ablation_pageout_cluster ();
-  ablation_fault_ahead ()
+  ablation_fault_ahead ();
+  ablation_fault_rate ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel wall-clock micro-benchmarks of the simulator.      *)

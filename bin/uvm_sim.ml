@@ -2,7 +2,12 @@
     System" (Cranor & Parulkar, USENIX 1999) on the simulated substrate.
 
     Each subcommand regenerates one paper artifact, comparing UVM with the
-    BSD VM baseline on an identical simulated machine. *)
+    BSD VM baseline on an identical simulated machine.
+
+    Every experiment can be run on failing hardware: the fault-injection
+    options install a default fault plan that every machine booted by the
+    experiment inherits (a fresh, identically-seeded plan per boot, so
+    UVM and BSD VM face the same error sequence). *)
 
 open Cmdliner
 
@@ -16,17 +21,87 @@ let experiments =
     ("fig6", "Figure 6: fork+wait overhead", Experiments.Fig6.print);
     ("datamove", "Section 7: loanout/transfer/mexp vs copy", Experiments.Datamove.print);
     ("swapleak", "Section 5.3: swap leak demonstration", Experiments.Swapleak.print);
+    ("resilience", "Failure model: paging under injected disk errors",
+     Experiments.Resilience.print);
   ]
 
-let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
+(* -- fault-injection options ----------------------------------------- *)
 
-let cmd_of (name, doc, f) =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let read_error_rate =
+  let doc = "Fail each disk read with probability $(docv) (transient unless \
+             $(b,--permanent))." in
+  Arg.(value & opt float 0.0 & info [ "read-error-rate" ] ~docv:"RATE" ~doc)
+
+let write_error_rate =
+  let doc = "Fail each disk write with probability $(docv) (transient unless \
+             $(b,--permanent))." in
+  Arg.(value & opt float 0.0 & info [ "write-error-rate" ] ~docv:"RATE" ~doc)
+
+let permanent =
+  let doc = "Rate-injected errors are permanent (bad media) instead of \
+             transient." in
+  Arg.(value & flag & info [ "permanent" ] ~doc)
+
+let bad_slots =
+  let doc = "Treat swap slot $(docv) as bad media: every write to it fails \
+             permanently.  Repeatable." in
+  Arg.(value & opt_all int [] & info [ "bad-slot" ] ~docv:"SLOT" ~doc)
+
+let fault_seed =
+  let doc = "Seed for the fault plan's random number generator." in
+  Arg.(value & opt int 0xFA17 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let install_faults read_rate write_rate permanent bad fault_seed =
+  let check_rate name r =
+    if r < 0.0 || r > 1.0 then begin
+      Printf.eprintf "uvm_sim: --%s must be in [0,1] (got %g)\n" name r;
+      exit 2
+    end
+  in
+  check_rate "read-error-rate" read_rate;
+  check_rate "write-error-rate" write_rate;
+  List.iter
+    (fun slot ->
+      if slot < 1 then begin
+        Printf.eprintf "uvm_sim: --bad-slot must be >= 1 (got %d)\n" slot;
+        exit 2
+      end)
+    bad;
+  if read_rate > 0.0 || write_rate > 0.0 || bad <> [] then
+    Vmiface.Machine.set_default_fault_plan
+      (Some
+         (fun () ->
+           let plan =
+             Sim.Fault_plan.create ~seed:fault_seed ~read_error_rate:read_rate
+               ~write_error_rate:write_rate
+               ~rate_severity:
+                 (if permanent then Sim.Fault_plan.Permanent
+                  else Sim.Fault_plan.Transient)
+               ()
+           in
+           List.iter
+             (fun slot ->
+               Sim.Fault_plan.fail_op plan ~slot Sim.Fault_plan.Write
+                 Sim.Fault_plan.Permanent)
+             bad;
+           plan))
+
+let with_faults f =
+  Term.(
+    const (fun rr wr perm bad seed () ->
+        install_faults rr wr perm bad seed;
+        f ())
+    $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
+    $ const ())
+
+(* -- commands --------------------------------------------------------- *)
+
+let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
+let cmd_of (name, doc, f) = Cmd.v (Cmd.info name ~doc) (with_faults f)
 
 let all_cmd =
-  Cmd.v
-    (Cmd.info "all" ~doc:"Run every experiment in sequence")
-    Term.(const run_all $ const ())
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment in sequence")
+    (with_faults run_all)
 
 let () =
   let info =

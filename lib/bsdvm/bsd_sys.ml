@@ -13,18 +13,23 @@ type t = {
   mach : Machine.t;
   obj_cache_limit : int;
   uid : int;  (** distinguishes objects of different booted systems *)
+  io_retries : int;  (** transient I/O error retry budget *)
+  io_backoff_us : float;  (** base exponential-backoff delay *)
   mutable two_step_probe : (int -> unit) option;
   mutable next_id : int;
 }
 
 let uid_counter = ref 0
 
-let create ?(obj_cache_limit = 100) mach =
+let create ?(obj_cache_limit = 100) ?(io_retries = 3) ?(io_backoff_us = 200.0)
+    mach =
   incr uid_counter;
   {
     mach;
     obj_cache_limit;
     uid = !uid_counter;
+    io_retries;
+    io_backoff_us;
     two_step_probe = None;
     next_id = 0;
   }
@@ -45,3 +50,18 @@ let vfs t = t.mach.Machine.vfs
 let pmap_ctx t = t.mach.Machine.pmap_ctx
 let charge t us = Sim.Simclock.advance (clock t) us
 let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc
+
+(* Same transient-retry policy as UVM's, so the error handling stays
+   apples-to-apples between the two systems under a shared fault plan. *)
+let retry_transient t f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e -> (
+        match e.Sim.Fault_plan.severity with
+        | Sim.Fault_plan.Transient when attempt < t.io_retries ->
+            charge t (t.io_backoff_us *. (2.0 ** float_of_int attempt));
+            go (attempt + 1)
+        | _ -> Error e)
+  in
+  go 0

@@ -295,9 +295,14 @@ module Sys = struct
                 List.iter
                   (fun (p : Physmem.Page.t) ->
                     if p.owner_offset >= lo && p.owner_offset < hi then
-                      (* One write per page, as ever. *)
-                      Vfs.write_pages (Bsd_sys.vfs bsys) vn
-                        ~start_page:p.owner_offset ~srcs:[ p ])
+                      (* One write per page, as ever.  A failed page stays
+                         dirty for a later sync or pageout to retry. *)
+                      match
+                        Bsd_sys.retry_transient bsys (fun () ->
+                            Vfs.write_pages (Bsd_sys.vfs bsys) vn
+                              ~start_page:p.owner_offset ~srcs:[ p ])
+                      with
+                      | Ok () | Error _ -> ())
                   (Vm_object.dirty_pages obj)
             | Vm_object.Anon -> ())
         | None -> ())

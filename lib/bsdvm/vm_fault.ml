@@ -57,57 +57,65 @@ let fault map ~vpn ~access ~wire =
         in
         let off = entry.objoff + (vpn - entry.spage) in
         let physmem = Bsd_sys.physmem sys in
-        let found = Vm_object.find_in_chain sys first_obj ~off ~depth:0 in
-        let page =
-          match found with
-          | Some (owner, _, page, depth) ->
-              if depth = 0 then begin
-                (* Page already in the top object: ours to use. *)
-                if write then page.Physmem.Page.dirty <- true;
-                Physmem.activate physmem page;
-                Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
-                page
-              end
-              else if write then begin
-                (* Copy the page up to the first object, then try to
-                   collapse the chain (extra work on every COW fault). *)
+        let resolution =
+          (* Both pagein I/O errors and RAM exhaustion surface as typed
+             failures, mirroring UVM's fault routine. *)
+          try
+            match Vm_object.find_in_chain sys first_obj ~off ~depth:0 with
+            | Error _ as e -> e
+            | Ok (Some (owner, _, page, depth)) ->
+                if depth = 0 then begin
+                  (* Page already in the top object: ours to use. *)
+                  if write then page.Physmem.Page.dirty <- true;
+                  Physmem.activate physmem page;
+                  Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+                  Ok page
+                end
+                else if write then begin
+                  (* Copy the page up to the first object, then try to
+                     collapse the chain (extra work on every COW fault). *)
+                  let fresh =
+                    Physmem.alloc physmem
+                      ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
+                  in
+                  Physmem.copy_data physmem ~src:page ~dst:fresh;
+                  stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+                  Vm_object.insert_page first_obj ~pgno:off fresh;
+                  fresh.Physmem.Page.dirty <- true;
+                  Physmem.activate physmem fresh;
+                  Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot
+                    ~wired:wire;
+                  Vm_object.collapse sys first_obj;
+                  ignore owner;
+                  Ok fresh
+                end
+                else begin
+                  (* Read from an underlying object: map read-only so a later
+                     write still faults. *)
+                  Physmem.activate physmem page;
+                  Pmap.enter map.pmap ~vpn ~page
+                    ~prot:(Pmap.Prot.remove_write entry.prot)
+                    ~wired:wire;
+                  Ok page
+                end
+            | Ok None ->
+                (* Chain exhausted: zero-fill in the first object. *)
                 let fresh =
-                  Physmem.alloc physmem
+                  Physmem.alloc physmem ~zero:true
                     ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
                 in
-                Physmem.copy_data physmem ~src:page ~dst:fresh;
-                stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
                 Vm_object.insert_page first_obj ~pgno:off fresh;
-                fresh.Physmem.Page.dirty <- true;
+                if write then fresh.Physmem.Page.dirty <- true;
                 Physmem.activate physmem fresh;
                 Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot
                   ~wired:wire;
-                Vm_object.collapse sys first_obj;
-                ignore owner;
-                fresh
-              end
-              else begin
-                (* Read from an underlying object: map read-only so a later
-                   write still faults. *)
-                Physmem.activate physmem page;
-                Pmap.enter map.pmap ~vpn ~page
-                  ~prot:(Pmap.Prot.remove_write entry.prot)
-                  ~wired:wire;
-                page
-              end
-          | None ->
-              (* Chain exhausted: zero-fill in the first object. *)
-              let fresh =
-                Physmem.alloc physmem ~zero:true
-                  ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
-              in
-              Vm_object.insert_page first_obj ~pgno:off fresh;
-              if write then fresh.Physmem.Page.dirty <- true;
-              Physmem.activate physmem fresh;
-              Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot ~wired:wire;
-              fresh
+                Ok fresh
+          with Physmem.Out_of_pages -> Error Vmtypes.Out_of_memory
         in
-        if wire then Physmem.wire physmem page;
-        page.Physmem.Page.referenced <- true;
-        finish (Ok ())
+        match resolution with
+        | Error e -> finish (Error e)
+        | Ok page ->
+            if wire then Physmem.wire physmem page;
+            page.Physmem.Page.referenced <- true;
+            finish (Ok ())
       end

@@ -41,11 +41,17 @@ let terminate sys t obj =
       (match Vm_object.dirty_pages obj with
       | [] -> ()
       | dirty ->
-          (* One I/O per page: BSD VM does not cluster. *)
+          (* One I/O per page: BSD VM does not cluster.  Termination is
+             best-effort: a page whose write fails is lost with the
+             object, as when a real kernel hits EIO at reclaim time. *)
           List.iter
             (fun (p : Physmem.Page.t) ->
-              Vfs.write_pages (Bsd_sys.vfs sys) vn ~start_page:p.owner_offset
-                ~srcs:[ p ])
+              match
+                Bsd_sys.retry_transient sys (fun () ->
+                    Vfs.write_pages (Bsd_sys.vfs sys) vn
+                      ~start_page:p.owner_offset ~srcs:[ p ])
+              with
+              | Ok () | Error _ -> ())
             dirty);
       Hashtbl.remove t.by_vnode vn.Vfs.Vnode.vid
   | Vm_object.Anon -> ());

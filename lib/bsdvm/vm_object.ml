@@ -149,42 +149,60 @@ let free_resources sys obj =
 (* Walk the shadow chain looking for the page at [off] (offset within
    [obj]).  Pages on swap are brought in (one I/O each — BSD VM does not
    cluster).  Returns the owning object, the offset within it, the page,
-   and the chain depth at which it was found. *)
+   and the chain depth at which it was found; [Error Pager_error] when the
+   pagein fails beyond the retry budget. *)
 let rec find_in_chain sys obj ~off ~depth =
   Bsd_sys.charge sys (Bsd_sys.costs sys).Sim.Cost_model.object_search;
+  let fail_pagein page =
+    Physmem.free_page (Bsd_sys.physmem sys) page;
+    let stats = Bsd_sys.stats sys in
+    stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
+    Error Vmiface.Vmtypes.Pager_error
+  in
   match find_page obj ~pgno:off with
-  | Some page -> Some (obj, off, page, depth)
+  | Some page -> Ok (Some (obj, off, page, depth))
   | None -> (
       match Hashtbl.find_opt obj.swslots off with
-      | Some slot ->
+      | Some slot -> (
           let page =
             Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
               ~offset:off ()
           in
-          Swap.Swapdev.read_slot (Bsd_sys.swapdev sys) ~slot ~dst:page;
-          insert_page obj ~pgno:off page;
-          Physmem.activate (Bsd_sys.physmem sys) page;
-          Some (obj, off, page, depth)
+          match
+            Swap.Swapdev.read_resilient (Bsd_sys.swapdev sys)
+              ~retries:sys.Bsd_sys.io_retries
+              ~backoff_us:sys.Bsd_sys.io_backoff_us ~slot ~dst:page
+          with
+          | Ok () ->
+              insert_page obj ~pgno:off page;
+              Physmem.activate (Bsd_sys.physmem sys) page;
+              Ok (Some (obj, off, page, depth))
+          | Error _ -> fail_pagein page)
       | None -> (
           match obj.kind with
-          | Vnode vn ->
+          | Vnode vn -> (
               (* Bottom of a file chain: read exactly one page (paper §1.1:
                  BSD VM I/O is one page at a time). *)
               let page =
                 Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
                   ~offset:off ()
               in
-              Vfs.read_pages (Bsd_sys.vfs sys) vn ~start_page:off
-                ~dsts:[ page ];
-              insert_page obj ~pgno:off page;
-              Physmem.activate (Bsd_sys.physmem sys) page;
-              Some (obj, off, page, depth)
+              match
+                Bsd_sys.retry_transient sys (fun () ->
+                    Vfs.read_pages (Bsd_sys.vfs sys) vn ~start_page:off
+                      ~dsts:[ page ])
+              with
+              | Ok () ->
+                  insert_page obj ~pgno:off page;
+                  Physmem.activate (Bsd_sys.physmem sys) page;
+                  Ok (Some (obj, off, page, depth))
+              | Error _ -> fail_pagein page)
           | Anon -> (
               match obj.shadow with
               | Some backing ->
                   find_in_chain sys backing ~off:(off + obj.shadow_offset)
                     ~depth:(depth + 1)
-              | None -> None)))
+              | None -> Ok None)))
 
 (* The collapse operation (paper §5.1): try to merge or bypass [obj]'s
    backing object.  Runs in a loop, charging per attempt; succeeds only

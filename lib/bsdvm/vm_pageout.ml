@@ -14,30 +14,57 @@ let reclaim sys (page : Physmem.Page.t) =
   | _ -> ());
   Physmem.free_page (Bsd_sys.physmem sys) page
 
+(* Returns true when the page was written and may be reclaimed.  Failed
+   writes (after the shared retry/blacklist-reassign policy) leave the
+   page dirty in core — the daemon degrades to reclaiming clean pages. *)
 let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
   match obj.Vm_object.kind with
-  | Vm_object.Vnode vn ->
-      Vfs.write_pages (Bsd_sys.vfs sys) vn ~start_page:page.owner_offset
-        ~srcs:[ page ];
-      true
+  | Vm_object.Vnode vn -> (
+      match
+        Bsd_sys.retry_transient sys (fun () ->
+            Vfs.write_pages (Bsd_sys.vfs sys) vn ~start_page:page.owner_offset
+              ~srcs:[ page ])
+      with
+      | Ok () -> true
+      | Error _ -> false)
   | Vm_object.Anon -> (
       let swapdev = Bsd_sys.swapdev sys in
+      let stats = Bsd_sys.stats sys in
+      let pgno = page.owner_offset in
       let slot =
-        match Hashtbl.find_opt obj.Vm_object.swslots page.owner_offset with
+        match Hashtbl.find_opt obj.Vm_object.swslots pgno with
         | Some slot -> Some slot
         | None ->
             let fresh = Swap.Swapdev.alloc_slots swapdev ~n:1 in
             (match fresh with
-            | Some slot ->
-                Hashtbl.replace obj.Vm_object.swslots page.owner_offset slot
+            | Some slot -> Hashtbl.replace obj.Vm_object.swslots pgno slot
             | None -> ());
             fresh
       in
       match slot with
-      | Some slot ->
-          Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ];
-          true
-      | None -> false (* swap exhausted *))
+      | Some slot -> (
+          (* BSD VM keeps fixed slots, but bad media still forces a move:
+             [assign] rebinds this page's slot when write_resilient
+             blacklists the old one. *)
+          let assign fresh =
+            (match Hashtbl.find_opt obj.Vm_object.swslots pgno with
+            | Some old when old <> fresh ->
+                Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
+            | Some _ | None -> ());
+            Hashtbl.replace obj.Vm_object.swslots pgno fresh
+          in
+          match
+            Swap.Swapdev.write_resilient swapdev
+              ~retries:sys.Bsd_sys.io_retries
+              ~backoff_us:sys.Bsd_sys.io_backoff_us ~slot ~assign
+              ~pages:[ page ]
+          with
+          | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> true
+          | Swap.Swapdev.No_space _ | Swap.Swapdev.Failed _ -> false)
+      | None ->
+          stats.Sim.Stats.swap_full_events <-
+            stats.Sim.Stats.swap_full_events + 1;
+          false (* swap exhausted *))
 
 let run sys =
   let physmem = Bsd_sys.physmem sys in

@@ -4,20 +4,36 @@
     per-page transfer time.  This captures the property the paper's Figure 5
     depends on: writing n scattered pages as n single-page operations costs
     [n * (latency + transfer)], while one clustered operation costs
-    [latency + n * transfer]. *)
+    [latency + n * transfer].
+
+    Transfers are fallible: when a {!Fault_plan} is installed, any
+    operation may return [Error].  A failed operation still charges the
+    clock and counts as an issued op — the time was spent before the
+    device reported the error — but transfers no pages. *)
 
 type t
 
 val create : clock:Simclock.t -> costs:Cost_model.t -> stats:Stats.t -> t
 
-val read : ?sequential:bool -> t -> npages:int -> unit
+val set_fault_plan : t -> Fault_plan.t option -> unit
+(** Install (or clear) the fault plan consulted on every transfer. *)
+
+val fault_plan : t -> Fault_plan.t option
+
+val read :
+  ?sequential:bool ->
+  ?slots:int list ->
+  t ->
+  npages:int ->
+  (unit, Fault_plan.error) result
 (** One read operation transferring [npages] contiguous pages; advances the
     simulated clock and counts the op.  With [sequential:true] the fixed
     per-operation latency is waived — the filesystem's read-ahead already
-    has the head positioned (UFS-style streaming).  [npages] must be
-    >= 1. *)
+    has the head positioned (UFS-style streaming).  [~slots] names the
+    device slots touched, so per-slot scripted faults can target them.
+    [npages] must be >= 1. *)
 
-val write : t -> npages:int -> unit
+val write : ?slots:int list -> t -> npages:int -> (unit, Fault_plan.error) result
 (** One write operation transferring [npages] contiguous pages. *)
 
 val read_ops : t -> int

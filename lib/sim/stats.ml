@@ -37,6 +37,12 @@ type t = {
   mutable pmap_protects : int;
   mutable lock_acquisitions : int;
   mutable map_lock_held_us : float;
+  mutable io_errors_injected : int;
+  mutable pageout_retries : int;
+  mutable pageouts_recovered : int;
+  mutable pageins_failed : int;
+  mutable bad_slots : int;
+  mutable swap_full_events : int;
 }
 
 let create () =
@@ -79,6 +85,12 @@ let create () =
     pmap_protects = 0;
     lock_acquisitions = 0;
     map_lock_held_us = 0.0;
+    io_errors_injected = 0;
+    pageout_retries = 0;
+    pageouts_recovered = 0;
+    pageins_failed = 0;
+    bad_slots = 0;
+    swap_full_events = 0;
   }
 
 let reset t =
@@ -119,7 +131,13 @@ let reset t =
   t.pmap_removes <- 0;
   t.pmap_protects <- 0;
   t.lock_acquisitions <- 0;
-  t.map_lock_held_us <- 0.0
+  t.map_lock_held_us <- 0.0;
+  t.io_errors_injected <- 0;
+  t.pageout_retries <- 0;
+  t.pageouts_recovered <- 0;
+  t.pageins_failed <- 0;
+  t.bad_slots <- 0;
+  t.swap_full_events <- 0
 
 let snapshot t = { t with faults = t.faults }
 
@@ -167,6 +185,12 @@ let diff ~after ~before =
     pmap_protects = after.pmap_protects - before.pmap_protects;
     lock_acquisitions = after.lock_acquisitions - before.lock_acquisitions;
     map_lock_held_us = after.map_lock_held_us -. before.map_lock_held_us;
+    io_errors_injected = after.io_errors_injected - before.io_errors_injected;
+    pageout_retries = after.pageout_retries - before.pageout_retries;
+    pageouts_recovered = after.pageouts_recovered - before.pageouts_recovered;
+    pageins_failed = after.pageins_failed - before.pageins_failed;
+    bad_slots = after.bad_slots - before.bad_slots;
+    swap_full_events = after.swap_full_events - before.swap_full_events;
   }
 
 let to_rows t =
@@ -209,6 +233,12 @@ let to_rows t =
     ("pmap_protects", float_of_int t.pmap_protects);
     ("lock_acquisitions", float_of_int t.lock_acquisitions);
     ("map_lock_held_us", t.map_lock_held_us);
+    ("io_errors_injected", float_of_int t.io_errors_injected);
+    ("pageout_retries", float_of_int t.pageout_retries);
+    ("pageouts_recovered", float_of_int t.pageouts_recovered);
+    ("pageins_failed", float_of_int t.pageins_failed);
+    ("bad_slots", float_of_int t.bad_slots);
+    ("swap_full_events", float_of_int t.swap_full_events);
   ]
 
 let pp ppf t =

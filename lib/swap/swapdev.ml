@@ -1,6 +1,7 @@
 type t = {
   map : Swapmap.t;
   disk : Sim.Disk.t;
+  clock : Sim.Simclock.t;
   page_size : int;
   store : (int, bytes) Hashtbl.t;
   stats : Sim.Stats.t;
@@ -10,6 +11,7 @@ let create ~nslots ~page_size ~clock ~costs ~stats =
   {
     map = Swapmap.create ~nslots;
     disk = Sim.Disk.create ~clock ~costs ~stats;
+    clock;
     page_size;
     store = Hashtbl.create 256;
     stats;
@@ -17,6 +19,9 @@ let create ~nslots ~page_size ~clock ~costs ~stats =
 
 let capacity t = Swapmap.capacity t.map
 let slots_in_use t = Swapmap.in_use t.map
+let slots_usable t = Swapmap.usable t.map
+let bad_slot_count t = Swapmap.bad_count t.map
+let is_bad_slot t ~slot = Swapmap.is_bad t.map ~slot
 let disk t = t.disk
 
 let alloc_slots t ~n =
@@ -35,39 +40,145 @@ let free_slots t ~slot ~n =
   done;
   t.stats.Sim.Stats.swap_slots_freed <- t.stats.Sim.Stats.swap_slots_freed + n
 
+let mark_bad t ~slot =
+  if not (Swapmap.is_bad t.map ~slot) then begin
+    Swapmap.mark_bad t.map ~slot;
+    (* Whatever the bad slot held is unreadable now. *)
+    Hashtbl.remove t.store slot;
+    t.stats.Sim.Stats.bad_slots <- t.stats.Sim.Stats.bad_slots + 1
+  end
+
+let slot_range slot n = List.init n (fun i -> slot + i)
+
+(* The disk decides the fate of the transfer before any bytes move: a
+   failed write leaves the pages dirty and the store untouched, so the
+   caller can retry or reassign without losing data. *)
 let write_cluster t ~slot ~pages =
   let n = List.length pages in
   if n = 0 then invalid_arg "Swapdev.write_cluster: no pages";
   List.iteri
-    (fun i (page : Physmem.Page.t) ->
-      let s = slot + i in
-      if not (Swapmap.is_allocated t.map ~slot:s) then
-        invalid_arg "Swapdev.write_cluster: slot not allocated";
-      Hashtbl.replace t.store s (Bytes.copy page.data);
-      page.dirty <- false)
+    (fun i (_ : Physmem.Page.t) ->
+      if not (Swapmap.is_allocated t.map ~slot:(slot + i)) then
+        invalid_arg "Swapdev.write_cluster: slot not allocated")
     pages;
-  Sim.Disk.write t.disk ~npages:n;
-  t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n
+  match Sim.Disk.write t.disk ~slots:(slot_range slot n) ~npages:n with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iteri
+        (fun i (page : Physmem.Page.t) ->
+          Hashtbl.replace t.store (slot + i) (Bytes.copy page.data);
+          page.dirty <- false)
+        pages;
+      t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n;
+      Ok ()
 
 let read_slot t ~slot ~dst =
   match Hashtbl.find_opt t.store slot with
   | None -> invalid_arg "Swapdev.read_slot: slot holds no data"
-  | Some data ->
-      Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
-      Sim.Disk.read t.disk ~npages:1;
-      dst.Physmem.Page.dirty <- false;
-      t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + 1
+  | Some data -> (
+      match Sim.Disk.read t.disk ~slots:[ slot ] ~npages:1 with
+      | Error _ as e -> e
+      | Ok () ->
+          Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
+          dst.Physmem.Page.dirty <- false;
+          t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + 1;
+          Ok ())
 
 let read_cluster t ~slot ~dsts =
   let n = List.length dsts in
   if n = 0 then invalid_arg "Swapdev.read_cluster: no pages";
-  List.iteri
-    (fun i (dst : Physmem.Page.t) ->
-      match Hashtbl.find_opt t.store (slot + i) with
-      | None -> invalid_arg "Swapdev.read_cluster: slot holds no data"
-      | Some data ->
+  let datas =
+    List.mapi
+      (fun i (_ : Physmem.Page.t) ->
+        match Hashtbl.find_opt t.store (slot + i) with
+        | None -> invalid_arg "Swapdev.read_cluster: slot holds no data"
+        | Some data -> data)
+      dsts
+  in
+  match Sim.Disk.read t.disk ~slots:(slot_range slot n) ~npages:n with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iter2
+        (fun data (dst : Physmem.Page.t) ->
           Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
           dst.Physmem.Page.dirty <- false)
-    dsts;
-  Sim.Disk.read t.disk ~npages:n;
-  t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n
+        datas dsts;
+      t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n;
+      Ok ()
+
+(* Exponential backoff before retry attempt [attempt] (0-based), charged
+   to the simulated clock: the pagedaemon sleeps, it does not spin. *)
+let backoff_delay ~backoff_us attempt =
+  backoff_us *. (2.0 ** float_of_int attempt)
+
+let read_resilient t ~retries ~backoff_us ~slot ~dst =
+  let rec go attempt =
+    match read_slot t ~slot ~dst with
+    | Ok () -> Ok ()
+    | Error e -> (
+        match e.Sim.Fault_plan.severity with
+        | Sim.Fault_plan.Transient when attempt < retries ->
+            Sim.Simclock.advance t.clock (backoff_delay ~backoff_us attempt);
+            go (attempt + 1)
+        | _ -> Error e)
+  in
+  go 0
+
+type write_outcome =
+  | Written  (** on the original slots, possibly after transient retries *)
+  | Reassigned of int
+      (** permanent error: bad slot blacklisted, cluster rewritten at the
+          returned base slot *)
+  | No_space of Sim.Fault_plan.error
+      (** permanent error and no replacement slots available *)
+  | Failed of Sim.Fault_plan.error
+      (** transient error persisted through every retry *)
+
+let write_resilient t ~retries ~backoff_us ~slot ~assign ~pages =
+  let n = List.length pages in
+  let recovered = ref false in
+  let outcome = ref Written in
+  (* Termination: every transient retry decrements [attempt] budget, and
+     every permanent failure blacklists a slot, shrinking the usable pool
+     until allocation fails — the recursion cannot run forever. *)
+  let rec go base attempt =
+    match write_cluster t ~slot:base ~pages with
+    | Ok () ->
+        if !recovered then
+          t.stats.Sim.Stats.pageouts_recovered <-
+            t.stats.Sim.Stats.pageouts_recovered + 1;
+        !outcome
+    | Error e -> (
+        match e.Sim.Fault_plan.severity with
+        | Sim.Fault_plan.Transient when attempt < retries ->
+            t.stats.Sim.Stats.pageout_retries <-
+              t.stats.Sim.Stats.pageout_retries + 1;
+            Sim.Simclock.advance t.clock (backoff_delay ~backoff_us attempt);
+            recovered := true;
+            go base (attempt + 1)
+        | Sim.Fault_plan.Transient -> Failed e
+        | Sim.Fault_plan.Permanent -> (
+            (* Bad media.  Retrying the same slot is pointless: blacklist
+               it and move the whole cluster elsewhere — the paper's
+               swap-location reassignment doubling as error recovery. *)
+            let bad =
+              match e.Sim.Fault_plan.bad_slot with
+              | Some s when s >= base && s < base + n -> s
+              | _ -> base
+            in
+            mark_bad t ~slot:bad;
+            match alloc_slots t ~n with
+            | None ->
+                t.stats.Sim.Stats.swap_full_events <-
+                  t.stats.Sim.Stats.swap_full_events + 1;
+                No_space e
+            | Some fresh ->
+                (* The caller rebinds its bookkeeping (anon swslots, object
+                   slot tables) to the fresh range, releasing the old slots
+                   — which permanently retires the blacklisted one. *)
+                assign fresh;
+                recovered := true;
+                outcome := Reassigned fresh;
+                go fresh 0))
+  in
+  go slot 0

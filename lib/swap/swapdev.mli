@@ -2,7 +2,13 @@
 
     Page contents written out are retained per-slot, so a later pagein
     restores the exact bytes — pageout/pagein is validated for data
-    correctness, not just accounting. *)
+    correctness, not just accounting.
+
+    All transfers are fallible (see {!Sim.Fault_plan}); a failed write
+    leaves the pages dirty and the stored bytes untouched, so callers can
+    retry or reassign without losing data.  The [_resilient] entry points
+    package the standard recovery policy: bounded exponential-backoff
+    retry for transient errors, blacklist-and-reassign for bad media. *)
 
 type t
 
@@ -17,22 +23,77 @@ val create :
 val capacity : t -> int
 val slots_in_use : t -> int
 
+val slots_usable : t -> int
+(** Capacity net of blacklisted slots. *)
+
+val bad_slot_count : t -> int
+val is_bad_slot : t -> slot:int -> bool
+
 val alloc_slots : t -> n:int -> int option
 (** Reserve [n] contiguous slots (no I/O yet). *)
 
 val free_slots : t -> slot:int -> n:int -> unit
-(** Release slots and discard their stored contents. *)
+(** Release slots and discard their stored contents.  Blacklisted slots
+    are retired rather than returned to circulation. *)
 
-val write_cluster : t -> slot:int -> pages:Physmem.Page.t list -> unit
+val mark_bad : t -> slot:int -> unit
+(** Blacklist [slot] as bad media and discard whatever it stored.
+    Idempotent; counts into [Stats.bad_slots]. *)
+
+val write_cluster :
+  t -> slot:int -> pages:Physmem.Page.t list -> (unit, Sim.Fault_plan.error) result
 (** Write the pages to consecutive slots starting at [slot] as a single
     I/O operation (this is UVM's clustered pageout: one seek, n transfers).
-    Marks the pages clean. *)
+    Marks the pages clean on success; on [Error] the pages stay dirty and
+    no slot contents change. *)
 
-val read_slot : t -> slot:int -> dst:Physmem.Page.t -> unit
+val read_slot :
+  t -> slot:int -> dst:Physmem.Page.t -> (unit, Sim.Fault_plan.error) result
 (** Page in one slot (one I/O operation).
     @raise Invalid_argument if the slot holds no data. *)
 
-val read_cluster : t -> slot:int -> dsts:Physmem.Page.t list -> unit
+val read_cluster :
+  t -> slot:int -> dsts:Physmem.Page.t list -> (unit, Sim.Fault_plan.error) result
 (** Page in consecutive slots in one I/O operation. *)
+
+val read_resilient :
+  t ->
+  retries:int ->
+  backoff_us:float ->
+  slot:int ->
+  dst:Physmem.Page.t ->
+  (unit, Sim.Fault_plan.error) result
+(** [read_slot] with up to [retries] extra attempts on transient errors,
+    sleeping [backoff_us * 2^attempt] simulated microseconds between
+    attempts.  Permanent errors are returned immediately: the data is on
+    bad media and retrying cannot help. *)
+
+type write_outcome =
+  | Written  (** on the original slots, possibly after transient retries *)
+  | Reassigned of int
+      (** permanent error: bad slot blacklisted, cluster rewritten at the
+          returned base slot *)
+  | No_space of Sim.Fault_plan.error
+      (** permanent error and no replacement slots available *)
+  | Failed of Sim.Fault_plan.error
+      (** transient error persisted through every retry *)
+
+val write_resilient :
+  t ->
+  retries:int ->
+  backoff_us:float ->
+  slot:int ->
+  assign:(int -> unit) ->
+  pages:Physmem.Page.t list ->
+  write_outcome
+(** [write_cluster] under the full recovery policy.  Transient errors are
+    retried up to [retries] times with exponential backoff charged to the
+    simulated clock.  A permanent error blacklists the offending slot,
+    allocates a fresh contiguous range, and calls [assign base] so the
+    caller rebinds its bookkeeping (anon swslots / object slot tables) to
+    the new range — the caller must free the old slots in [assign], which
+    permanently retires the blacklisted one — then rewrites there.
+    Successful recovery (any path involving a retry or reassignment)
+    counts into [Stats.pageouts_recovered]. *)
 
 val disk : t -> Sim.Disk.t

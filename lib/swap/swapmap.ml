@@ -1,24 +1,39 @@
 type t = {
   nslots : int;
   used : bool array; (* index 0 unused; slots are 1..nslots *)
+  bad : bool array; (* blacklisted: bad media, never handed out again *)
   mutable hint : int;
   mutable in_use : int;
+  mutable usable : int; (* nslots minus blacklisted slots *)
+  mutable bad_count : int;
 }
 
 let create ~nslots =
   if nslots < 1 then invalid_arg "Swapmap.create: nslots must be >= 1";
-  { nslots; used = Array.make (nslots + 1) false; hint = 1; in_use = 0 }
+  {
+    nslots;
+    used = Array.make (nslots + 1) false;
+    bad = Array.make (nslots + 1) false;
+    hint = 1;
+    in_use = 0;
+    usable = nslots;
+    bad_count = 0;
+  }
 
 let capacity t = t.nslots
 let in_use t = t.in_use
+let usable t = t.usable
+let bad_count t = t.bad_count
 
 let run_free_at t start n =
-  let rec check i = i >= n || ((not t.used.(start + i)) && check (i + 1)) in
+  let rec check i =
+    i >= n || ((not t.used.(start + i)) && (not t.bad.(start + i)) && check (i + 1))
+  in
   start + n - 1 <= t.nslots && check 0
 
 let alloc t ~n =
   if n < 1 then invalid_arg "Swapmap.alloc: n must be >= 1";
-  if t.in_use + n > t.nslots then None
+  if t.in_use + n > t.usable then None
   else begin
     (* First fit, scanning from the hint and wrapping once. *)
     let found = ref None in
@@ -51,9 +66,24 @@ let free t ~slot ~n =
     invalid_arg "Swapmap.free: slot range out of bounds";
   for i = slot to slot + n - 1 do
     if not t.used.(i) then invalid_arg "Swapmap.free: slot not allocated";
-    t.used.(i) <- false
+    t.used.(i) <- false;
+    (* A blacklisted slot leaves circulation the moment its current
+       tenant releases it: it stays marked bad and stops counting as
+       usable capacity. *)
+    if t.bad.(i) then t.usable <- t.usable - 1
   done;
   t.in_use <- t.in_use - n
 
-let is_allocated t ~slot =
-  slot >= 1 && slot <= t.nslots && t.used.(slot)
+let mark_bad t ~slot =
+  if slot < 1 || slot > t.nslots then
+    invalid_arg "Swapmap.mark_bad: slot out of bounds";
+  if not t.bad.(slot) then begin
+    t.bad.(slot) <- true;
+    t.bad_count <- t.bad_count + 1;
+    (* If currently allocated, the owner still holds it; capacity shrinks
+       when it is freed (see [free]).  A free slot shrinks capacity now. *)
+    if not t.used.(slot) then t.usable <- t.usable - 1
+  end
+
+let is_allocated t ~slot = slot >= 1 && slot <= t.nslots && t.used.(slot)
+let is_bad t ~slot = slot >= 1 && slot <= t.nslots && t.bad.(slot)

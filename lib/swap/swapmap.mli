@@ -13,12 +13,27 @@ val capacity : t -> int
 val in_use : t -> int
 (** Number of slots currently allocated. *)
 
+val usable : t -> int
+(** Capacity net of blacklisted slots: the ceiling [in_use] can reach. *)
+
+val bad_count : t -> int
+(** Number of slots blacklisted so far. *)
+
 val alloc : t -> n:int -> int option
 (** [alloc t ~n] finds [n] contiguous free slots, first-fit from a rotating
-    hint.  Returns the first slot, or [None] if no run of [n] exists. *)
+    hint, skipping blacklisted slots.  Returns the first slot, or [None] if
+    no run of [n] exists. *)
 
 val free : t -> slot:int -> n:int -> unit
-(** Release [n] slots starting at [slot].
+(** Release [n] slots starting at [slot].  Freeing a blacklisted slot
+    permanently retires it rather than returning it to circulation.
     @raise Invalid_argument on double free or out-of-range slots. *)
 
+val mark_bad : t -> slot:int -> unit
+(** Blacklist [slot] as bad media: it will never be handed out by [alloc]
+    again.  A currently-allocated slot stays charged to its owner until
+    freed; a free slot leaves the usable pool immediately.  Idempotent. *)
+
 val is_allocated : t -> slot:int -> bool
+
+val is_bad : t -> slot:int -> bool

@@ -239,7 +239,11 @@ module Sys = struct
                   p.owner_offset >= lo && p.owner_offset < hi)
                 (Uvm_object.dirty_pages obj)
             in
-            if dirty <> [] then obj.Uvm_object.pgops.Uvm_object.pgo_put dirty
+            if dirty <> [] then
+              (* msync has no error channel here; failed pages stay dirty
+                 and a later sync or pageout retries them. *)
+              (match obj.Uvm_object.pgops.Uvm_object.pgo_put dirty with
+              | Ok () | Error _ -> ())
         | None -> ())
       (List.filter
          (fun (e : Uvm_map.entry) ->

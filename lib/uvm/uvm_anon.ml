@@ -72,17 +72,30 @@ let is_resident t = t.page <> None
 
 let ensure_resident sys t =
   match t.page with
-  | Some page -> page
-  | None ->
+  | Some page -> Ok page
+  | None -> (
       if t.swslot = 0 then
         invalid_arg "Uvm_anon.ensure_resident: anon has neither page nor swap";
       let page =
         Physmem.alloc (Uvm_sys.physmem sys) ~owner:(Anon_page t) ~offset:0 ()
       in
-      Swap.Swapdev.read_slot (Uvm_sys.swapdev sys) ~slot:t.swslot ~dst:page;
-      Physmem.activate (Uvm_sys.physmem sys) page;
-      t.page <- Some page;
-      page
+      match
+        Swap.Swapdev.read_resilient (Uvm_sys.swapdev sys)
+          ~retries:sys.Uvm_sys.io_retries ~backoff_us:sys.Uvm_sys.io_backoff_us
+          ~slot:t.swslot ~dst:page
+      with
+      | Ok () ->
+          Physmem.activate (Uvm_sys.physmem sys) page;
+          t.page <- Some page;
+          Ok page
+      | Error _ ->
+          (* The pagein failed for good; give the frame back.  The anon
+             keeps its swslot — the data (possibly unreadable) is still
+             nominally there, and a later access may be retried. *)
+          Physmem.free_page (Uvm_sys.physmem sys) page;
+          let stats = Uvm_sys.stats sys in
+          stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
+          Error Vmiface.Vmtypes.Pager_error)
 
 let writable_in_place t =
   t.refs = 1

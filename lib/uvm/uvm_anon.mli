@@ -37,9 +37,13 @@ val set_swslot : Uvm_sys.t -> t -> int -> unit
     slot — this is the dynamic reassignment that enables UVM's aggressive
     pageout clustering. *)
 
-val ensure_resident : Uvm_sys.t -> t -> Physmem.Page.t
+val ensure_resident :
+  Uvm_sys.t -> t -> (Physmem.Page.t, Vmiface.Vmtypes.fault_error) result
 (** Make the anon's data resident, paging it in from swap if needed, and
-    return the page.  The page is put on the active queue. *)
+    return the page.  The page is put on the active queue.
+    [Error Pager_error] when the swap read fails beyond the retry budget;
+    the freshly-allocated frame is returned to the free list and the anon
+    keeps its swap slot. *)
 
 val is_resident : t -> bool
 

@@ -16,71 +16,111 @@ let free_slots sys st =
 let make_ops sys st obj =
   let physmem = Uvm_sys.physmem sys in
   let swapdev = Uvm_sys.swapdev sys in
+  let stats = Uvm_sys.stats sys in
   let pgo_get ~center ~lo ~hi =
+    let status = ref (Ok ()) in
     (if Uvm_object.find_page obj ~pgno:center = None then begin
        let page =
          Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj) ~offset:center
            ()
        in
-       (match Hashtbl.find_opt st.swslots center with
-       | Some slot -> Swap.Swapdev.read_slot swapdev ~slot ~dst:page
-       | None -> Physmem.zero_data physmem page);
-       Uvm_object.insert_page sys obj ~pgno:center page;
-       Physmem.activate physmem page
+       let filled =
+         match Hashtbl.find_opt st.swslots center with
+         | Some slot ->
+             Swap.Swapdev.read_resilient swapdev
+               ~retries:sys.Uvm_sys.io_retries
+               ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~dst:page
+         | None ->
+             Physmem.zero_data physmem page;
+             Ok ()
+       in
+       match filled with
+       | Ok () ->
+           Uvm_object.insert_page sys obj ~pgno:center page;
+           Physmem.activate physmem page
+       | Error _ ->
+           Physmem.free_page physmem page;
+           stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
+           status := Error Vmiface.Vmtypes.Pager_error
      end);
-    List.filter (fun (pgno, _) -> pgno >= lo && pgno < hi) (Uvm_object.resident obj)
+    match !status with
+    | Error _ as e -> e
+    | Ok () ->
+        Ok
+          (List.filter
+             (fun (pgno, _) -> pgno >= lo && pgno < hi)
+             (Uvm_object.resident obj))
+  in
+  (* Rebind the batch's pages to consecutive slots from [base], releasing
+     any previous bindings.  Used both for the initial clustered
+     assignment and by [write_resilient] when a bad slot forces the
+     cluster elsewhere (freeing the old binding retires the bad slot). *)
+  let rebind_cluster pages base =
+    List.iteri
+      (fun i (page : Physmem.Page.t) ->
+        let pgno = page.owner_offset in
+        (match Hashtbl.find_opt st.swslots pgno with
+        | Some old when old <> base + i ->
+            Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
+        | Some _ | None -> ());
+        Hashtbl.replace st.swslots pgno (base + i))
+      pages
+  in
+  let write_batch_at pages base =
+    match
+      Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
+        ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot:base
+        ~assign:(rebind_cluster pages) ~pages
+    with
+    | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> Ok ()
+    | Swap.Swapdev.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
+    | Swap.Swapdev.Failed _ -> Error Vmiface.Vmtypes.Pager_error
+  in
+  (* One page into its existing slot, or a freshly allocated one.  [None]
+     from the allocator means swap is full: the page simply stays dirty
+     and in core (graceful degradation — the pagedaemon will look for
+     clean pages instead). *)
+  let write_single (page : Physmem.Page.t) =
+    let pgno = page.owner_offset in
+    let slot =
+      match Hashtbl.find_opt st.swslots pgno with
+      | Some slot -> Some slot
+      | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
+    in
+    match slot with
+    | Some slot ->
+        Hashtbl.replace st.swslots pgno slot;
+        write_batch_at [ page ] slot
+    | None ->
+        stats.Sim.Stats.swap_full_events <-
+          stats.Sim.Stats.swap_full_events + 1;
+        Error Vmiface.Vmtypes.Out_of_swap
+  in
+  let combine acc r =
+    match (acc, r) with Error _, _ -> acc | Ok (), r -> r
   in
   let pgo_put pages =
     match pages with
-    | [] -> ()
-    | _ when sys.Uvm_sys.aggressive_clustering ->
+    | [] -> Ok ()
+    | _ when sys.Uvm_sys.aggressive_clustering -> (
         (* Reassign swap locations so the whole batch is one contiguous
            write (paper §6). *)
         let n = List.length pages in
-        (match Swap.Swapdev.alloc_slots swapdev ~n with
+        match Swap.Swapdev.alloc_slots swapdev ~n with
         | Some base ->
-            List.iteri
-              (fun i (page : Physmem.Page.t) ->
-                let pgno = page.owner_offset in
-                (match Hashtbl.find_opt st.swslots pgno with
-                | Some old -> Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
-                | None -> ());
-                Hashtbl.replace st.swslots pgno (base + i))
-              pages;
-            Swap.Swapdev.write_cluster swapdev ~slot:base ~pages
+            rebind_cluster pages base;
+            write_batch_at pages base
         | None ->
-            (* Swap exhausted; write page-at-a-time into whatever slots
-               remain. *)
-            List.iter
-              (fun (page : Physmem.Page.t) ->
-                let pgno = page.owner_offset in
-                let slot =
-                  match Hashtbl.find_opt st.swslots pgno with
-                  | Some slot -> Some slot
-                  | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
-                in
-                match slot with
-                | Some slot ->
-                    Hashtbl.replace st.swslots pgno slot;
-                    Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
-                | None -> ())
-              pages)
+            (* No contiguous run of n; write page-at-a-time into whatever
+               slots remain. *)
+            List.fold_left
+              (fun acc page -> combine acc (write_single page))
+              (Ok ()) pages)
     | _ ->
         (* Ablation mode: BSD-style fixed slots, one I/O per page. *)
-        List.iter
-          (fun (page : Physmem.Page.t) ->
-            let pgno = page.owner_offset in
-            let slot =
-              match Hashtbl.find_opt st.swslots pgno with
-              | Some slot -> Some slot
-              | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
-            in
-            match slot with
-            | Some slot ->
-                Hashtbl.replace st.swslots pgno slot;
-                Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
-            | None -> ())
-          pages
+        List.fold_left
+          (fun acc page -> combine acc (write_single page))
+          (Ok ()) pages
   in
   let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
   let pgo_detach () =

@@ -50,13 +50,14 @@ let attach sys dev =
              page.Physmem.Page.owner <- Uvm_object.Uobj_page obj;
              page.Physmem.Page.owner_offset <- center;
              Hashtbl.replace obj.Uvm_object.pages center page);
-          List.filter
-            (fun (pgno, _) -> pgno >= lo && pgno < hi)
-            (Uvm_object.resident obj)
+          Ok
+            (List.filter
+               (fun (pgno, _) -> pgno >= lo && pgno < hi)
+               (Uvm_object.resident obj))
         in
         let pgo_put _pages =
           (* ROM: nothing to write back. *)
-          ()
+          Ok ()
         in
         let pgo_reference () =
           obj.Uvm_object.refs <- obj.Uvm_object.refs + 1

@@ -75,45 +75,48 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
   let stats = Uvm_sys.stats sys in
   let am = Option.get entry.amap in
   let slot = entry.amapoff + (vpn - entry.spage) in
-  let page = Uvm_anon.ensure_resident sys anon in
-  if write then
-    if Uvm_anon.writable_in_place anon then begin
-      (* Sole reference, no loans: write straight into the page — the
-         optimisation BSD VM's chains cannot express (paper §5.3). *)
-      stats.Sim.Stats.cow_reuses <- stats.Sim.Stats.cow_reuses + 1;
-      page.Physmem.Page.dirty <- true;
-      Physmem.activate physmem page;
-      Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
-      page
-    end
-    else begin
-      (* Copy-on-write at anon granularity: copy into a fresh anon and
-         drop one reference on the old one. *)
-      let fresh = Uvm_anon.alloc sys ~zero:false in
-      let fresh_page = Option.get fresh.Uvm_anon.page in
-      Physmem.copy_data physmem ~src:page ~dst:fresh_page;
-      stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
-      (* Replacing an anon in a *shared* amap: other sharers still map the
-         displaced page — shoot those translations down so they refault
-         and find the new anon. *)
-      if am.Uvm_amap.shared then
-        Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
-      Uvm_amap.replace sys am ~slot fresh;
-      fresh_page.Physmem.Page.dirty <- true;
-      Physmem.activate physmem fresh_page;
-      Pmap.enter map.pmap ~vpn ~page:fresh_page ~prot:entry.prot ~wired:wire;
-      fresh_page
-    end
-  else begin
-    let prot =
-      if Uvm_anon.writable_in_place anon && not entry.needs_copy then
-        entry.prot
-      else Pmap.Prot.remove_write entry.prot
-    in
-    Physmem.activate physmem page;
-    Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
-    page
-  end
+  match Uvm_anon.ensure_resident sys anon with
+  | Error _ as e -> e
+  | Ok page ->
+      if write then
+        if Uvm_anon.writable_in_place anon then begin
+          (* Sole reference, no loans: write straight into the page — the
+             optimisation BSD VM's chains cannot express (paper §5.3). *)
+          stats.Sim.Stats.cow_reuses <- stats.Sim.Stats.cow_reuses + 1;
+          page.Physmem.Page.dirty <- true;
+          Physmem.activate physmem page;
+          Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+          Ok page
+        end
+        else begin
+          (* Copy-on-write at anon granularity: copy into a fresh anon and
+             drop one reference on the old one. *)
+          let fresh = Uvm_anon.alloc sys ~zero:false in
+          let fresh_page = Option.get fresh.Uvm_anon.page in
+          Physmem.copy_data physmem ~src:page ~dst:fresh_page;
+          stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+          (* Replacing an anon in a *shared* amap: other sharers still map the
+             displaced page — shoot those translations down so they refault
+             and find the new anon. *)
+          if am.Uvm_amap.shared then
+            Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
+          Uvm_amap.replace sys am ~slot fresh;
+          fresh_page.Physmem.Page.dirty <- true;
+          Physmem.activate physmem fresh_page;
+          Pmap.enter map.pmap ~vpn ~page:fresh_page ~prot:entry.prot
+            ~wired:wire;
+          Ok fresh_page
+        end
+      else begin
+        let prot =
+          if Uvm_anon.writable_in_place anon && not entry.needs_copy then
+            entry.prot
+          else Pmap.Prot.remove_write entry.prot
+        in
+        Physmem.activate physmem page;
+        Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+        Ok page
+      end
 
 let resolve_object_fault map entry ~vpn ~write ~wire obj =
   let sys = map.sys in
@@ -121,43 +124,52 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
   let stats = Uvm_sys.stats sys in
   let pgno = entry.objoff + (vpn - entry.spage) in
   Uvm_sys.charge sys (Uvm_sys.costs sys).Sim.Cost_model.object_search;
-  let resident =
+  match
     obj.Uvm_object.pgops.Uvm_object.pgo_get ~center:pgno ~lo:entry.objoff
       ~hi:(entry.objoff + entry_npages entry)
-  in
-  let page =
-    match List.assoc_opt pgno resident with
-    | Some page -> page
-    | None -> (
-        (* pgo_get guarantees the centre page; re-check directly in case
-           the pager reported a narrower window. *)
-        match Uvm_object.find_page obj ~pgno with
-        | Some page -> page
-        | None -> failwith "uvm_fault: pager failed to supply centre page")
-  in
-  if write && entry.cow then begin
-    (* Promote: anonymise the page so the object stays unmodified. *)
-    let am = Option.get entry.amap in
-    let slot = entry.amapoff + (vpn - entry.spage) in
-    let anon = Uvm_anon.alloc sys ~zero:false in
-    let anon_page = Option.get anon.Uvm_anon.page in
-    Physmem.copy_data physmem ~src:page ~dst:anon_page;
-    stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
-    Uvm_amap.add sys am ~slot anon;
-    anon_page.Physmem.Page.dirty <- true;
-    Physmem.activate physmem anon_page;
-    Pmap.enter map.pmap ~vpn ~page:anon_page ~prot:entry.prot ~wired:wire;
-    anon_page
-  end
-  else begin
-    if write then page.Physmem.Page.dirty <- true;
-    let prot =
-      if entry.cow then Pmap.Prot.remove_write entry.prot else entry.prot
-    in
-    Physmem.activate physmem page;
-    Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
-    page
-  end
+  with
+  | Error _ as e -> e
+  | Ok resident -> (
+      let page =
+        match List.assoc_opt pgno resident with
+        | Some page -> Some page
+        | None ->
+            (* pgo_get guarantees the centre page; re-check directly in case
+               the pager reported a narrower window. *)
+            Uvm_object.find_page obj ~pgno
+      in
+      match page with
+      | None ->
+          (* A pager that reports success but supplies no centre page is
+             indistinguishable from failed backing store; deliver the typed
+             error rather than panicking the kernel. *)
+          Error Vmtypes.Pager_error
+      | Some page ->
+          if write && entry.cow then begin
+            (* Promote: anonymise the page so the object stays unmodified. *)
+            let am = Option.get entry.amap in
+            let slot = entry.amapoff + (vpn - entry.spage) in
+            let anon = Uvm_anon.alloc sys ~zero:false in
+            let anon_page = Option.get anon.Uvm_anon.page in
+            Physmem.copy_data physmem ~src:page ~dst:anon_page;
+            stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+            Uvm_amap.add sys am ~slot anon;
+            anon_page.Physmem.Page.dirty <- true;
+            Physmem.activate physmem anon_page;
+            Pmap.enter map.pmap ~vpn ~page:anon_page ~prot:entry.prot
+              ~wired:wire;
+            Ok anon_page
+          end
+          else begin
+            if write then page.Physmem.Page.dirty <- true;
+            let prot =
+              if entry.cow then Pmap.Prot.remove_write entry.prot
+              else entry.prot
+            in
+            Physmem.activate physmem page;
+            Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+            Ok page
+          end)
 
 let resolve_zero_fill map entry ~vpn ~write ~wire =
   let sys = map.sys in
@@ -170,7 +182,7 @@ let resolve_zero_fill map entry ~vpn ~write ~wire =
   if write then page.Physmem.Page.dirty <- true;
   Physmem.activate physmem page;
   Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
-  page
+  Ok page
 
 let fault map ~vpn ~access ~wire =
   let sys = map.sys in
@@ -219,17 +231,25 @@ let fault map ~vpn ~access ~wire =
               Uvm_amap.lookup am ~slot:(entry.amapoff + (vpn - entry.spage))
           | None -> None
         in
-        let page =
-          match anon with
-          | Some anon -> resolve_anon_fault map entry ~vpn ~write ~wire anon
-          | None -> (
-              match entry.obj with
-              | Some obj -> resolve_object_fault map entry ~vpn ~write ~wire obj
-              | None -> resolve_zero_fill map entry ~vpn ~write ~wire)
+        let resolution =
+          (* RAM exhaustion anywhere below (page allocation for pagein,
+             COW copy, zero fill) is a typed failure, not a crash. *)
+          try
+            match anon with
+            | Some anon -> resolve_anon_fault map entry ~vpn ~write ~wire anon
+            | None -> (
+                match entry.obj with
+                | Some obj ->
+                    resolve_object_fault map entry ~vpn ~write ~wire obj
+                | None -> resolve_zero_fill map entry ~vpn ~write ~wire)
+          with Physmem.Out_of_pages -> Error Vmtypes.Out_of_memory
         in
-        if wire then Physmem.wire (Uvm_sys.physmem sys) page;
-        page.Physmem.Page.referenced <- true;
-        (* Step 3: opportunistically map resident neighbours. *)
-        if not wire then fault_ahead map entry ~vpn;
-        finish (Ok ())
+        match resolution with
+        | Error e -> finish (Error e)
+        | Ok page ->
+            if wire then Physmem.wire (Uvm_sys.physmem sys) page;
+            page.Physmem.Page.referenced <- true;
+            (* Step 3: opportunistically map resident neighbours. *)
+            if not wire then fault_ahead map entry ~vpn;
+            finish (Ok ())
       end

@@ -7,8 +7,12 @@ type t = {
 
 and pager_ops = {
   pgo_name : string;
-  pgo_get : center:int -> lo:int -> hi:int -> (int * Physmem.Page.t) list;
-  pgo_put : Physmem.Page.t list -> unit;
+  pgo_get :
+    center:int ->
+    lo:int ->
+    hi:int ->
+    ((int * Physmem.Page.t) list, Vmiface.Vmtypes.fault_error) result;
+  pgo_put : Physmem.Page.t list -> (unit, Vmiface.Vmtypes.fault_error) result;
   pgo_reference : unit -> unit;
   pgo_detach : unit -> unit;
 }

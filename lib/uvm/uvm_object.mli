@@ -19,13 +19,20 @@ type t = {
     the data. *)
 and pager_ops = {
   pgo_name : string;
-  pgo_get : center:int -> lo:int -> hi:int -> (int * Physmem.Page.t) list;
+  pgo_get :
+    center:int ->
+    lo:int ->
+    hi:int ->
+    ((int * Physmem.Page.t) list, Vmiface.Vmtypes.fault_error) result;
       (** Make the page at offset [center] resident (reading a cluster from
           backing store if the pager chooses) and report every resident
-          page in [lo, hi) for the fault routine's fault-ahead window. *)
-  pgo_put : Physmem.Page.t list -> unit;
+          page in [lo, hi) for the fault routine's fault-ahead window.
+          [Error Pager_error] when backing store I/O fails beyond the
+          retry budget; no half-filled pages are left behind. *)
+  pgo_put : Physmem.Page.t list -> (unit, Vmiface.Vmtypes.fault_error) result;
       (** Write the given dirty pages of this object back to backing store,
-          clustering as the pager sees fit. *)
+          clustering as the pager sees fit.  On [Error] the unwritten pages
+          stay dirty. *)
   pgo_reference : unit -> unit;  (** add a reference *)
   pgo_detach : unit -> unit;  (** drop a reference *)
 }

@@ -8,27 +8,56 @@ let reclaim sys (page : Physmem.Page.t) =
   Physmem.free_page (Uvm_sys.physmem sys) page
 
 (* Push a batch of dirty anonymous pages to swap.  UVM mode: reassign all
-   their swap locations to one contiguous run and write a single cluster. *)
+   their swap locations to one contiguous run and write a single cluster.
+
+   Failure handling: writes go through [Swapdev.write_resilient], so
+   transient disk errors are retried with backoff and a bad slot moves the
+   whole cluster to a fresh range (the paper's reassignment machinery
+   doubling as recovery).  If the write still fails — or swap is full —
+   the pages simply stay dirty and in core: the reclaim pass below only
+   frees pages the device confirmed clean, so degradation to clean-page
+   reclaim is automatic and nothing leaks.
+
+   Returns the number of pages that could NOT be cleaned, so the scan
+   loop can stop counting them toward its reclaim quota and keep looking
+   for clean pages instead. *)
 let flush_anon_batch sys batch =
   match batch with
-  | [] -> ()
+  | [] -> 0
   | _ ->
       let swapdev = Uvm_sys.swapdev sys in
+      let stats = Uvm_sys.stats sys in
       let n = List.length batch in
+      let write_at ~slot ~assign ~pages =
+        match
+          Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
+            ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~assign ~pages
+        with
+        | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _
+        | Swap.Swapdev.No_space _ | Swap.Swapdev.Failed _ ->
+            ()
+      in
       let clustered =
-        if sys.Uvm_sys.aggressive_clustering then Swap.Swapdev.alloc_slots swapdev ~n
+        if sys.Uvm_sys.aggressive_clustering then
+          Swap.Swapdev.alloc_slots swapdev ~n
         else None
       in
       (match clustered with
       | Some base ->
-          List.iteri
-            (fun i (anon, _page) ->
-              (* Dynamic swap-location reassignment at page granularity. *)
-              Uvm_anon.set_swslot sys anon (base + i))
-            batch;
-          Swap.Swapdev.write_cluster swapdev ~slot:base
-            ~pages:(List.map snd batch)
+          (* Dynamic swap-location reassignment at page granularity; also
+             invoked by write_resilient if bad media forces a move. *)
+          let assign base =
+            List.iteri
+              (fun i (anon, _page) -> Uvm_anon.set_swslot sys anon (base + i))
+              batch
+          in
+          assign base;
+          write_at ~slot:base ~assign ~pages:(List.map snd batch)
       | None ->
+          (if sys.Uvm_sys.aggressive_clustering then
+             (* Wanted one contiguous run of n and could not get it. *)
+             stats.Sim.Stats.swap_full_events <-
+               stats.Sim.Stats.swap_full_events + 1);
           (* BSD-style (or swap-fragmented) path: one I/O per page. *)
           List.iter
             (fun (anon, page) ->
@@ -38,21 +67,33 @@ let flush_anon_batch sys batch =
               in
               match slot with
               | Some slot ->
-                  if anon.Uvm_anon.swslot = 0 then
-                    anon.Uvm_anon.swslot <- slot;
-                  Swap.Swapdev.write_cluster swapdev ~slot ~pages:[ page ]
-              | None -> (* swap full; cannot clean this page *) ())
+                  if anon.Uvm_anon.swslot = 0 then anon.Uvm_anon.swslot <- slot;
+                  write_at ~slot
+                    ~assign:(fun fresh -> Uvm_anon.set_swslot sys anon fresh)
+                    ~pages:[ page ]
+              | None ->
+                  (* Swap full: the page cannot be cleaned, keep it in
+                     core and fall back to reclaiming clean pages. *)
+                  stats.Sim.Stats.swap_full_events <-
+                    stats.Sim.Stats.swap_full_events + 1)
             batch);
       (* Pages that now have a swap copy are clean and reclaimable. *)
-      List.iter
-        (fun ((anon : Uvm_anon.t), (page : Physmem.Page.t)) ->
-          if (not page.dirty) && anon.swslot <> 0 then reclaim sys page)
-        batch
+      List.fold_left
+        (fun stuck ((anon : Uvm_anon.t), (page : Physmem.Page.t)) ->
+          if (not page.dirty) && anon.swslot <> 0 then begin
+            reclaim sys page;
+            stuck
+          end
+          else stuck + 1)
+        0 batch
 
 let flush_object_batches sys batches =
   Hashtbl.iter
     (fun _ (obj, pages) ->
-      obj.Uvm_object.pgops.Uvm_object.pgo_put pages;
+      (* The pager already applied the retry/reassignment policy; whatever
+         failed stays dirty and is skipped by the reclaim filter below. *)
+      (match obj.Uvm_object.pgops.Uvm_object.pgo_put pages with
+      | Ok () | Error _ -> ());
       List.iter
         (fun (page : Physmem.Page.t) ->
           if not page.dirty then reclaim sys page)
@@ -81,7 +122,11 @@ let run sys =
               incr batched;
               page.dirty <- true;
               if List.length !anon_batch >= sys.Uvm_sys.pageout_cluster then begin
-                flush_anon_batch sys (List.rev !anon_batch);
+                (* Pages that failed to clean (swap full, bad media) no
+                   longer count toward the quota: keep scanning for clean
+                   pages to reclaim instead. *)
+                let stuck = flush_anon_batch sys (List.rev !anon_batch) in
+                batched := !batched - stuck;
                 anon_batch := []
               end
             end
@@ -102,7 +147,7 @@ let run sys =
             assert false
   in
   List.iter scan (Physmem.inactive_pages physmem);
-  flush_anon_batch sys (List.rev !anon_batch);
+  ignore (flush_anon_batch sys (List.rev !anon_batch) : int);
   flush_object_batches sys obj_batches;
   (* Still short: migrate cold active pages to the inactive queue so the
      next pass can reclaim them.  Their translations are removed so reuse

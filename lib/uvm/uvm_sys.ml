@@ -8,7 +8,10 @@
       groups into one reassigned-swap I/O (§6);
     - [io_cluster]: pager read clustering;
     - [aggressive_clustering]: disable to fall back to BSD-style one-page
-      pageout while keeping the rest of UVM. *)
+      pageout while keeping the rest of UVM;
+    - [io_retries]/[io_backoff_us]: the resilience policy — how many times
+      a transient I/O error is retried and the base exponential-backoff
+      delay charged to the simulated clock between attempts. *)
 
 module Machine = Vmiface.Machine
 
@@ -19,11 +22,14 @@ type t = {
   pageout_cluster : int;
   io_cluster : int;
   aggressive_clustering : bool;
+  io_retries : int;
+  io_backoff_us : float;
   mutable next_id : int;
 }
 
 let create ?(fault_ahead = 4) ?(fault_behind = 3) ?(pageout_cluster = 4)
-    ?(io_cluster = 4) ?(aggressive_clustering = true) mach =
+    ?(io_cluster = 4) ?(aggressive_clustering = true) ?(io_retries = 3)
+    ?(io_backoff_us = 200.0) mach =
   {
     mach;
     fault_ahead;
@@ -31,6 +37,8 @@ let create ?(fault_ahead = 4) ?(fault_behind = 3) ?(pageout_cluster = 4)
     pageout_cluster;
     io_cluster;
     aggressive_clustering;
+    io_retries;
+    io_backoff_us;
     next_id = 0;
   }
 
@@ -53,3 +61,20 @@ let vfs t = t.mach.Machine.vfs
 let pmap_ctx t = t.mach.Machine.pmap_ctx
 let charge t us = Sim.Simclock.advance (clock t) us
 let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc
+
+(* Run a fallible I/O action under the system's retry policy: transient
+   errors are retried up to [io_retries] times with exponential backoff
+   charged to the simulated clock; permanent errors (and exhaustion of the
+   budget) surface to the caller. *)
+let retry_transient t f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e -> (
+        match e.Sim.Fault_plan.severity with
+        | Sim.Fault_plan.Transient when attempt < t.io_retries ->
+            charge t (t.io_backoff_us *. (2.0 ** float_of_int attempt));
+            go (attempt + 1)
+        | _ -> Error e)
+  in
+  go 0

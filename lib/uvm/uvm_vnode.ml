@@ -34,6 +34,7 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
   let physmem = Uvm_sys.physmem sys in
   let vfs = Uvm_sys.vfs sys in
   let pgo_get ~center ~lo ~hi =
+    let status = ref (Ok ()) in
     (if Uvm_object.find_page obj ~pgno:center = None then begin
        (* Clustered read: the run of non-resident pages starting at the
           center, capped by the io_cluster tunable. *)
@@ -49,23 +50,52 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
              Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj)
                ~offset:(center + i) ())
        in
-       Vfs.read_pages vfs vnode ~start_page:center ~dsts:pages;
-       List.iteri
-         (fun i page ->
-           Uvm_object.insert_page sys obj ~pgno:(center + i) page;
-           Physmem.activate physmem page)
-         pages
+       match
+         Uvm_sys.retry_transient sys (fun () ->
+             Vfs.read_pages vfs vnode ~start_page:center ~dsts:pages)
+       with
+       | Ok () ->
+           List.iteri
+             (fun i page ->
+               Uvm_object.insert_page sys obj ~pgno:(center + i) page;
+               Physmem.activate physmem page)
+             pages
+       | Error _ ->
+           (* Read failed for good: return the untouched frames and report
+              the typed error — the faulting process gets its SIGBUS, the
+              kernel does not panic. *)
+           List.iter (fun page -> Physmem.free_page physmem page) pages;
+           let stats = Uvm_sys.stats sys in
+           stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
+           status := Error Vmiface.Vmtypes.Pager_error
      end);
-    List.filter (fun (pgno, _) -> pgno >= lo && pgno < hi) (Uvm_object.resident obj)
+    match !status with
+    | Error _ as e -> e
+    | Ok () ->
+        Ok
+          (List.filter
+             (fun (pgno, _) -> pgno >= lo && pgno < hi)
+             (Uvm_object.resident obj))
   in
   let pgo_put pages =
-    List.iter
-      (fun run ->
+    (* Attempt every run even if one fails — maximise what gets cleaned —
+       then report the first failure.  Failed runs stay dirty. *)
+    List.fold_left
+      (fun acc run ->
         match run with
-        | [] -> ()
-        | (first : Physmem.Page.t) :: _ ->
-            Vfs.write_pages vfs vnode ~start_page:first.owner_offset ~srcs:run)
-      (runs_of_pages pages)
+        | [] -> acc
+        | (first : Physmem.Page.t) :: _ -> (
+            match
+              Uvm_sys.retry_transient sys (fun () ->
+                  Vfs.write_pages vfs vnode ~start_page:first.owner_offset
+                    ~srcs:run)
+            with
+            | Ok () -> acc
+            | Error _ -> (
+                match acc with
+                | Error _ -> acc
+                | Ok () -> Error Vmiface.Vmtypes.Pager_error)))
+      (Ok ()) (runs_of_pages pages)
   in
   let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
   let pgo_detach () =
@@ -118,14 +148,17 @@ let attach sys (vnode : Vfs.Vnode.t) =
 
 let flush _sys obj =
   match Uvm_object.dirty_pages obj with
-  | [] -> ()
+  | [] -> Ok ()
   | dirty -> obj.Uvm_object.pgops.Uvm_object.pgo_put dirty
 
 let terminate sys (vnode : Vfs.Vnode.t) =
   match vnode.vm_private with
   | Uvn uvn ->
       assert (uvn.obj.Uvm_object.refs = 0);
-      flush sys uvn.obj;
+      (* Best-effort writeback at teardown: an I/O error here cannot be
+         reported to anyone, the data is simply lost (as when a real
+         kernel's vnode flush hits EIO at reclaim time). *)
+      (match flush sys uvn.obj with Ok () | Error _ -> ());
       Uvm_object.free_all_pages sys uvn.obj;
       vnode.vm_private <- Vfs.Vnode.No_vm
   | _ -> ()

@@ -30,8 +30,10 @@ val terminate : Uvm_sys.t -> Vfs.Vnode.t -> unit
 (** Drop the vnode's in-core VM state (called when the vnode is recycled);
     requires that no mappings remain. *)
 
-val flush : Uvm_sys.t -> Uvm_object.t -> unit
-(** Write all dirty pages back to the file (msync), clustered. *)
+val flush :
+  Uvm_sys.t -> Uvm_object.t -> (unit, Vmiface.Vmtypes.fault_error) result
+(** Write all dirty pages back to the file (msync), clustered.  On [Error]
+    at least one run could not be written and its pages stay dirty. *)
 
 val install_recycle_hook : Uvm_sys.t -> unit
 (** Register {!terminate} with the vfs layer; called once at boot. *)

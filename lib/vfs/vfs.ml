@@ -137,27 +137,33 @@ let copy_file_page t (vn : Vnode.t) pgno (dst : Physmem.Page.t) =
 let read_pages t (vn : Vnode.t) ~start_page ~dsts =
   let n = List.length dsts in
   if n = 0 then invalid_arg "Vfs.read_pages: no pages";
-  List.iteri
-    (fun i dst ->
-      copy_file_page t vn (start_page + i) dst;
-      dst.Physmem.Page.dirty <- false)
-    dsts;
   (* UFS-style read-ahead: a read continuing where the previous one ended
      streams off the platter without paying the seek again. *)
   let sequential = start_page = vn.last_read_end in
-  vn.last_read_end <- start_page + n;
-  Sim.Disk.read ~sequential t.disk ~npages:n;
-  t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n
+  match Sim.Disk.read ~sequential t.disk ~npages:n with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iteri
+        (fun i dst ->
+          copy_file_page t vn (start_page + i) dst;
+          dst.Physmem.Page.dirty <- false)
+        dsts;
+      vn.last_read_end <- start_page + n;
+      t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n;
+      Ok ()
 
 let write_pages t (vn : Vnode.t) ~start_page ~srcs =
   let n = List.length srcs in
   if n = 0 then invalid_arg "Vfs.write_pages: no pages";
-  List.iteri
-    (fun i (src : Physmem.Page.t) ->
-      let off = (start_page + i) * t.page_size in
-      let avail = max 0 (min t.page_size (vn.size - off)) in
-      if avail > 0 then Bytes.blit src.data 0 vn.data off avail;
-      src.dirty <- false)
-    srcs;
-  Sim.Disk.write t.disk ~npages:n;
-  t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n
+  match Sim.Disk.write t.disk ~npages:n with
+  | Error _ as e -> e
+  | Ok () ->
+      List.iteri
+        (fun i (src : Physmem.Page.t) ->
+          let off = (start_page + i) * t.page_size in
+          let avail = max 0 (min t.page_size (vn.size - off)) in
+          if avail > 0 then Bytes.blit src.data 0 vn.data off avail;
+          src.dirty <- false)
+        srcs;
+      t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n;
+      Ok ()

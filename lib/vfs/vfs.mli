@@ -58,13 +58,23 @@ val incore_count : t -> int
 val free_list_length : t -> int
 
 val read_pages :
-  t -> Vnode.t -> start_page:int -> dsts:Physmem.Page.t list -> unit
+  t ->
+  Vnode.t ->
+  start_page:int ->
+  dsts:Physmem.Page.t list ->
+  (unit, Sim.Fault_plan.error) result
 (** One clustered disk read filling [dsts] with file pages
-    [start_page, start_page + n).  Pages past EOF are zero-filled. *)
+    [start_page, start_page + n).  Pages past EOF are zero-filled.
+    On [Error] no destination page is touched. *)
 
 val write_pages :
-  t -> Vnode.t -> start_page:int -> srcs:Physmem.Page.t list -> unit
-(** One clustered disk write of file pages back to the store. *)
+  t ->
+  Vnode.t ->
+  start_page:int ->
+  srcs:Physmem.Page.t list ->
+  (unit, Sim.Fault_plan.error) result
+(** One clustered disk write of file pages back to the store.  On [Error]
+    the source pages stay dirty and the file is unchanged. *)
 
 val npages_of : t -> Vnode.t -> int
 (** File size in pages, rounded up. *)

@@ -5,6 +5,7 @@ type config = {
   max_vnodes : int;
   costs : Sim.Cost_model.t;
   seed : int;
+  fault_plan : (unit -> Sim.Fault_plan.t) option;
 }
 
 let default_config =
@@ -15,7 +16,15 @@ let default_config =
     max_vnodes = 2048;
     costs = Sim.Cost_model.default;
     seed = 0xB5D;
+    fault_plan = None;
   }
+
+(* Process-wide default, set by CLI flags: lets any experiment run under a
+   fault plan without plumbing config through every call site.  A factory
+   rather than a plan so each boot (e.g. the UVM and BSD sides of a
+   comparison) gets its own fresh, identically-seeded plan. *)
+let default_fault_plan : (unit -> Sim.Fault_plan.t) option ref = ref None
+let set_default_fault_plan f = default_fault_plan := f
 
 let config_mb ?(ram_mb = 32) ?(swap_mb = 128) () =
   {
@@ -40,23 +49,38 @@ let boot ?(config = default_config) () =
   let clock = Sim.Simclock.create () in
   let costs = config.costs in
   let stats = Sim.Stats.create () in
-  {
-    config;
-    clock;
-    costs;
-    stats;
-    rng = Sim.Rng.create ~seed:config.seed;
-    physmem =
-      Physmem.create ~page_size:config.page_size ~npages:config.ram_pages
-        ~clock ~costs ~stats ();
-    pmap_ctx = Pmap.create_ctx ~clock ~costs ~stats;
-    swap =
-      Swap.Swapdev.create ~nslots:config.swap_pages
-        ~page_size:config.page_size ~clock ~costs ~stats;
-    vfs =
-      Vfs.create ~max_vnodes:config.max_vnodes ~page_size:config.page_size
-        ~clock ~costs ~stats ();
-  }
+  let t =
+    {
+      config;
+      clock;
+      costs;
+      stats;
+      rng = Sim.Rng.create ~seed:config.seed;
+      physmem =
+        Physmem.create ~page_size:config.page_size ~npages:config.ram_pages
+          ~clock ~costs ~stats ();
+      pmap_ctx = Pmap.create_ctx ~clock ~costs ~stats;
+      swap =
+        Swap.Swapdev.create ~nslots:config.swap_pages
+          ~page_size:config.page_size ~clock ~costs ~stats;
+      vfs =
+        Vfs.create ~max_vnodes:config.max_vnodes ~page_size:config.page_size
+          ~clock ~costs ~stats ();
+    }
+  in
+  (match
+     match config.fault_plan with
+     | Some _ as f -> f
+     | None -> !default_fault_plan
+   with
+  | None -> ()
+  | Some factory ->
+      (* One plan shared by both disks: its RNG stream and scripted rules
+         see the machine's I/O in global order, like a shared controller. *)
+      let plan = Some (factory ()) in
+      Sim.Disk.set_fault_plan (Swap.Swapdev.disk t.swap) plan;
+      Sim.Disk.set_fault_plan (Vfs.disk t.vfs) plan);
+  t
 
 let page_size t = t.config.page_size
 let now t = Sim.Simclock.now t.clock

@@ -11,11 +11,20 @@ type config = {
   max_vnodes : int;  (** in-core vnode limit *)
   costs : Sim.Cost_model.t;
   seed : int;  (** workload RNG seed *)
+  fault_plan : (unit -> Sim.Fault_plan.t) option;
+      (** I/O fault plan factory, invoked once per boot and installed on
+          both the swap and filesystem disks *)
 }
 
 val default_config : config
 (** 32 MB of RAM and 128 MB of swap with 4 KB pages — the machine used for
     the paper's Figure 5. *)
+
+val set_default_fault_plan : (unit -> Sim.Fault_plan.t) option -> unit
+(** Process-wide fallback used by [boot] when the config carries no plan;
+    set from CLI flags so existing experiments run under faults without
+    config plumbing.  A factory, so every boot gets a fresh
+    identically-seeded plan (fair UVM-vs-BSD comparisons). *)
 
 val config_mb : ?ram_mb:int -> ?swap_mb:int -> unit -> config
 (** Convenience: sizes in megabytes on top of {!default_config}. *)

@@ -25,6 +25,10 @@ type fault_error =
   | No_entry  (** nothing mapped at the faulting address *)
   | Prot_denied  (** mapping exists but forbids this access *)
   | Out_of_memory
+  | Pager_error
+      (** the backing store could not supply or accept the page — an I/O
+          error survived every retry (the kernel's SIGBUS-on-EIO case) *)
+  | Out_of_swap  (** no swap slot could be allocated for a pageout *)
 
 exception Segv of { vpn : int; error : fault_error }
 (** Raised by the access paths when a fault cannot be resolved — the
@@ -34,6 +38,8 @@ let string_of_fault_error = function
   | No_entry -> "no entry"
   | Prot_denied -> "protection denied"
   | Out_of_memory -> "out of memory"
+  | Pager_error -> "pager error"
+  | Out_of_swap -> "out of swap"
 
 let () =
   Printexc.register_printer (function

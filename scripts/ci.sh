@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 CI gate: full build (all targets, including bench, examples and
+# the docs alias) with warnings treated as errors, then the test suite.
+# Run from anywhere: paths are relative to the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Force a rebuild of every action so compiler warnings are re-emitted even
+# on a warm _build, then fail if any slipped through.
+out=$(dune build @all --force 2>&1) || {
+  printf '%s\n' "$out"
+  exit 1
+}
+if printf '%s' "$out" | grep -q 'Warning'; then
+  printf '%s\n' "$out"
+  echo 'ci: compiler warnings are errors' >&2
+  exit 1
+fi
+
+dune runtest
+echo 'ci: build clean, all tests passed'

@@ -32,12 +32,20 @@ let test_anon_swap_roundtrip () =
   Bytes.fill page.Physmem.Page.data 0 4096 'q';
   let slot = Option.get (Swap.Swapdev.alloc_slots (Uvm.State.swapdev sys) ~n:1) in
   Uvm.Anon.set_swslot sys anon slot;
-  Swap.Swapdev.write_cluster (Uvm.State.swapdev sys) ~slot ~pages:[ page ];
+  (match Swap.Swapdev.write_cluster (Uvm.State.swapdev sys) ~slot ~pages:[ page ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unexpected swap write error");
   (* Simulate pageout completion. *)
   Pmap.page_remove_all (Uvm.State.pmap_ctx sys) page;
   anon.Uvm.Anon.page <- None;
   Physmem.free_page (Uvm.State.physmem sys) page;
-  let fresh = Uvm.Anon.ensure_resident sys anon in
+  let fresh =
+    match Uvm.Anon.ensure_resident sys anon with
+    | Ok p -> p
+    | Error e ->
+        Alcotest.failf "unexpected pagein error: %s"
+          (Vmiface.Vmtypes.string_of_fault_error e)
+  in
   Alcotest.(check char) "data back from swap" 'q'
     (Bytes.get fresh.Physmem.Page.data 123);
   Alcotest.(check int) "pagein counted" 1 (stats sys).Sim.Stats.pageins

@@ -139,8 +139,8 @@ let test_swap_exhaustion_raises () =
      for i = 0 to 199 do
        S.write_bytes sys vm ~addr:((vpn + i) * 4096) (Bytes.of_string "y")
      done;
-     Alcotest.fail "expected Out_of_pages (swap deadlock)"
-   with Physmem.Out_of_pages -> ());
+     Alcotest.fail "expected Segv Out_of_memory (swap deadlock)"
+   with Vt.Segv { error = Vt.Out_of_memory; _ } -> ());
   Alcotest.(check bool) "swap nearly full" true (S.swap_slots_in_use sys > 0)
 
 let () =

@@ -69,18 +69,23 @@ let test_clock () =
     (Invalid_argument "Simclock.advance: negative or non-finite duration")
     (fun () -> Sim.Simclock.advance c (-1.0))
 
+let io_ok = function
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "unexpected I/O error: %s" (Sim.Fault_plan.string_of_error e)
+
 let test_disk_costs () =
   let clock = Sim.Simclock.create () in
   let stats = Sim.Stats.create () in
   let d = Sim.Disk.create ~clock ~costs:Sim.Cost_model.default ~stats in
   let c = Sim.Cost_model.default in
-  Sim.Disk.read d ~npages:1;
+  io_ok (Sim.Disk.read d ~npages:1);
   let one = Sim.Simclock.now clock in
   Alcotest.(check (float 1e-6))
     "1-page read"
     (c.Sim.Cost_model.disk_op_latency +. c.Sim.Cost_model.disk_page_transfer)
     one;
-  Sim.Disk.read d ~npages:16;
+  io_ok (Sim.Disk.read d ~npages:16);
   Alcotest.(check (float 1e-6))
     "16-page clustered read"
     (c.Sim.Cost_model.disk_op_latency
@@ -93,7 +98,7 @@ let test_disk_sequential () =
   let clock = Sim.Simclock.create () in
   let stats = Sim.Stats.create () in
   let d = Sim.Disk.create ~clock ~costs:Sim.Cost_model.default ~stats in
-  Sim.Disk.read ~sequential:true d ~npages:4;
+  io_ok (Sim.Disk.read ~sequential:true d ~npages:4);
   let c = Sim.Cost_model.default in
   Alcotest.(check (float 1e-6))
     "no seek when sequential"

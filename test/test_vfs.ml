@@ -76,13 +76,18 @@ let test_ref_revives_from_lru () =
   Alcotest.check_raises "over-release"
     (Invalid_argument "Vfs.vrele: no references") (fun () -> Vfs.vrele vfs a2)
 
+let io_ok = function
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "unexpected I/O error: %s" (Sim.Fault_plan.string_of_error e)
+
 let test_read_write_pages () =
   let vfs, pm, _ = mk () in
   let vn = Vfs.create_file vfs ~name:"/data" ~size:600 in
   let p0 = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
   let p1 = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
   let p2 = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
-  Vfs.read_pages vfs vn ~start_page:0 ~dsts:[ p0; p1; p2 ];
+  io_ok (Vfs.read_pages vfs vn ~start_page:0 ~dsts:[ p0; p1; p2 ]);
   Alcotest.(check char) "page0 contents" (Vfs.file_byte ~name:"/data" ~off:10)
     (Bytes.get p0.Physmem.Page.data 10);
   Alcotest.(check char) "page1 contents" (Vfs.file_byte ~name:"/data" ~off:266)
@@ -92,7 +97,7 @@ let test_read_write_pages () =
   (* Write back modified data. *)
   Bytes.fill p0.Physmem.Page.data 0 256 'Z';
   p0.Physmem.Page.dirty <- true;
-  Vfs.write_pages vfs vn ~start_page:0 ~srcs:[ p0 ];
+  io_ok (Vfs.write_pages vfs vn ~start_page:0 ~srcs:[ p0 ]);
   Alcotest.(check char) "file updated" 'Z' (Bytes.get vn.Vfs.Vnode.data 100);
   Alcotest.(check bool) "page cleaned" false p0.Physmem.Page.dirty;
   Alcotest.(check int) "npages_of rounds up" 3 (Vfs.npages_of vfs vn)
@@ -111,18 +116,18 @@ let test_read_ahead_detection () =
   let page () = Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () in
   let c = Sim.Cost_model.default in
   let t0 = Sim.Simclock.now clock in
-  Vfs.read_pages vfs vn ~start_page:0 ~dsts:[ page () ];
+  io_ok (Vfs.read_pages vfs vn ~start_page:0 ~dsts:[ page () ]);
   let first = Sim.Simclock.now clock -. t0 in
   Alcotest.(check (float 1e-6)) "first read seeks"
     (c.Sim.Cost_model.disk_op_latency +. c.Sim.Cost_model.disk_page_transfer)
     first;
   let t1 = Sim.Simclock.now clock in
-  Vfs.read_pages vfs vn ~start_page:1 ~dsts:[ page () ];
+  io_ok (Vfs.read_pages vfs vn ~start_page:1 ~dsts:[ page () ]);
   Alcotest.(check (float 1e-6)) "sequential read streams"
     c.Sim.Cost_model.disk_page_transfer
     (Sim.Simclock.now clock -. t1);
   let t2 = Sim.Simclock.now clock in
-  Vfs.read_pages vfs vn ~start_page:5 ~dsts:[ page () ];
+  io_ok (Vfs.read_pages vfs vn ~start_page:5 ~dsts:[ page () ]);
   Alcotest.(check (float 1e-6)) "non-sequential seeks again"
     (c.Sim.Cost_model.disk_op_latency +. c.Sim.Cost_model.disk_page_transfer)
     (Sim.Simclock.now clock -. t2)
