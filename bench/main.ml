@@ -15,13 +15,43 @@
 open Vmiface.Vmtypes
 
 (* ------------------------------------------------------------------ *)
+(* JSON emission for BENCH_results.json: tiny combinators over Buffer,
+   sharing the escaper with the simulator's trace exporters.            *)
+
+let js = Sim.Trace_export.json_string
+
+let obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char buf ',';
+      js buf k;
+      Buffer.add_char buf ':';
+      emit buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let arr emit items buf =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      emit x buf)
+    items;
+  Buffer.add_char buf ']'
+
+let jint n buf = Buffer.add_string buf (string_of_int n)
+let jfloat v buf = Buffer.add_string buf (Printf.sprintf "%.3f" v)
+let jstr s buf = js buf s
+
+(* ------------------------------------------------------------------ *)
 (* Part 1: the paper's evaluation.                                     *)
 
 let ablation_pageout_cluster () =
   Experiments.Report.title
     "Ablation: pageout cluster size (48MB allocation, 32MB RAM; cluster=1 is BSD-style)";
   Printf.printf "%-10s %14s %12s\n" "cluster" "time" "write I/Os";
-  List.iter
+  List.map
     (fun cluster ->
       let mach =
         Vmiface.Machine.boot ~config:(Vmiface.Machine.config_mb ~ram_mb:32 ()) ()
@@ -48,8 +78,9 @@ let ablation_pageout_cluster () =
         Pmap.mark_access pmap ~vpn:v ~write:true
       done;
       let dt = Sim.Simclock.now mach.Vmiface.Machine.clock -. t0 in
-      Printf.printf "%-10d %12.3f s %12d\n" cluster (dt /. 1e6)
-        mach.Vmiface.Machine.stats.Sim.Stats.disk_write_ops)
+      let writes = mach.Vmiface.Machine.stats.Sim.Stats.disk_write_ops in
+      Printf.printf "%-10d %12.3f s %12d\n" cluster (dt /. 1e6) writes;
+      (cluster, dt, writes))
     [ 1; 2; 4; 8; 16; 32 ]
 
 (* Ablation: the fault-ahead window (Table 2's mechanism), swept from
@@ -58,7 +89,7 @@ let ablation_fault_ahead () =
   Experiments.Report.title
     "Ablation: fault-ahead window (behind/ahead) on the cc trace (paper default 3/4)";
   Printf.printf "%-12s %10s\n" "window" "faults";
-  List.iter
+  List.map
     (fun (behind, ahead) ->
       let mach = Vmiface.Machine.boot () in
       let usys = Uvm.State.create ~fault_behind:behind ~fault_ahead:ahead mach in
@@ -90,8 +121,9 @@ let ablation_fault_ahead () =
                 | Ok () -> ()
                 | Error _ -> assert false))
         trace;
-      Printf.printf "%d/%-10d %10d\n" behind ahead
-        (mach.Vmiface.Machine.stats.Sim.Stats.faults - f0))
+      let faults = mach.Vmiface.Machine.stats.Sim.Stats.faults - f0 in
+      Printf.printf "%d/%-10d %10d\n" behind ahead faults;
+      (behind, ahead, faults))
     [ (0, 0); (1, 2); (3, 4); (6, 8) ]
 
 (* Ablation: fault-rate sweep × pageout clustering.  At a fixed
@@ -103,9 +135,9 @@ let ablation_fault_rate () =
     "Ablation: write-error rate x pageout clustering (24MB allocation, 16MB RAM)";
   Printf.printf "%-10s %-10s %12s %10s %10s %10s\n" "werr" "cluster" "time"
     "writes" "injected" "retries";
-  List.iter
+  List.concat_map
     (fun rate ->
-      List.iter
+      List.map
         (fun cluster ->
           let config =
             {
@@ -144,23 +176,148 @@ let ablation_fault_rate () =
           let st = mach.Vmiface.Machine.stats in
           Printf.printf "%-10.3f %-10d %10.3f s %10d %10d %10d\n" rate cluster
             (dt /. 1e6) st.Sim.Stats.disk_write_ops
-            st.Sim.Stats.io_errors_injected st.Sim.Stats.pageout_retries)
+            st.Sim.Stats.io_errors_injected st.Sim.Stats.pageout_retries;
+          ( rate,
+            cluster,
+            dt,
+            st.Sim.Stats.disk_write_ops,
+            st.Sim.Stats.io_errors_injected,
+            st.Sim.Stats.pageout_retries ))
         [ 1; 8; 16 ])
     [ 0.0; 0.01; 0.05 ]
 
+(* Run every experiment exactly once: print the paper's tables/figures as
+   before AND return the per-experiment JSON emitters that populate
+   BENCH_results.json. *)
 let reproduce_paper () =
-  Experiments.Table1.print ();
-  Experiments.Table2.print ();
-  Experiments.Table3.print ();
-  Experiments.Fig2.print ();
-  Experiments.Fig5.print ();
-  Experiments.Fig6.print ();
-  Experiments.Datamove.print ();
-  Experiments.Swapleak.print ();
-  Experiments.Resilience.print ();
-  ablation_pageout_cluster ();
-  ablation_fault_ahead ();
-  ablation_fault_rate ()
+  let count_rows rows =
+    arr
+      (fun (label, bsd, uvm) buf ->
+        obj buf [ ("label", jstr label); ("bsd", jint bsd); ("uvm", jint uvm) ])
+      rows
+  in
+  let time_rows key rows =
+    arr
+      (fun (n, bsd, uvm) buf ->
+        obj buf [ (key, jint n); ("bsd_us", jfloat bsd); ("uvm_us", jfloat uvm) ])
+      rows
+  in
+  let t1 = Experiments.Table1.run () in
+  Experiments.Table1.print_result t1;
+  let t2 = Experiments.Table2.run () in
+  Experiments.Table2.print_result t2;
+  let t3 = Experiments.Table3.run () in
+  Experiments.Table3.print_result t3;
+  let f2 = Experiments.Fig2.run () in
+  Experiments.Fig2.print_result f2;
+  let f5 = Experiments.Fig5.run () in
+  Experiments.Fig5.print_result f5;
+  let f6 = Experiments.Fig6.run () in
+  Experiments.Fig6.print_result f6;
+  let dm = Experiments.Datamove.run () in
+  Experiments.Datamove.print_result dm;
+  let sl = Experiments.Swapleak.run () in
+  Experiments.Swapleak.print_result sl;
+  let rs = Experiments.Resilience.run () in
+  Experiments.Resilience.print_result rs;
+  let ab_cluster = ablation_pageout_cluster () in
+  let ab_ahead = ablation_fault_ahead () in
+  let ab_rate = ablation_fault_rate () in
+  [
+    ("table1", count_rows t1);
+    ("table2", count_rows t2);
+    ( "table3",
+      arr
+        (fun (label, bsd, uvm) buf ->
+          obj buf
+            [ ("label", jstr label); ("bsd_us", jfloat bsd); ("uvm_us", jfloat uvm) ])
+        t3 );
+    ("fig2", time_rows "files" f2);
+    ("fig5", time_rows "mb" f5);
+    ( "fig6",
+      fun buf ->
+        obj buf
+          [
+            ("touched", time_rows "mb" f6.Experiments.Fig6.touched);
+            ("untouched", time_rows "mb" f6.Experiments.Fig6.untouched);
+          ] );
+    ( "datamove",
+      arr
+        (fun (r : Experiments.Datamove.row) buf ->
+          obj buf
+            [
+              ("pages", jint r.npages);
+              ("copy_us", jfloat r.copy_us);
+              ("loan_us", jfloat r.loan_us);
+              ("transfer_us", jfloat r.transfer_us);
+              ("mexp_us", jfloat r.mexp_us);
+            ])
+        dm );
+    ( "swapleak",
+      arr
+        (fun (s : Experiments.Swapleak.step) buf ->
+          obj buf
+            [
+              ("step", jstr s.step_name);
+              ("bsd_leak", jint s.bsd_leak);
+              ("uvm_leak", jint s.uvm_leak);
+            ])
+        sl );
+    ( "resilience",
+      arr
+        (fun (s : Experiments.Resilience.scenario) buf ->
+          obj buf
+            [
+              ("scenario", jstr s.scenario_name);
+              ( "cells",
+                arr
+                  (fun (c : Experiments.Resilience.cell) buf ->
+                    obj buf
+                      [
+                        ("sys", jstr c.sys);
+                        ("time_us", jfloat c.time_us);
+                        ("injected", jint c.injected);
+                        ("retries", jint c.retries);
+                        ("recovered", jint c.recovered);
+                        ("badslots", jint c.badslots);
+                      ])
+                  s.cells );
+            ])
+        rs );
+    ( "ablation_pageout_cluster",
+      arr
+        (fun (cluster, dt, writes) buf ->
+          obj buf
+            [
+              ("cluster", jint cluster);
+              ("time_us", jfloat dt);
+              ("write_ios", jint writes);
+            ])
+        ab_cluster );
+    ( "ablation_fault_ahead",
+      arr
+        (fun (behind, ahead, faults) buf ->
+          obj buf
+            [
+              ("behind", jint behind);
+              ("ahead", jint ahead);
+              ("faults", jint faults);
+            ])
+        ab_ahead );
+    ( "ablation_fault_rate",
+      arr
+        (fun (rate, cluster, dt, writes, injected, retries) buf ->
+          obj buf
+            [
+              ("write_error_rate", jfloat rate);
+              ("cluster", jint cluster);
+              ("time_us", jfloat dt);
+              ("write_ios", jint writes);
+              ("injected", jint injected);
+              ("retries", jint retries);
+            ])
+        ab_rate );
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel wall-clock micro-benchmarks of the simulator.      *)
@@ -300,15 +457,41 @@ let run_bechamel () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some [ est ] -> Printf.printf "%-44s %12.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "%-44s %12s\n" name "n/a")
+      | Some [ est ] ->
+          Printf.printf "%-44s %12.0f ns/run\n" name est;
+          Some (name, est)
+      | Some _ | None ->
+          Printf.printf "%-44s %12s\n" name "n/a";
+          None)
     (List.sort compare rows)
 
+let results_file = "BENCH_results.json"
+
+let write_results ~experiments ~micro =
+  let buf = Buffer.create 16384 in
+  obj buf
+    [
+      ("schema", jstr "uvm-bench/1");
+      ("experiments", fun buf -> obj buf experiments);
+      ( "microbench_ns_per_run",
+        fun buf ->
+          obj buf (List.map (fun (name, est) -> (name, jfloat est)) micro) );
+    ];
+  Buffer.add_char buf '\n';
+  let oc = open_out results_file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
 let () =
-  reproduce_paper ();
-  run_bechamel ();
+  let experiments = reproduce_paper () in
+  let micro = run_bechamel () in
+  write_results ~experiments ~micro;
   print_newline ();
-  print_endline "bench: all tables, figures and micro-benchmarks completed."
+  Printf.printf
+    "bench: all tables, figures and micro-benchmarks completed; results \
+     written to %s.\n"
+    results_file

@@ -86,13 +86,69 @@ let install_faults read_rate write_rate permanent bad fault_seed =
              bad;
            plan))
 
+(* -- observability options --------------------------------------------- *)
+
+let trace_out =
+  let doc = "Write a Chrome trace-event JSON file of every traced machine \
+             to $(docv) (open in Perfetto or chrome://tracing).  Implies \
+             event collection." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_buf =
+  let doc = "Per-subsystem event ring capacity: each traced machine keeps \
+             the most recent $(docv) events of each subsystem." in
+  Arg.(value & opt int 65536 & info [ "trace-buf" ] ~docv:"N" ~doc)
+
+let stats_flag =
+  let doc = "After the experiment, print the full non-zero counter table \
+             and latency percentiles of every system it booted." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_out =
+  let doc = "Write a JSON snapshot of counters and latency histograms to \
+             $(docv)." in
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+
+let with_file name f =
+  let oc = open_out name in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let run_with_observability trace_out trace_buf stats stats_out f =
+  if trace_buf < 1 then begin
+    Printf.eprintf "uvm_sim: --trace-buf must be >= 1 (got %d)\n" trace_buf;
+    exit 2
+  end;
+  let observing = trace_out <> None || stats_out <> None || stats in
+  if observing then Vmiface.Machine.set_default_trace (Some trace_buf);
+  f ();
+  if observing then begin
+    let sources = Vmiface.Machine.traced () in
+    if stats then Sim.Trace_export.print_stats sources;
+    (match trace_out with
+    | Some file ->
+        let buf = Buffer.create 65536 in
+        Sim.Trace_export.chrome_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf);
+        Printf.printf "trace written to %s (%d events)\n" file
+          (List.fold_left (fun n s -> n + Sim.Hist.retained s.Sim.Trace_export.hist)
+             0 sources)
+    | None -> ());
+    (match stats_out with
+    | Some file ->
+        let buf = Buffer.create 4096 in
+        Sim.Trace_export.snapshot_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf)
+    | None -> ());
+    Vmiface.Machine.reset_traced ()
+  end
+
 let with_faults f =
   Term.(
-    const (fun rr wr perm bad seed () ->
+    const (fun rr wr perm bad seed tout tbuf st stout () ->
         install_faults rr wr perm bad seed;
-        f ())
+        run_with_observability tout tbuf st stout f)
     $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
-    $ const ())
+    $ trace_out $ trace_buf $ stats_flag $ stats_out $ const ())
 
 (* -- commands --------------------------------------------------------- *)
 

@@ -51,6 +51,19 @@ let pmap_ctx t = t.mach.Machine.pmap_ctx
 let charge t us = Sim.Simclock.advance (clock t) us
 let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc
 
+(* Observability, mirroring Uvm_sys: the same series names and event
+   taxonomy so traces from the two systems compare side by side. *)
+let hist t = t.mach.Machine.hist
+let latencies t = t.mach.Machine.latencies
+let tracing t = Sim.Hist.enabled (hist t)
+
+let trace t ~subsys ~ts ?dur ?detail name =
+  Sim.Hist.record (hist t) ~subsys ~ts ?dur ?detail name
+
+let observe t name v =
+  if tracing t then
+    Sim.Histogram.observe (Sim.Histogram.get (latencies t) name) v
+
 (* Same transient-retry policy as UVM's, so the error handling stays
    apples-to-apples between the two systems under a shared fault plan. *)
 let retry_transient t f =

@@ -50,6 +50,7 @@ module Sys = struct
 
   let boot ?config () =
     let mach = Machine.boot ?config () in
+    Machine.set_label mach name;
     let bsys = Bsd_sys.create mach in
     Vm_pageout.install bsys;
     let cache = Vm_objcache.create bsys in

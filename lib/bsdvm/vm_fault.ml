@@ -27,11 +27,31 @@ let fault map ~vpn ~access ~wire =
   let sys = map.sys in
   let stats = Bsd_sys.stats sys in
   let costs = Bsd_sys.costs sys in
+  let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
   Bsd_sys.charge sys costs.Sim.Cost_model.fault_entry;
   stats.Sim.Stats.faults <- stats.Sim.Stats.faults + 1;
   Vm_map.lock map;
+  (* Every exit goes through [finish]: one place to record the fault-path
+     span, with the same event shape as UVM's so traces compare. *)
   let finish r =
     Vm_map.unlock map;
+    if Bsd_sys.tracing sys then begin
+      let dur = Sim.Simclock.now (Bsd_sys.clock sys) -. t0 in
+      Bsd_sys.trace sys ~subsys:Sim.Hist.Fault ~ts:t0 ~dur
+        ~detail:
+          [
+            ("vpn", string_of_int vpn);
+            ( "access",
+              match access with Vmtypes.Read -> "read" | Vmtypes.Write -> "write"
+            );
+            ( "result",
+              match r with
+              | Ok () -> "ok"
+              | Error e -> Vmtypes.string_of_fault_error e );
+          ]
+        "fault";
+      Bsd_sys.observe sys "fault_us" dur
+    end;
     r
   in
   match Vm_map.lookup map ~vpn with

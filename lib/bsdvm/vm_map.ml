@@ -69,7 +69,13 @@ let unlock t =
       let held = Sim.Simclock.now (Bsd_sys.clock t.sys) -. since in
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
-      t.locked_since <- None
+      t.locked_since <- None;
+      if Bsd_sys.tracing t.sys then begin
+        Bsd_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
+          ~detail:[ ("kernel", string_of_bool t.kernel) ]
+          "map_lock";
+        Bsd_sys.observe t.sys "map_lock_us" held
+      end
 
 let entry_npages e = e.epage - e.spage
 let entry_count t = t.nentries

@@ -159,6 +159,22 @@ let rec find_in_chain sys obj ~off ~depth =
     stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
     Error Vmiface.Vmtypes.Pager_error
   in
+  (* Every pagein here moves exactly one page; [pager] says which backing
+     store it came from, mirroring UVM's pagein events. *)
+  let trace_pagein ~t0 ~pager ok =
+    if Bsd_sys.tracing sys then begin
+      let dur = Sim.Simclock.now (Bsd_sys.clock sys) -. t0 in
+      Bsd_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+        ~detail:
+          [
+            ("pager", pager);
+            ("pages", "1");
+            ("result", if ok then "ok" else "error");
+          ]
+        "pagein";
+      Bsd_sys.observe sys "pagein_us" dur
+    end
+  in
   match find_page obj ~pgno:off with
   | Some page -> Ok (Some (obj, off, page, depth))
   | None -> (
@@ -168,11 +184,14 @@ let rec find_in_chain sys obj ~off ~depth =
             Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
               ~offset:off ()
           in
-          match
+          let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
+          let r =
             Swap.Swapdev.read_resilient (Bsd_sys.swapdev sys)
               ~retries:sys.Bsd_sys.io_retries
               ~backoff_us:sys.Bsd_sys.io_backoff_us ~slot ~dst:page
-          with
+          in
+          trace_pagein ~t0 ~pager:"swap" (Result.is_ok r);
+          match r with
           | Ok () ->
               insert_page obj ~pgno:off page;
               Physmem.activate (Bsd_sys.physmem sys) page;
@@ -187,11 +206,14 @@ let rec find_in_chain sys obj ~off ~depth =
                 Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
                   ~offset:off ()
               in
-              match
+              let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
+              let r =
                 Bsd_sys.retry_transient sys (fun () ->
                     Vfs.read_pages (Bsd_sys.vfs sys) vn ~start_page:off
                       ~dsts:[ page ])
-              with
+              in
+              trace_pagein ~t0 ~pager:"vnode" (Result.is_ok r);
+              match r with
               | Ok () ->
                   insert_page obj ~pgno:off page;
                   Physmem.activate (Bsd_sys.physmem sys) page;

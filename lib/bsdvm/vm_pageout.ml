@@ -18,6 +18,22 @@ let reclaim sys (page : Physmem.Page.t) =
    writes (after the shared retry/blacklist-reassign policy) leave the
    page dirty in core — the daemon degrades to reclaiming clean pages. *)
 let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
+  let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
+  let trace_pageout cleaned =
+    if Bsd_sys.tracing sys then begin
+      let dur = Sim.Simclock.now (Bsd_sys.clock sys) -. t0 in
+      (* Always one page per I/O here — the contrast with UVM's clustered
+         pageout is exactly what the trace should show. *)
+      Bsd_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0 ~dur
+        ~detail:
+          [ ("pages", "1"); ("result", if cleaned then "ok" else "error") ]
+        "pageout_cluster";
+      Bsd_sys.observe sys "pageout_cluster_io_us" dur
+    end;
+    cleaned
+  in
+  trace_pageout
+  @@
   match obj.Vm_object.kind with
   | Vm_object.Vnode vn -> (
       match
@@ -69,6 +85,8 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
 let run sys =
   let physmem = Bsd_sys.physmem sys in
   let target = Physmem.freetarg physmem in
+  let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
+  let free0 = Physmem.free_count physmem in
   let scan (page : Physmem.Page.t) =
     if Physmem.free_count physmem < target then
       if page.busy || page.wire_count > 0 || page.loan_count > 0 then ()
@@ -107,6 +125,16 @@ let run sys =
           end
         end)
       (Physmem.active_pages physmem)
-  end
+  end;
+  if Bsd_sys.tracing sys then
+    Bsd_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0
+      ~dur:(Sim.Simclock.now (Bsd_sys.clock sys) -. t0)
+      ~detail:
+        [
+          ("free_before", string_of_int free0);
+          ("free_after", string_of_int (Physmem.free_count physmem));
+          ("target", string_of_int target);
+        ]
+      "scan"
 
 let install sys = Physmem.set_pagedaemon (Bsd_sys.physmem sys) (fun () -> run sys)

@@ -83,7 +83,7 @@ let run () = List.map measure sizes
 
 let improvement copy other = 100.0 *. (1.0 -. (other /. copy))
 
-let print () =
+let print_result rows =
   Report.title
     "Section 7: data movement, n-page send (paper: loanout 26%% less than copy at 1 page, 78%% less at 256)";
   Printf.printf "%-8s %12s %12s %12s %12s %10s\n" "pages" "copy" "loanout"
@@ -94,4 +94,6 @@ let print () =
         (Report.micros r.copy_us) (Report.micros r.loan_us)
         (Report.micros r.transfer_us) (Report.micros r.mexp_us)
         (improvement r.copy_us r.loan_us))
-    (run ())
+    rows
+
+let print () = print_result (run ())

@@ -64,7 +64,7 @@ let run () : result =
     (fun (n, bsd) (_, uvm) -> (n, bsd, uvm))
     (B.run ()) (U.run ())
 
-let print () =
+let print_result (r : result) =
   Report.title
     "Figure 2: time to mmap+read N 64KB files (paper: BSD jumps ~100x past 100 files; UVM flat)";
   Report.row4 "# of 64KB files" "BSD VM" "UVM" "ratio";
@@ -72,4 +72,6 @@ let print () =
     (fun (n, bsd, uvm) ->
       Report.row4 (string_of_int n) (Report.seconds bsd) (Report.seconds uvm)
         (Report.ratio bsd uvm))
-    (run ())
+    r
+
+let print () = print_result (run ())

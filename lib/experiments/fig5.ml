@@ -38,7 +38,7 @@ type result = (int * float * float) list
 let run () : result =
   List.map2 (fun (n, bsd) (_, uvm) -> (n, bsd, uvm)) (B.run ()) (U.run ())
 
-let print () =
+let print_result (r : result) =
   Report.title
     "Figure 5: anonymous memory allocation time, 32MB RAM (paper: curves split past RAM size, BSD ~2.5-3x slower at 48MB)";
   Report.row4 "allocation (MB)" "BSD VM" "UVM" "ratio";
@@ -46,4 +46,6 @@ let print () =
     (fun (mb, bsd, uvm) ->
       Report.row4 (string_of_int mb) (Report.seconds bsd) (Report.seconds uvm)
         (Report.ratio bsd uvm))
-    (run ())
+    r
+
+let print () = print_result (run ())

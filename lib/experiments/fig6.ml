@@ -58,8 +58,7 @@ let run () : result =
     untouched = zip (B.run ~touch:false) (U.run ~touch:false);
   }
 
-let print () =
-  let r = run () in
+let print_result (r : result) =
   Report.title
     "Figure 6: fork+wait time vs anonymous memory (paper: linear, BSD above UVM, ~2000-5000us at 15MB)";
   print_endline "child writes once before exiting:";
@@ -76,3 +75,5 @@ let print () =
       Report.row4 (string_of_int mb) (Report.micros bsd) (Report.micros uvm)
         (Report.ratio bsd uvm))
     r.untouched
+
+let print () = print_result (run ())

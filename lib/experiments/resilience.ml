@@ -76,25 +76,59 @@ end
 module U = Make (Uvm.Sys)
 module B = Make (Bsdvm.Sys)
 
-let print_cell name (dt, (st : Sim.Stats.t)) =
-  Printf.printf "%-8s %10.3f s %8d %8d %8d %8d\n" name (dt /. 1e6)
-    st.Sim.Stats.io_errors_injected st.Sim.Stats.pageout_retries
-    st.Sim.Stats.pageouts_recovered st.Sim.Stats.bad_slots
+type cell = {
+  sys : string;
+  time_us : float;
+  injected : int;
+  retries : int;
+  recovered : int;
+  badslots : int;
+}
 
-let print () =
+type scenario = { scenario_name : string; cells : cell list }
+type result = scenario list
+
+(* The stats record is the booted machine's live one: copy the counters
+   out while the measurement is fresh. *)
+let cell sys (dt, (st : Sim.Stats.t)) =
+  {
+    sys;
+    time_us = dt;
+    injected = st.Sim.Stats.io_errors_injected;
+    retries = st.Sim.Stats.pageout_retries;
+    recovered = st.Sim.Stats.pageouts_recovered;
+    badslots = st.Sim.Stats.bad_slots;
+  }
+
+let run () : result =
+  List.map
+    (fun rate ->
+      {
+        scenario_name = Printf.sprintf "werr=%.1f%%" (rate *. 100.0);
+        cells = [ cell "UVM" (U.rate_row rate); cell "BSD VM" (B.rate_row rate) ];
+      })
+    rates
+  @ [
+      {
+        scenario_name = "bad media";
+        cells =
+          [ cell "UVM" (U.bad_media_row ()); cell "BSD VM" (B.bad_media_row ()) ];
+      };
+    ]
+
+let print_result (r : result) =
   Report.title
     "Resilience: 24MB paging workload, 16MB RAM, under injected disk errors (data verified each run)";
   Printf.printf "%-10s %-8s %12s %8s %8s %8s %8s\n" "scenario" "system" "time"
     "injected" "retries" "recover" "badslots";
   List.iter
-    (fun rate ->
-      let label = Printf.sprintf "werr=%.1f%%" (rate *. 100.0) in
-      Printf.printf "%-10s " label;
-      print_cell "UVM" (U.rate_row rate);
-      Printf.printf "%-10s " "";
-      print_cell "BSD VM" (B.rate_row rate))
-    rates;
-  Printf.printf "%-10s " "bad media";
-  print_cell "UVM" (U.bad_media_row ());
-  Printf.printf "%-10s " "";
-  print_cell "BSD VM" (B.bad_media_row ())
+    (fun s ->
+      List.iteri
+        (fun i c ->
+          Printf.printf "%-10s " (if i = 0 then s.scenario_name else "");
+          Printf.printf "%-8s %10.3f s %8d %8d %8d %8d\n" c.sys
+            (c.time_us /. 1e6) c.injected c.retries c.recovered c.badslots)
+        s.cells)
+    r
+
+let print () = print_result (run ())

@@ -65,7 +65,7 @@ let run () =
     step_names
     (List.combine b u)
 
-let print () =
+let print_result steps =
   Report.title
     "Section 5.3: inaccessible anonymous pages in the Figure 3 scenario (BSD leaks, UVM cannot)";
   Report.row4 "Step" "BSD leak" "UVM leak" "";
@@ -73,4 +73,6 @@ let print () =
     (fun s ->
       Report.row4 s.step_name (string_of_int s.bsd_leak)
         (string_of_int s.uvm_leak) "")
-    (run ())
+    steps
+
+let print () = print_result (run ())

@@ -95,11 +95,13 @@ let run () : result =
 
 let paper = [ (11, 6); (21, 12); (50, 26); (400, 242); (275, 186) ]
 
-let print () =
+let print_result (r : result) =
   Report.title "Table 1: allocated map entries (paper: BSD 11/21/50/400/275, UVM 6/12/26/242/186)";
   Report.row4 "Operation" "BSD VM" "UVM" "ratio";
   List.iter
     (fun (label, bsd, uvm) ->
       Report.row4 label (string_of_int bsd) (string_of_int uvm)
         (Report.ratio (float_of_int bsd) (float_of_int uvm)))
-    (run ())
+    r
+
+let print () = print_result (run ())

@@ -44,11 +44,13 @@ let run () : result =
 
 let paper = [ (59, 33); (128, 74); (1086, 590); (114, 64); (229, 127) ]
 
-let print () =
+let print_result (r : result) =
   Report.title "Table 2: page fault counts (paper: BSD 59/128/1086/114/229, UVM 33/74/590/64/127)";
   Report.row4 "Command" "BSD VM" "UVM" "ratio";
   List.iter
     (fun (label, bsd, uvm) ->
       Report.row4 label (string_of_int bsd) (string_of_int uvm)
         (Report.ratio (float_of_int bsd) (float_of_int uvm)))
-    (run ())
+    r
+
+let print () = print_result (run ())

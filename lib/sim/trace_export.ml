@@ -1,0 +1,254 @@
+(** Exporters for the observability layer.
+
+    A {!source} bundles one traced machine's event history, counters and
+    latency histograms under a display label ("UVM", "BSD VM").  The
+    exporters consume a list of sources so one run of an experiment —
+    which boots both VM systems, possibly several times — lands in a
+    single artifact:
+
+    - {!chrome_json}: Chrome trace-event JSON, loadable in Perfetto or
+      [chrome://tracing].  Each source becomes a process, each subsystem
+      a thread; spans are complete ("X") events, instants are "i".
+    - {!snapshot_json}: counters + histogram summaries, machine-readable.
+    - {!pp_dump}: flat human-readable event listing.
+    - {!print_stats}: the per-label counter/percentile tables behind the
+      CLI's [--stats] flag.
+
+    JSON is emitted by hand: the toolchain deliberately has no JSON
+    dependency, and the two fixed schemas here do not justify one. *)
+
+type source = {
+  mutable label : string;
+  hist : Hist.t;
+  stats : Stats.t;
+  latencies : Histogram.set;
+}
+
+(* -- JSON primitives --------------------------------------------------- *)
+
+let json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_float buf v =
+  if Float.is_finite v then
+    (* %.17g round-trips but is noisy; microsecond values need no more
+       than nanosecond precision. *)
+    Buffer.add_string buf (Printf.sprintf "%.3f" v)
+  else Buffer.add_string buf "0"
+
+let json_sep buf first = if !first then first := false else Buffer.add_char buf ','
+
+(* -- Chrome trace-event format ----------------------------------------- *)
+
+let subsys_tid s =
+  let rec idx i = function
+    | [] -> 1
+    | x :: _ when x = s -> i
+    | _ :: tl -> idx (i + 1) tl
+  in
+  idx 1 Hist.all_subsystems
+
+let chrome_event buf ~pid (e : Hist.event) =
+  Buffer.add_string buf "{\"name\":";
+  json_string buf e.name;
+  Buffer.add_string buf ",\"cat\":";
+  json_string buf (Hist.subsystem_name e.subsys);
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"ts\":" pid
+                           (subsys_tid e.subsys));
+  json_float buf e.ts;
+  if e.dur > 0.0 then begin
+    Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
+    json_float buf e.dur
+  end
+  else Buffer.add_string buf ",\"ph\":\"i\",\"s\":\"t\"";
+  Buffer.add_string buf ",\"args\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      json_sep buf first;
+      json_string buf k;
+      Buffer.add_char buf ':';
+      json_string buf v)
+    e.detail;
+  Buffer.add_string buf "}}"
+
+let chrome_metadata buf ~pid ~tid ~name ~value =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":" pid tid);
+  json_string buf name;
+  Buffer.add_string buf ",\"args\":{\"name\":";
+  json_string buf value;
+  Buffer.add_string buf "}}"
+
+let chrome_json buf sources =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iteri
+    (fun i src ->
+      let pid = i + 1 in
+      json_sep buf first;
+      chrome_metadata buf ~pid ~tid:0 ~name:"process_name" ~value:src.label;
+      List.iter
+        (fun s ->
+          json_sep buf first;
+          chrome_metadata buf ~pid ~tid:(subsys_tid s) ~name:"thread_name"
+            ~value:(Hist.subsystem_name s))
+        Hist.all_subsystems;
+      List.iter
+        (fun e ->
+          json_sep buf first;
+          chrome_event buf ~pid e)
+        (Hist.events src.hist))
+    sources;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n"
+
+(* -- per-label aggregation --------------------------------------------- *)
+
+(* Several boots of the same system (a sweep experiment) share a label;
+   exporters fold them into one logical system. *)
+type agg = {
+  agg_label : string;
+  counters : (string * float) list;  (* declaration order, summed *)
+  hists : (string * Histogram.t) list;  (* merged, sorted by name *)
+  agg_recorded : int;
+  agg_dropped : int;
+}
+
+let aggregate sources =
+  let labels =
+    List.fold_left
+      (fun acc s -> if List.mem s.label acc then acc else acc @ [ s.label ])
+      [] sources
+  in
+  List.map
+    (fun label ->
+      let group = List.filter (fun s -> s.label = label) sources in
+      let counters =
+        match group with
+        | [] -> []
+        | first :: rest ->
+            List.fold_left
+              (fun acc s ->
+                List.map2
+                  (fun (name, v) (name', v') ->
+                    assert (name = name');
+                    (name, v +. v'))
+                  acc
+                  (Stats.to_rows s.stats))
+              (Stats.to_rows first.stats) rest
+      in
+      let hset = Histogram.create_set () in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (name, h) -> Histogram.merge ~into:(Histogram.get hset name) h)
+            (Histogram.rows s.latencies))
+        group;
+      {
+        agg_label = label;
+        counters;
+        hists = Histogram.rows hset;
+        agg_recorded =
+          List.fold_left (fun n s -> n + Hist.recorded s.hist) 0 group;
+        agg_dropped = List.fold_left (fun n s -> n + Hist.dropped s.hist) 0 group;
+      })
+    labels
+
+(* -- stats/histogram snapshot ------------------------------------------ *)
+
+let snapshot_json buf sources =
+  Buffer.add_string buf "{\"schema\":\"uvm-sim-stats/1\",\"systems\":[";
+  let first_sys = ref true in
+  List.iter
+    (fun a ->
+      json_sep buf first_sys;
+      Buffer.add_string buf "{\"label\":";
+      json_string buf a.agg_label;
+      Buffer.add_string buf ",\"counters\":{";
+      let first = ref true in
+      List.iter
+        (fun (name, v) ->
+          if v <> 0.0 then begin
+            json_sep buf first;
+            json_string buf name;
+            Buffer.add_char buf ':';
+            json_float buf v
+          end)
+        a.counters;
+      Buffer.add_string buf "},\"histograms\":{";
+      let first = ref true in
+      List.iter
+        (fun (name, h) ->
+          json_sep buf first;
+          json_string buf name;
+          Buffer.add_string buf
+            (Printf.sprintf
+               ":{\"count\":%d,\"sum\":%.3f,\"mean\":%.3f,\"min\":%.3f,\
+                \"max\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}"
+               (Histogram.count h) (Histogram.sum h) (Histogram.mean h)
+               (Histogram.min_value h) (Histogram.max_value h) (Histogram.p50 h)
+               (Histogram.p95 h) (Histogram.p99 h)))
+        a.hists;
+      Buffer.add_string buf
+        (Printf.sprintf "},\"trace\":{\"recorded\":%d,\"dropped\":%d}}"
+           a.agg_recorded a.agg_dropped))
+    (aggregate sources);
+  Buffer.add_string buf "]}\n"
+
+(* -- human-readable ----------------------------------------------------- *)
+
+let pp_dump fmt sources =
+  List.iter
+    (fun src ->
+      Format.fprintf fmt "=== %s: %d events (%d dropped) ===@." src.label
+        (Hist.retained src.hist) (Hist.dropped src.hist);
+      List.iter
+        (fun (e : Hist.event) ->
+          Format.fprintf fmt "%12.1f us  %-8s %-16s" e.ts
+            (Hist.subsystem_name e.subsys) e.name;
+          if e.dur > 0.0 then Format.fprintf fmt " dur=%.1fus" e.dur;
+          List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) e.detail;
+          Format.fprintf fmt "@.")
+        (Hist.events src.hist))
+    sources
+
+let print_stats sources =
+  List.iter
+    (fun a ->
+      Printf.printf "\n== %s: counters ==\n" a.agg_label;
+      List.iter
+        (fun (name, v) ->
+          if v <> 0.0 then
+            if Float.is_integer v then
+              Printf.printf "  %-26s %12.0f\n" name v
+            else Printf.printf "  %-26s %12.1f\n" name v)
+        a.counters;
+      if a.hists <> [] then begin
+        Printf.printf "== %s: latency percentiles (simulated us) ==\n"
+          a.agg_label;
+        Printf.printf "  %-22s %8s %10s %10s %10s %10s %10s\n" "series" "count"
+          "mean" "p50" "p95" "p99" "max";
+        List.iter
+          (fun (name, h) ->
+            Printf.printf "  %-22s %8d %10.1f %10.1f %10.1f %10.1f %10.1f\n"
+              name (Histogram.count h) (Histogram.mean h) (Histogram.p50 h)
+              (Histogram.p95 h) (Histogram.p99 h) (Histogram.max_value h))
+          a.hists
+      end;
+      if a.agg_recorded > 0 then
+        Printf.printf "== %s: trace: %d events recorded, %d dropped ==\n"
+          a.agg_label a.agg_recorded a.agg_dropped)
+    (aggregate sources)

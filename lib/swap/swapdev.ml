@@ -5,6 +5,7 @@ type t = {
   page_size : int;
   store : (int, bytes) Hashtbl.t;
   stats : Sim.Stats.t;
+  mutable hist : Sim.Hist.t option;
 }
 
 let create ~nslots ~page_size ~clock ~costs ~stats =
@@ -15,7 +16,39 @@ let create ~nslots ~page_size ~clock ~costs ~stats =
     page_size;
     store = Hashtbl.create 256;
     stats;
+    hist = None;
   }
+
+let set_hist t h = t.hist <- h
+
+(* Both VM systems drive paging I/O through this device, so recording
+   Swap-subsystem events here traces them identically for free.  The
+   detail list is only built once we know a history is attached. *)
+let trace_span t ~t0 ~slot ~n ~result name =
+  match t.hist with
+  | None -> ()
+  | Some h ->
+      Sim.Hist.record h ~subsys:Sim.Hist.Swap ~ts:t0
+        ~dur:(Sim.Simclock.now t.clock -. t0)
+        ~detail:
+          [
+            ("slot", string_of_int slot);
+            ("pages", string_of_int n);
+            ("result", result);
+          ]
+        name
+
+let trace_instant t ~slot name =
+  match t.hist with
+  | None -> ()
+  | Some h ->
+      Sim.Hist.record h ~subsys:Sim.Hist.Swap ~ts:(Sim.Simclock.now t.clock)
+        ~detail:[ ("slot", string_of_int slot) ]
+        name
+
+let result_of = function
+  | Ok () -> "ok"
+  | Error (e : Sim.Fault_plan.error) -> Sim.Fault_plan.string_of_error e
 
 let capacity t = Swapmap.capacity t.map
 let slots_in_use t = Swapmap.in_use t.map
@@ -45,7 +78,8 @@ let mark_bad t ~slot =
     Swapmap.mark_bad t.map ~slot;
     (* Whatever the bad slot held is unreadable now. *)
     Hashtbl.remove t.store slot;
-    t.stats.Sim.Stats.bad_slots <- t.stats.Sim.Stats.bad_slots + 1
+    t.stats.Sim.Stats.bad_slots <- t.stats.Sim.Stats.bad_slots + 1;
+    trace_instant t ~slot "slot_bad"
   end
 
 let slot_range slot n = List.init n (fun i -> slot + i)
@@ -61,28 +95,38 @@ let write_cluster t ~slot ~pages =
       if not (Swapmap.is_allocated t.map ~slot:(slot + i)) then
         invalid_arg "Swapdev.write_cluster: slot not allocated")
     pages;
-  match Sim.Disk.write t.disk ~slots:(slot_range slot n) ~npages:n with
-  | Error _ as e -> e
-  | Ok () ->
-      List.iteri
-        (fun i (page : Physmem.Page.t) ->
-          Hashtbl.replace t.store (slot + i) (Bytes.copy page.data);
-          page.dirty <- false)
-        pages;
-      t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n;
-      Ok ()
+  let t0 = Sim.Simclock.now t.clock in
+  let r =
+    match Sim.Disk.write t.disk ~slots:(slot_range slot n) ~npages:n with
+    | Error _ as e -> e
+    | Ok () ->
+        List.iteri
+          (fun i (page : Physmem.Page.t) ->
+            Hashtbl.replace t.store (slot + i) (Bytes.copy page.data);
+            page.dirty <- false)
+          pages;
+        t.stats.Sim.Stats.pageouts <- t.stats.Sim.Stats.pageouts + n;
+        Ok ()
+  in
+  trace_span t ~t0 ~slot ~n ~result:(result_of r) "swap_write";
+  r
 
 let read_slot t ~slot ~dst =
   match Hashtbl.find_opt t.store slot with
   | None -> invalid_arg "Swapdev.read_slot: slot holds no data"
-  | Some data -> (
-      match Sim.Disk.read t.disk ~slots:[ slot ] ~npages:1 with
-      | Error _ as e -> e
-      | Ok () ->
-          Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
-          dst.Physmem.Page.dirty <- false;
-          t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + 1;
-          Ok ())
+  | Some data ->
+      let t0 = Sim.Simclock.now t.clock in
+      let r =
+        match Sim.Disk.read t.disk ~slots:[ slot ] ~npages:1 with
+        | Error _ as e -> e
+        | Ok () ->
+            Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
+            dst.Physmem.Page.dirty <- false;
+            t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + 1;
+            Ok ()
+      in
+      trace_span t ~t0 ~slot ~n:1 ~result:(result_of r) "swap_read";
+      r
 
 let read_cluster t ~slot ~dsts =
   let n = List.length dsts in
@@ -95,16 +139,21 @@ let read_cluster t ~slot ~dsts =
         | Some data -> data)
       dsts
   in
-  match Sim.Disk.read t.disk ~slots:(slot_range slot n) ~npages:n with
-  | Error _ as e -> e
-  | Ok () ->
-      List.iter2
-        (fun data (dst : Physmem.Page.t) ->
-          Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
-          dst.Physmem.Page.dirty <- false)
-        datas dsts;
-      t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n;
-      Ok ()
+  let t0 = Sim.Simclock.now t.clock in
+  let r =
+    match Sim.Disk.read t.disk ~slots:(slot_range slot n) ~npages:n with
+    | Error _ as e -> e
+    | Ok () ->
+        List.iter2
+          (fun data (dst : Physmem.Page.t) ->
+            Bytes.blit data 0 dst.Physmem.Page.data 0 t.page_size;
+            dst.Physmem.Page.dirty <- false)
+          datas dsts;
+        t.stats.Sim.Stats.pageins <- t.stats.Sim.Stats.pageins + n;
+        Ok ()
+  in
+  trace_span t ~t0 ~slot ~n ~result:(result_of r) "swap_read";
+  r
 
 (* Exponential backoff before retry attempt [attempt] (0-based), charged
    to the simulated clock: the pagedaemon sleeps, it does not spin. *)
@@ -176,6 +225,7 @@ let write_resilient t ~retries ~backoff_us ~slot ~assign ~pages =
                 (* The caller rebinds its bookkeeping (anon swslots, object
                    slot tables) to the fresh range, releasing the old slots
                    — which permanently retires the blacklisted one. *)
+                trace_instant t ~slot:fresh "reassign";
                 assign fresh;
                 recovered := true;
                 outcome := Reassigned fresh;

@@ -97,3 +97,10 @@ val write_resilient :
     counts into [Stats.pageouts_recovered]. *)
 
 val disk : t -> Sim.Disk.t
+
+val set_hist : t -> Sim.Hist.t option -> unit
+(** Attach an event history: every transfer then records a [Swap]
+    subsystem span ([swap_read]/[swap_write] with slot, page count and
+    result), and recovery records [slot_bad]/[reassign] instants.  Both
+    VM systems page through this device, so attaching here traces their
+    swap traffic identically. *)

@@ -56,6 +56,7 @@ module Sys = struct
 
   let boot ?config () =
     let mach = Machine.boot ?config () in
+    Machine.set_label mach name;
     let usys = Uvm_sys.create mach in
     Uvm_pdaemon.install usys;
     Uvm_vnode.install_recycle_hook usys;

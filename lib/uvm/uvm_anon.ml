@@ -79,11 +79,25 @@ let ensure_resident sys t =
       let page =
         Physmem.alloc (Uvm_sys.physmem sys) ~owner:(Anon_page t) ~offset:0 ()
       in
-      match
+      let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+      let r =
         Swap.Swapdev.read_resilient (Uvm_sys.swapdev sys)
           ~retries:sys.Uvm_sys.io_retries ~backoff_us:sys.Uvm_sys.io_backoff_us
           ~slot:t.swslot ~dst:page
-      with
+      in
+      (if Uvm_sys.tracing sys then begin
+         let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+         Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+           ~detail:
+             [
+               ("pager", "anon");
+               ("pages", "1");
+               ("result", match r with Ok () -> "ok" | Error _ -> "error");
+             ]
+           "pagein";
+         Uvm_sys.observe sys "pagein_us" dur
+       end);
+      match r with
       | Ok () ->
           Physmem.activate (Uvm_sys.physmem sys) page;
           t.page <- Some page;

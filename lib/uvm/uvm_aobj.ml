@@ -27,9 +27,26 @@ let make_ops sys st obj =
        let filled =
          match Hashtbl.find_opt st.swslots center with
          | Some slot ->
-             Swap.Swapdev.read_resilient swapdev
-               ~retries:sys.Uvm_sys.io_retries
-               ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~dst:page
+             let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+             let r =
+               Swap.Swapdev.read_resilient swapdev
+                 ~retries:sys.Uvm_sys.io_retries
+                 ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~dst:page
+             in
+             (if Uvm_sys.tracing sys then begin
+                let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+                Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+                  ~detail:
+                    [
+                      ("pager", "aobj");
+                      ("pages", "1");
+                      ( "result",
+                        match r with Ok () -> "ok" | Error _ -> "error" );
+                    ]
+                  "pagein";
+                Uvm_sys.observe sys "pagein_us" dur
+              end);
+             r
          | None ->
              Physmem.zero_data physmem page;
              Ok ()
@@ -67,14 +84,30 @@ let make_ops sys st obj =
       pages
   in
   let write_batch_at pages base =
-    match
-      Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
-        ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot:base
-        ~assign:(rebind_cluster pages) ~pages
-    with
-    | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> Ok ()
-    | Swap.Swapdev.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
-    | Swap.Swapdev.Failed _ -> Error Vmiface.Vmtypes.Pager_error
+    let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+    let r =
+      match
+        Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
+          ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot:base
+          ~assign:(rebind_cluster pages) ~pages
+      with
+      | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> Ok ()
+      | Swap.Swapdev.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
+      | Swap.Swapdev.Failed _ -> Error Vmiface.Vmtypes.Pager_error
+    in
+    (if Uvm_sys.tracing sys then begin
+       let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+       Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+         ~detail:
+           [
+             ("pager", "aobj");
+             ("pages", string_of_int (List.length pages));
+             ("result", match r with Ok () -> "ok" | Error _ -> "error");
+           ]
+         "pageout";
+       Uvm_sys.observe sys "pageout_cluster_io_us" dur
+     end);
+    r
   in
   (* One page into its existing slot, or a freshly allocated one.  [None]
      from the allocator means swap is full: the page simply stays dirty

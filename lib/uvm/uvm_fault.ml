@@ -188,11 +188,31 @@ let fault map ~vpn ~access ~wire =
   let sys = map.sys in
   let stats = Uvm_sys.stats sys in
   let costs = Uvm_sys.costs sys in
+  let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
   Uvm_sys.charge sys costs.Sim.Cost_model.fault_entry;
   stats.Sim.Stats.faults <- stats.Sim.Stats.faults + 1;
   Uvm_map.lock map;
+  (* Every exit goes through [finish], which is therefore the one place
+     the fault-path span and latency are recorded. *)
   let finish r =
     Uvm_map.unlock map;
+    if Uvm_sys.tracing sys then begin
+      let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+      Uvm_sys.trace sys ~subsys:Sim.Hist.Fault ~ts:t0 ~dur
+        ~detail:
+          [
+            ("vpn", string_of_int vpn);
+            ( "access",
+              match access with Vmtypes.Read -> "read" | Vmtypes.Write -> "write"
+            );
+            ( "result",
+              match r with
+              | Ok () -> "ok"
+              | Error e -> Vmtypes.string_of_fault_error e );
+          ]
+        "fault";
+      Uvm_sys.observe sys "fault_us" dur
+    end;
     r
   in
   match Uvm_map.lookup map ~vpn with

@@ -62,7 +62,13 @@ let unlock t =
       let held = Sim.Simclock.now (Uvm_sys.clock t.sys) -. since in
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
-      t.locked_since <- None
+      t.locked_since <- None;
+      if Uvm_sys.tracing t.sys then begin
+        Uvm_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
+          ~detail:[ ("kernel", string_of_bool t.kernel) ]
+          "map_lock";
+        Uvm_sys.observe t.sys "map_lock_us" held
+      end
 
 let entry_npages e = e.epage - e.spage
 let entry_count t = t.nentries

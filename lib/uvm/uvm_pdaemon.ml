@@ -28,6 +28,7 @@ let flush_anon_batch sys batch =
       let swapdev = Uvm_sys.swapdev sys in
       let stats = Uvm_sys.stats sys in
       let n = List.length batch in
+      let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
       let write_at ~slot ~assign ~pages =
         match
           Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
@@ -77,6 +78,17 @@ let flush_anon_batch sys batch =
                   stats.Sim.Stats.swap_full_events <-
                     stats.Sim.Stats.swap_full_events + 1)
             batch);
+      (if Uvm_sys.tracing sys then begin
+         let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+         Uvm_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0 ~dur
+           ~detail:
+             [
+               ("pages", string_of_int n);
+               ("clustered", string_of_bool (clustered <> None));
+             ]
+           "pageout_cluster";
+         Uvm_sys.observe sys "pageout_cluster_io_us" dur
+       end);
       (* Pages that now have a swap copy are clean and reclaimable. *)
       List.fold_left
         (fun stuck ((anon : Uvm_anon.t), (page : Physmem.Page.t)) ->
@@ -103,6 +115,8 @@ let flush_object_batches sys batches =
 let run sys =
   let physmem = Uvm_sys.physmem sys in
   let target = Physmem.freetarg physmem in
+  let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+  let free0 = Physmem.free_count physmem in
   let anon_batch = ref [] in
   let obj_batches : (int, Uvm_object.t * Physmem.Page.t list) Hashtbl.t =
     Hashtbl.create 8
@@ -172,6 +186,16 @@ let run sys =
           end
         end)
       (Physmem.active_pages physmem)
-  end
+  end;
+  if Uvm_sys.tracing sys then
+    Uvm_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0
+      ~dur:(Sim.Simclock.now (Uvm_sys.clock sys) -. t0)
+      ~detail:
+        [
+          ("free_before", string_of_int free0);
+          ("free_after", string_of_int (Physmem.free_count physmem));
+          ("target", string_of_int target);
+        ]
+      "scan"
 
 let install sys = Physmem.set_pagedaemon (Uvm_sys.physmem sys) (fun () -> run sys)

@@ -62,6 +62,19 @@ let pmap_ctx t = t.mach.Machine.pmap_ctx
 let charge t us = Sim.Simclock.advance (clock t) us
 let charge_struct_alloc t = charge t (costs t).Sim.Cost_model.struct_alloc
 
+(* Observability (see Sim.Hist / Sim.Histogram).  Call sites guard on
+   [tracing] so a normal run pays one boolean check and no allocation. *)
+let hist t = t.mach.Machine.hist
+let latencies t = t.mach.Machine.latencies
+let tracing t = Sim.Hist.enabled (hist t)
+
+let trace t ~subsys ~ts ?dur ?detail name =
+  Sim.Hist.record (hist t) ~subsys ~ts ?dur ?detail name
+
+let observe t name v =
+  if tracing t then
+    Sim.Histogram.observe (Sim.Histogram.get (latencies t) name) v
+
 (* Run a fallible I/O action under the system's retry policy: transient
    errors are retried up to [io_retries] times with exponential backoff
    charged to the simulated clock; permanent errors (and exhaustion of the

@@ -50,10 +50,11 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
              Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj)
                ~offset:(center + i) ())
        in
-       match
-         Uvm_sys.retry_transient sys (fun () ->
-             Vfs.read_pages vfs vnode ~start_page:center ~dsts:pages)
-       with
+       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+       (match
+          Uvm_sys.retry_transient sys (fun () ->
+              Vfs.read_pages vfs vnode ~start_page:center ~dsts:pages)
+        with
        | Ok () ->
            List.iteri
              (fun i page ->
@@ -67,7 +68,19 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
            List.iter (fun page -> Physmem.free_page physmem page) pages;
            let stats = Uvm_sys.stats sys in
            stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
-           status := Error Vmiface.Vmtypes.Pager_error
+           status := Error Vmiface.Vmtypes.Pager_error);
+       if Uvm_sys.tracing sys then begin
+         let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+         Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+           ~detail:
+             [
+               ("pager", "vnode");
+               ("pages", string_of_int n);
+               ("result", match !status with Ok () -> "ok" | Error _ -> "error");
+             ]
+           "pagein";
+         Uvm_sys.observe sys "pagein_us" dur
+       end
      end);
     match !status with
     | Error _ as e -> e
@@ -84,12 +97,26 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
       (fun acc run ->
         match run with
         | [] -> acc
-        | (first : Physmem.Page.t) :: _ -> (
-            match
+        | (first : Physmem.Page.t) :: _ ->
+            let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
+            let r =
               Uvm_sys.retry_transient sys (fun () ->
                   Vfs.write_pages vfs vnode ~start_page:first.owner_offset
                     ~srcs:run)
-            with
+            in
+            (if Uvm_sys.tracing sys then begin
+               let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
+               Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
+                 ~detail:
+                   [
+                     ("pager", "vnode");
+                     ("pages", string_of_int (List.length run));
+                     ("result", match r with Ok () -> "ok" | Error _ -> "error");
+                   ]
+                 "pageout";
+               Uvm_sys.observe sys "pageout_cluster_io_us" dur
+             end);
+            (match r with
             | Ok () -> acc
             | Error _ -> (
                 match acc with

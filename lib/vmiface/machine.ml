@@ -6,6 +6,7 @@ type config = {
   costs : Sim.Cost_model.t;
   seed : int;
   fault_plan : (unit -> Sim.Fault_plan.t) option;
+  trace_buf : int option;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     costs = Sim.Cost_model.default;
     seed = 0xB5D;
     fault_plan = None;
+    trace_buf = None;
   }
 
 (* Process-wide default, set by CLI flags: lets any experiment run under a
@@ -25,6 +27,16 @@ let default_config =
    comparison) gets its own fresh, identically-seeded plan. *)
 let default_fault_plan : (unit -> Sim.Fault_plan.t) option ref = ref None
 let set_default_fault_plan f = default_fault_plan := f
+
+(* Same pattern for tracing: the CLI turns it on process-wide and every
+   machine booted by the experiment collects events.  The registry keeps
+   only the lightweight observability state of each traced boot — never
+   the machine itself, which would pin its simulated RAM. *)
+let default_trace_buf : int option ref = ref None
+let set_default_trace n = default_trace_buf := n
+let traced_sources : Sim.Trace_export.source list ref = ref []
+let traced () = List.rev !traced_sources
+let reset_traced () = traced_sources := []
 
 let config_mb ?(ram_mb = 32) ?(swap_mb = 128) () =
   {
@@ -43,12 +55,27 @@ type t = {
   pmap_ctx : Pmap.ctx;
   swap : Swap.Swapdev.t;
   vfs : Vfs.t;
+  hist : Sim.Hist.t;
+  latencies : Sim.Histogram.set;
+  trace_source : Sim.Trace_export.source;
 }
 
 let boot ?(config = default_config) () =
   let clock = Sim.Simclock.create () in
   let costs = config.costs in
   let stats = Sim.Stats.create () in
+  let trace_buf =
+    match config.trace_buf with Some _ as n -> n | None -> !default_trace_buf
+  in
+  let hist =
+    match trace_buf with
+    | Some capacity -> Sim.Hist.create ~capacity ~enabled:true ()
+    | None -> Sim.Hist.create ~enabled:false ()
+  in
+  let latencies = Sim.Histogram.create_set () in
+  let trace_source =
+    { Sim.Trace_export.label = "vm"; hist; stats; latencies }
+  in
   let t =
     {
       config;
@@ -66,8 +93,15 @@ let boot ?(config = default_config) () =
       vfs =
         Vfs.create ~max_vnodes:config.max_vnodes ~page_size:config.page_size
           ~clock ~costs ~stats ();
+      hist;
+      latencies;
+      trace_source;
     }
   in
+  if Sim.Hist.enabled hist then begin
+    Swap.Swapdev.set_hist t.swap (Some hist);
+    traced_sources := trace_source :: !traced_sources
+  end;
   (match
      match config.fault_plan with
      | Some _ as f -> f
@@ -85,3 +119,4 @@ let boot ?(config = default_config) () =
 let page_size t = t.config.page_size
 let now t = Sim.Simclock.now t.clock
 let charge t us = Sim.Simclock.advance t.clock us
+let set_label t label = t.trace_source.Sim.Trace_export.label <- label

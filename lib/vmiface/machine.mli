@@ -14,6 +14,9 @@ type config = {
   fault_plan : (unit -> Sim.Fault_plan.t) option;
       (** I/O fault plan factory, invoked once per boot and installed on
           both the swap and filesystem disks *)
+  trace_buf : int option;
+      (** when set, boot with event tracing enabled, each subsystem ring
+          holding this many events *)
 }
 
 val default_config : config
@@ -25,6 +28,19 @@ val set_default_fault_plan : (unit -> Sim.Fault_plan.t) option -> unit
     set from CLI flags so existing experiments run under faults without
     config plumbing.  A factory, so every boot gets a fresh
     identically-seeded plan (fair UVM-vs-BSD comparisons). *)
+
+val set_default_trace : int option -> unit
+(** Process-wide tracing fallback, same contract as
+    {!set_default_fault_plan}: when a config carries no [trace_buf],
+    [boot] uses this ring capacity (and [None] disables tracing). *)
+
+val traced : unit -> Sim.Trace_export.source list
+(** Observability state (label, event history, counters, latency
+    histograms) of every machine booted with tracing on since the last
+    {!reset_traced}, in boot order.  Sources are lightweight: holding
+    them does not keep the machines' simulated memory alive. *)
+
+val reset_traced : unit -> unit
 
 val config_mb : ?ram_mb:int -> ?swap_mb:int -> unit -> config
 (** Convenience: sizes in megabytes on top of {!default_config}. *)
@@ -39,6 +55,9 @@ type t = {
   pmap_ctx : Pmap.ctx;
   swap : Swap.Swapdev.t;
   vfs : Vfs.t;
+  hist : Sim.Hist.t;  (** per-machine event history (disabled by default) *)
+  latencies : Sim.Histogram.set;  (** per-machine latency histograms *)
+  trace_source : Sim.Trace_export.source;
 }
 
 val boot : ?config:config -> unit -> t
@@ -47,3 +66,6 @@ val page_size : t -> int
 val now : t -> float
 val charge : t -> float -> unit
 (** Advance the simulated clock. *)
+
+val set_label : t -> string -> unit
+(** Name this machine in trace exports ("UVM", "BSD VM"). *)

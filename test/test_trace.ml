@@ -1,0 +1,473 @@
+(* The observability layer: event-history rings, latency histograms and
+   the Chrome trace exporter.
+
+   The exporter test round-trips through a minimal JSON parser written
+   here — the repo deliberately carries no JSON dependency, and parsing
+   the two fixed schemas needs thirty lines, not a library. *)
+
+module Vmtypes = Vmiface.Vmtypes
+
+(* -- ring buffers ------------------------------------------------------- *)
+
+let test_ring_wraparound () =
+  let h = Sim.Hist.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 10 do
+    Sim.Hist.record h ~subsys:Sim.Hist.Fault ~ts:(float_of_int i)
+      (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "recorded counts overwritten events" 10
+    (Sim.Hist.recorded h);
+  Alcotest.(check int) "retained capped at capacity" 4 (Sim.Hist.retained h);
+  Alcotest.(check int) "dropped = recorded - retained" 6 (Sim.Hist.dropped h);
+  Alcotest.(check (list string))
+    "ring keeps the newest events in order"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map
+       (fun (e : Sim.Hist.event) -> e.name)
+       (Sim.Hist.events_of h Sim.Hist.Fault));
+  Sim.Hist.clear h;
+  Alcotest.(check int) "clear empties the rings" 0 (Sim.Hist.retained h);
+  Alcotest.(check int) "clear resets recorded" 0 (Sim.Hist.recorded h)
+
+let test_ring_per_subsystem () =
+  (* Capacity is per subsystem: a chatty subsystem cannot evict another's
+     events. *)
+  let h = Sim.Hist.create ~capacity:2 ~enabled:true () in
+  Sim.Hist.record h ~subsys:Sim.Hist.Map ~ts:1.0 "map_lock";
+  for i = 2 to 9 do
+    Sim.Hist.record h ~subsys:Sim.Hist.Fault ~ts:(float_of_int i) "fault"
+  done;
+  Alcotest.(check int) "quiet subsystem keeps its event" 1
+    (List.length (Sim.Hist.events_of h Sim.Hist.Map));
+  Alcotest.(check int) "chatty subsystem wraps alone" 2
+    (List.length (Sim.Hist.events_of h Sim.Hist.Fault))
+
+let test_event_ordering () =
+  (* Events recorded out of timestamp order across subsystems come back
+     sorted by simulated time, sequence number breaking ties. *)
+  let h = Sim.Hist.create ~enabled:true () in
+  Sim.Hist.record h ~subsys:Sim.Hist.Pager ~ts:30.0 "c";
+  Sim.Hist.record h ~subsys:Sim.Hist.Fault ~ts:10.0 "a";
+  Sim.Hist.record h ~subsys:Sim.Hist.Map ~ts:20.0 "b";
+  Sim.Hist.record h ~subsys:Sim.Hist.Swap ~ts:20.0 "b2";
+  let es = Sim.Hist.events h in
+  Alcotest.(check (list string))
+    "merged stream sorted by (ts, seq)"
+    [ "a"; "b"; "b2"; "c" ]
+    (List.map (fun (e : Sim.Hist.event) -> e.name) es);
+  let sorted =
+    List.for_all2
+      (fun (x : Sim.Hist.event) (y : Sim.Hist.event) ->
+        x.ts < y.ts || (x.ts = y.ts && x.seq < y.seq))
+      (List.filteri (fun i _ -> i < List.length es - 1) es)
+      (List.tl es)
+  in
+  Alcotest.(check bool) "strictly ordered" true sorted
+
+let test_disabled_records_nothing () =
+  let h = Sim.Hist.create () in
+  Alcotest.(check bool) "disabled by default" false (Sim.Hist.enabled h);
+  Sim.Hist.record h ~subsys:Sim.Hist.Fault ~ts:1.0 "fault";
+  Alcotest.(check int) "no events recorded" 0 (Sim.Hist.recorded h);
+  Sim.Hist.set_enabled h true;
+  Sim.Hist.record h ~subsys:Sim.Hist.Fault ~ts:2.0 "fault";
+  Alcotest.(check int) "recording after enable" 1 (Sim.Hist.recorded h)
+
+(* -- histograms --------------------------------------------------------- *)
+
+(* Log buckets at four per octave bound any percentile's relative error
+   by lambda - 1 ~ 19%. *)
+let within_bucket_error expected actual =
+  Float.abs (actual -. expected) <= 0.19 *. expected
+
+let test_histogram_percentiles () =
+  let h = Sim.Histogram.create () in
+  for v = 1 to 1000 do
+    Sim.Histogram.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (Sim.Histogram.count h);
+  Alcotest.(check (float 1e-6)) "sum" 500500.0 (Sim.Histogram.sum h);
+  Alcotest.(check (float 1e-6)) "mean" 500.5 (Sim.Histogram.mean h);
+  Alcotest.(check (float 1e-6)) "exact min" 1.0 (Sim.Histogram.min_value h);
+  Alcotest.(check (float 1e-6)) "exact max" 1000.0 (Sim.Histogram.max_value h);
+  List.iter
+    (fun (p, expected) ->
+      let got = Sim.Histogram.percentile h p in
+      if not (within_bucket_error expected got) then
+        Alcotest.failf "p%.0f of uniform 1..1000: got %.1f, want %.1f +-19%%" p
+          got expected)
+    [ (50.0, 500.0); (95.0, 950.0); (99.0, 990.0) ];
+  let p100 = Sim.Histogram.percentile h 100.0 in
+  Alcotest.(check bool)
+    "p100 within a bucket of max, never above" true
+    (p100 <= 1000.0 && within_bucket_error 1000.0 p100);
+  let p0 = Sim.Histogram.percentile h 0.0 in
+  Alcotest.(check bool)
+    "p0 within a bucket of min, never below" true
+    (p0 >= 1.0 && within_bucket_error 1.0 p0);
+  (* Monotone in p. *)
+  Alcotest.(check bool)
+    "percentiles monotone" true
+    (Sim.Histogram.p50 h <= Sim.Histogram.p95 h
+    && Sim.Histogram.p95 h <= Sim.Histogram.p99 h
+    && Sim.Histogram.p99 h <= p100)
+
+let test_histogram_edge_cases () =
+  let h = Sim.Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty p50 is 0" 0.0 (Sim.Histogram.p50 h);
+  Alcotest.(check (float 0.0)) "empty mean is 0" 0.0 (Sim.Histogram.mean h);
+  Sim.Histogram.observe h (-5.0);
+  Sim.Histogram.observe h Float.nan;
+  Sim.Histogram.observe h Float.infinity;
+  Alcotest.(check int) "bad samples ignored" 0 (Sim.Histogram.count h);
+  Sim.Histogram.observe h 42.0;
+  Alcotest.(check int) "count after one sample" 1 (Sim.Histogram.count h);
+  Alcotest.(check (float 1e-6))
+    "single sample: p50 = the sample" 42.0 (Sim.Histogram.p50 h);
+  (* Sub-microsecond samples land in the [0,1) bucket. *)
+  let h0 = Sim.Histogram.create () in
+  Sim.Histogram.observe h0 0.25;
+  Alcotest.(check (float 1e-6)) "tiny sample p50" 0.25 (Sim.Histogram.p50 h0)
+
+let test_histogram_merge () =
+  let a = Sim.Histogram.create () and b = Sim.Histogram.create () in
+  for v = 1 to 500 do
+    Sim.Histogram.observe a (float_of_int v)
+  done;
+  for v = 501 to 1000 do
+    Sim.Histogram.observe b (float_of_int v)
+  done;
+  Sim.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 1000 (Sim.Histogram.count a);
+  Alcotest.(check (float 1e-6)) "merged sum" 500500.0 (Sim.Histogram.sum a);
+  Alcotest.(check (float 1e-6)) "merged min" 1.0 (Sim.Histogram.min_value a);
+  Alcotest.(check (float 1e-6)) "merged max" 1000.0 (Sim.Histogram.max_value a);
+  let got = Sim.Histogram.p50 a in
+  if not (within_bucket_error 500.0 got) then
+    Alcotest.failf "merged p50: got %.1f, want 500 +-19%%" got
+
+(* -- a minimal JSON parser for the exporter round-trips ----------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let next () =
+    if !pos >= len then failwith "json: unexpected end";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let got = next () in
+    if got <> c then failwith (Printf.sprintf "json: want %c, got %c" c got)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              let code = int_of_string ("0x" ^ hex) in
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?'
+          | c -> failwith (Printf.sprintf "json: bad escape \\%c" c));
+          go ())
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char s.[!pos] do
+      incr pos
+    done;
+    Jnum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Jobj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Jobj (List.rev ((k, v) :: acc))
+            | c -> failwith (Printf.sprintf "json: bad object char %c" c)
+          in
+          members []
+    | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; Jarr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> Jarr (List.rev (v :: acc))
+            | c -> failwith (Printf.sprintf "json: bad array char %c" c)
+          in
+          elements []
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then failwith "json: trailing garbage";
+  v
+
+let member k = function
+  | Jobj fields -> ( try List.assoc k fields with Not_found -> Jnull)
+  | _ -> Jnull
+
+let jstr_exn = function Jstr s -> s | _ -> failwith "json: not a string"
+let jarr_exn = function Jarr l -> l | _ -> failwith "json: not an array"
+let jnum_exn = function Jnum n -> n | _ -> failwith "json: not a number"
+
+(* -- exporters against live VM systems ---------------------------------- *)
+
+(* Map a file and read it end to end: every page costs a fault and a
+   vnode pagein, exercising the traced path in both systems. *)
+module Workload (V : Vmiface.Vm_sig.VM_SYS) = struct
+  let traced_source () =
+    let config = { Vmiface.Machine.default_config with trace_buf = Some 1024 } in
+    let sys = V.boot ~config () in
+    let vfs = (V.machine sys).Vmiface.Machine.vfs in
+    let vn = Vfs.create_file vfs ~name:"/data" ~size:(16 * 4096) in
+    let vm = V.new_vmspace sys in
+    let vpn =
+      V.mmap sys vm ~npages:16 ~prot:Pmap.Prot.read ~share:Vmtypes.Shared
+        (Vmtypes.File (vn, 0))
+    in
+    for i = 0 to 15 do
+      V.touch sys vm ~vpn:(vpn + i) Vmtypes.Read
+    done;
+    (V.machine sys).Vmiface.Machine.trace_source
+end
+
+module Uvm_load = Workload (Uvm.Sys)
+module Bsd_load = Workload (Bsdvm.Sys)
+
+let run_both () =
+  let srcs = [ Uvm_load.traced_source (); Bsd_load.traced_source () ] in
+  (* The boots above registered themselves for the CLI exporters; this
+     test holds its sources directly, so drop the registrations. *)
+  Vmiface.Machine.reset_traced ();
+  srcs
+
+let test_live_tracing () =
+  List.iter
+    (fun (src : Sim.Trace_export.source) ->
+      let names =
+        List.map (fun (e : Sim.Hist.event) -> e.name) (Sim.Hist.events src.hist)
+      in
+      Alcotest.(check bool)
+        (src.label ^ " records faults")
+        true
+        (List.mem "fault" names);
+      Alcotest.(check bool)
+        (src.label ^ " records pageins")
+        true
+        (List.mem "pagein" names);
+      (* Simulated-timestamp ordering holds on real event streams too. *)
+      let ts_sorted =
+        let es = Sim.Hist.events src.hist in
+        List.for_all2
+          (fun (x : Sim.Hist.event) (y : Sim.Hist.event) -> x.ts <= y.ts)
+          (List.filteri (fun i _ -> i < List.length es - 1) es)
+          (List.tl es)
+      in
+      Alcotest.(check bool) (src.label ^ " events time-ordered") true ts_sorted;
+      (* Latency histograms fill alongside the event stream. *)
+      let fault_us = Sim.Histogram.get src.latencies "fault_us" in
+      Alcotest.(check bool)
+        (src.label ^ " observed fault latencies")
+        true
+        (Sim.Histogram.count fault_us > 0))
+    (run_both ())
+
+let test_chrome_export () =
+  let srcs = run_both () in
+  let buf = Buffer.create 4096 in
+  Sim.Trace_export.chrome_json buf srcs;
+  let root = parse_json (Buffer.contents buf) in
+  let events = jarr_exn (member "traceEvents" root) in
+  Alcotest.(check bool) "trace has events" true (List.length events > 0);
+  (* process_name metadata maps pid -> system label. *)
+  let pid_label =
+    List.filter_map
+      (fun e ->
+        if
+          member "ph" e = Jstr "M"
+          && member "name" e = Jstr "process_name"
+        then
+          Some
+            ( int_of_float (jnum_exn (member "pid" e)),
+              jstr_exn (member "name" (member "args" e)) )
+        else None)
+      events
+  in
+  Alcotest.(check bool)
+    "UVM process present" true
+    (List.exists (fun (_, l) -> l = "UVM") pid_label);
+  Alcotest.(check bool)
+    "BSD VM process present" true
+    (List.exists (fun (_, l) -> l = "BSD VM") pid_label);
+  (* Both systems must contribute fault and pagein events. *)
+  let events_for label name =
+    List.exists
+      (fun e ->
+        member "name" e = Jstr name
+        && List.assoc_opt (int_of_float (jnum_exn (member "pid" e))) pid_label
+           = Some label)
+      events
+  in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " fault events") true
+        (events_for label "fault");
+      Alcotest.(check bool)
+        (label ^ " pagein events")
+        true
+        (events_for label "pagein"))
+    [ "UVM"; "BSD VM" ];
+  (* Spans are well-formed complete events. *)
+  List.iter
+    (fun e ->
+      match member "ph" e with
+      | Jstr "X" ->
+          Alcotest.(check bool) "span has dur >= 0" true
+            (jnum_exn (member "dur" e) >= 0.0);
+          Alcotest.(check bool) "span has ts >= 0" true
+            (jnum_exn (member "ts" e) >= 0.0)
+      | Jstr ("i" | "M") -> ()
+      | _ -> Alcotest.fail "unexpected event phase")
+    events
+
+let test_snapshot_export () =
+  let srcs = run_both () in
+  let buf = Buffer.create 4096 in
+  Sim.Trace_export.snapshot_json buf srcs;
+  let root = parse_json (Buffer.contents buf) in
+  Alcotest.(check string)
+    "schema tag" "uvm-sim-stats/1"
+    (jstr_exn (member "schema" root));
+  let systems = jarr_exn (member "systems" root) in
+  Alcotest.(check (list string))
+    "one entry per label" [ "UVM"; "BSD VM" ]
+    (List.map (fun s -> jstr_exn (member "label" s)) systems);
+  List.iter
+    (fun s ->
+      let faults = member "fault_us" (member "histograms" s) in
+      Alcotest.(check bool)
+        "fault_us histogram exported" true
+        (jnum_exn (member "count" faults) > 0.0);
+      Alcotest.(check bool)
+        "p99 >= p50" true
+        (jnum_exn (member "p99" faults) >= jnum_exn (member "p50" faults));
+      Alcotest.(check bool)
+        "events recorded" true
+        (jnum_exn (member "recorded" (member "trace" s)) > 0.0))
+    systems
+
+let test_untraced_boot_is_silent () =
+  Vmiface.Machine.reset_traced ();
+  let sys = Uvm.Sys.boot () in
+  let mach = Uvm.Sys.machine sys in
+  let vm = Uvm.Sys.new_vmspace sys in
+  let vpn =
+    Uvm.Sys.mmap sys vm ~npages:4 ~prot:Pmap.Prot.rw ~share:Vmtypes.Private
+      Vmtypes.Zero
+  in
+  for i = 0 to 3 do
+    Uvm.Sys.touch sys vm ~vpn:(vpn + i) Vmtypes.Write
+  done;
+  Alcotest.(check int)
+    "no events without trace_buf" 0
+    (Sim.Hist.recorded mach.Vmiface.Machine.hist);
+  Alcotest.(check (list string))
+    "no latency series without tracing" []
+    (List.map fst (Sim.Histogram.rows mach.Vmiface.Machine.latencies));
+  Alcotest.(check int)
+    "untraced boots do not register" 0
+    (List.length (Vmiface.Machine.traced ()))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "per-subsystem rings" `Quick
+            test_ring_per_subsystem;
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles on uniform 1..1000" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edge_cases;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "live tracing both systems" `Quick
+            test_live_tracing;
+          Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_export;
+          Alcotest.test_case "stats snapshot round-trip" `Quick
+            test_snapshot_export;
+          Alcotest.test_case "untraced boot is silent" `Quick
+            test_untraced_boot_is_silent;
+        ] );
+    ]
