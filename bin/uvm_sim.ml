@@ -150,6 +150,120 @@ let with_faults f =
     $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
     $ trace_out $ trace_buf $ stats_flag $ stats_out $ const ())
 
+(* -- torture ----------------------------------------------------------- *)
+
+let run_torture seed ops audit_every faults shrink artifact_dir corrupt
+    corrupt_at ram_pages swap_pages =
+  let corrupt =
+    match corrupt with
+    | None -> None
+    | Some name -> (
+        match Oslayer.Torture.corruption_of_string name with
+        | Some c -> Some (corrupt_at, c)
+        | None ->
+            Printf.eprintf
+              "uvm_sim: unknown --corrupt kind %S (expected leak-swap-slot, \
+               overref-anon or queue-double-insert)\n"
+              name;
+            exit 2)
+  in
+  let cfg =
+    {
+      Oslayer.Torture.default_cfg with
+      seed;
+      nops = ops;
+      audit_every;
+      faults;
+      shrink;
+      artifact_dir = Some artifact_dir;
+      corrupt;
+      ram_pages;
+      swap_pages;
+    }
+  in
+  Printf.printf
+    "torture: seed=%d ops=%d audit-every=%d faults=%s ram=%d swap=%d\n%!" seed
+    ops audit_every
+    (if faults then "on" else "off")
+    ram_pages swap_pages;
+  let r = Oslayer.Torture.run cfg in
+  match r.Oslayer.Torture.r_bug with
+  | None ->
+      Printf.printf
+        "torture: OK — %d ops, all audits clean, UVM and BSD VM agree\n"
+        (List.length r.Oslayer.Torture.r_trace)
+  | Some bug ->
+      Printf.printf "torture: FAILED\n  %s\n"
+        (Oslayer.Torture.string_of_bug bug);
+      (match r.Oslayer.Torture.r_minimal with
+      | Some ops ->
+          Printf.printf "  minimal repro (%d ops):\n" (List.length ops);
+          List.iter
+            (fun (i, op) ->
+              Printf.printf "    [%d] %s\n" i (Oslayer.Torture.op_to_string op))
+            ops
+      | None -> ());
+      (match r.Oslayer.Torture.r_artifacts with
+      | Some dir -> Printf.printf "  artifacts written to %s/\n" dir
+      | None -> ());
+      exit 1
+
+let torture_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Seed for the op generator and both machines.")
+  in
+  let ops =
+    Arg.(value & opt int 20000 & info [ "ops" ] ~docv:"N"
+           ~doc:"Number of operations to generate.")
+  in
+  let audit_every =
+    Arg.(value & opt int 100 & info [ "audit-every" ] ~docv:"K"
+           ~doc:"Run both kernels' invariant auditors every $(docv) ops.")
+  in
+  let faults =
+    Arg.(value & flag & info [ "faults" ]
+           ~doc:"Inject transient disk I/O errors (rate 0.005). Outcome \
+                 comparison is disabled; the invariant audits remain the \
+                 oracle.")
+  in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ]
+           ~doc:"On failure, delta-debug the trace to a minimal failing \
+                 sequence (replays the run many times).")
+  in
+  let artifact_dir =
+    Arg.(value & opt string "artifacts/torture" & info [ "artifact-dir" ]
+           ~docv:"DIR"
+           ~doc:"Directory for crash artifacts (op trace, failure, event \
+                 ring, stats).")
+  in
+  let corrupt =
+    Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND"
+           ~doc:"Deliberately corrupt kernel state mid-run to exercise the \
+                 auditor: leak-swap-slot, overref-anon or \
+                 queue-double-insert.")
+  in
+  let corrupt_at =
+    Arg.(value & opt int 0 & info [ "corrupt-at" ] ~docv:"N"
+           ~doc:"Apply the corruption at op index $(docv).")
+  in
+  let ram_pages =
+    Arg.(value & opt int 256 & info [ "ram-pages" ] ~docv:"N"
+           ~doc:"Simulated RAM size in pages (small forces paging).")
+  in
+  let swap_pages =
+    Arg.(value & opt int 2048 & info [ "swap-pages" ] ~docv:"N"
+           ~doc:"Simulated swap size in slots.")
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Differential torture test: one seeded op sequence against both \
+             VM systems with periodic invariant audits")
+    Term.(
+      const run_torture $ seed $ ops $ audit_every $ faults $ shrink
+      $ artifact_dir $ corrupt $ corrupt_at $ ram_pages $ swap_pages)
+
 (* -- commands --------------------------------------------------------- *)
 
 let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
@@ -164,4 +278,7 @@ let () =
     Cmd.info "uvm_sim" ~version:"1.0"
       ~doc:"Reproduction harness for the UVM virtual memory system paper"
   in
-  exit (Cmd.eval (Cmd.group info (all_cmd :: List.map cmd_of experiments)))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          (all_cmd :: torture_cmd :: List.map cmd_of experiments)))

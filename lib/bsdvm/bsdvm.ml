@@ -112,6 +112,39 @@ module Sys = struct
             | Some o -> Vm_object.reference o
             | None -> ());
             Vm_map.insert_entry_raw child.map (clone_entry bsys child.map e)
+        | Inh_copy when e.Vm_map.wired > 0 ->
+            (* A wired entry's copy may never be deferred: write-protecting
+               the parent would make its next write COW the wired frame into
+               a shadow object and remap the parent, stranding the wire
+               count on the original page until teardown frees a still-wired
+               frame.  Copy the range into a private object for the child
+               now — wiring faulted every page in and keeps it off the
+               paging queues, so each translation is present and resident —
+               and leave the parent untouched. *)
+            let physmem = Bsd_sys.physmem bsys in
+            let obj = Vm_object.alloc_anon_object bsys in
+            let npages = e.Vm_map.epage - e.Vm_map.spage in
+            for i = 0 to npages - 1 do
+              match Pmap.lookup parent.pmap ~vpn:(e.Vm_map.spage + i) with
+              | None -> invalid_arg "vm_fork: wired page not mapped"
+              | Some pte ->
+                  let fresh_page =
+                    Physmem.alloc physmem
+                      ~owner:(Vm_object.Obj_page obj) ~offset:i ()
+                  in
+                  Physmem.copy_data physmem ~src:pte.Pmap.page ~dst:fresh_page;
+                  (Bsd_sys.stats bsys).Sim.Stats.cow_copies <-
+                    (Bsd_sys.stats bsys).Sim.Stats.cow_copies + 1;
+                  Vm_object.insert_page obj ~pgno:i fresh_page;
+                  fresh_page.Physmem.Page.dirty <- true;
+                  Physmem.activate physmem fresh_page
+            done;
+            let fresh = clone_entry bsys child.map e in
+            fresh.Vm_map.obj <- Some obj;
+            fresh.Vm_map.objoff <- 0;
+            fresh.Vm_map.cow <- false;
+            fresh.Vm_map.needs_copy <- false;
+            Vm_map.insert_entry_raw child.map fresh
         | Inh_copy ->
             (* Figure 3 upper row: share the object, set needs-copy on both
                sides, write-protect the parent's view. *)
@@ -350,6 +383,190 @@ module Sys = struct
     kernel_free_wired sys ~vpn:ptp.ptp_vpn ~npages:ptp.ptp_npages
 
   let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Bsd_sys.swapdev sys.bsys)
+
+  (* ---- invariant auditor ---------------------------------------------- *)
+
+  (* Gather every object the system can still reach — through map entries,
+     down shadow chains, the live-anon registry, and the vnode cache — with
+     the number of map entries directly referencing each. *)
+  let audit_census sys =
+    let objs = Hashtbl.create 64 in
+    let rec note (o : Vm_object.t) =
+      match Hashtbl.find_opt objs o.Vm_object.id with
+      | Some c -> c
+      | None ->
+          let c = (o, ref 0) in
+          Hashtbl.replace objs o.Vm_object.id c;
+          (match o.Vm_object.shadow with
+          | Some b -> ignore (note b)
+          | None -> ());
+          c
+    in
+    Hashtbl.iter
+      (fun _ vm ->
+        (match Vm_map.check_invariants vm.map with
+        | Ok () -> ()
+        | Error msg ->
+            Check.fail ~system:name ~subsys:Check.Map ~invariant:"map_structure"
+              (Printf.sprintf "vmspace %d: %s" vm.vid msg));
+        Vm_map.iter_entries
+          (fun e ->
+            match e.Vm_map.obj with
+            | Some o ->
+                let _, refs = note o in
+                incr refs
+            | None ->
+                Check.fail ~system:name ~subsys:Check.Map
+                  ~invariant:"entry_unbacked"
+                  (Printf.sprintf "vmspace %d: entry at %d has no object"
+                     vm.vid e.Vm_map.spage))
+          vm.map)
+      sys.vmspaces;
+    List.iter
+      (fun o -> ignore (note o))
+      (Vm_objcache.anon_objects sys.cache);
+    Hashtbl.iter
+      (fun _ o -> ignore (note o))
+      sys.cache.Vm_objcache.by_vnode;
+    objs
+
+  let audit_objects objs =
+    (* How many live objects actually shadow each object, to check the
+       cached [shadow_count] and the reference counts against. *)
+    let shadowers = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ ((o : Vm_object.t), _) ->
+        match o.Vm_object.shadow with
+        | Some b ->
+            Hashtbl.replace shadowers b.Vm_object.id
+              (1
+              + Option.value ~default:0
+                  (Hashtbl.find_opt shadowers b.Vm_object.id))
+        | None -> ())
+      objs;
+    Hashtbl.iter
+      (fun _ ((o : Vm_object.t), entry_refs) ->
+        let fail invariant detail =
+          Check.fail ~system:name ~subsys:Check.Object ~invariant
+            (Printf.sprintf "object %d: %s" o.Vm_object.id detail)
+        in
+        if o.Vm_object.dead then fail "object_dead" "reachable but dead";
+        let nshadowers =
+          Option.value ~default:0 (Hashtbl.find_opt shadowers o.Vm_object.id)
+        in
+        if o.Vm_object.shadow_count <> nshadowers then
+          fail "shadow_count"
+            (Printf.sprintf "shadow_count=%d but %d live objects shadow it"
+               o.Vm_object.shadow_count nshadowers);
+        (* Each direct map reference and each shadowing object holds one
+           reference; nothing else may. *)
+        if o.Vm_object.refs <> !entry_refs + nshadowers then
+          fail "object_refs"
+            (Printf.sprintf
+               "refcount %d but %d map entries + %d shadowers reference it"
+               o.Vm_object.refs !entry_refs nshadowers);
+        if o.Vm_object.cached then begin
+          if o.Vm_object.refs <> 0 then
+            fail "cached_referenced"
+              (Printf.sprintf "in the object cache with %d references"
+                 o.Vm_object.refs);
+          match o.Vm_object.kind with
+          | Vm_object.Anon -> fail "cached_anon" "anonymous object in the cache"
+          | Vm_object.Vnode _ -> ()
+        end
+        else if o.Vm_object.refs = 0 then
+          fail "object_unreferenced" "alive with no references, not cached";
+        Hashtbl.iter
+          (fun pgno (p : Physmem.Page.t) ->
+            (match p.owner with
+            | Vm_object.Obj_page o' when o' == o -> ()
+            | _ ->
+                fail "object_page_owner"
+                  (Printf.sprintf "resident page %d at offset %d owned elsewhere"
+                     p.id pgno));
+            if p.owner_offset <> pgno then
+              fail "object_page_offset"
+                (Printf.sprintf "page %d thinks offset %d, object says %d" p.id
+                   p.owner_offset pgno);
+            if p.queue = Physmem.Page.Q_free then
+              fail "object_page_free"
+                (Printf.sprintf "resident page %d is on the free list" p.id))
+          o.Vm_object.pages)
+      objs
+
+  let audit_swap sys objs =
+    let claims = ref [] in
+    Hashtbl.iter
+      (fun _ ((o : Vm_object.t), _) ->
+        Hashtbl.iter
+          (fun pgno slot ->
+            claims :=
+              (Printf.sprintf "obj#%d@%d" o.Vm_object.id pgno, slot) :: !claims)
+          o.Vm_object.swslots)
+      objs;
+    Check.check_swap ~system:name (Bsd_sys.swapdev sys.bsys) ~claims:!claims
+
+  (* A translation must map exactly the frame the fault routine would find:
+     the first resident page down the shadow chain, provided no shallower
+     copy sits on swap (pageout removes the translations of what it
+     evicts). *)
+  let audit_pmap sys =
+    let rec first_resident (o : Vm_object.t) off =
+      match Vm_object.find_page o ~pgno:off with
+      | Some p -> Some p
+      | None ->
+          if Hashtbl.mem o.Vm_object.swslots off then None
+          else (
+            match o.Vm_object.shadow with
+            | Some b -> first_resident b (off + o.Vm_object.shadow_offset)
+            | None -> None)
+    in
+    Hashtbl.iter
+      (fun _ vm ->
+        let entries = Vm_map.entries vm.map in
+        List.iter
+          (fun (vpn, (pte : Pmap.pte)) ->
+            let fail invariant detail =
+              Check.fail ~system:name ~subsys:Check.Pmap ~invariant
+                (Printf.sprintf "vmspace %d vpn %d: %s" vm.vid vpn detail)
+            in
+            match
+              List.find_opt
+                (fun (e : Vm_map.entry) ->
+                  e.Vm_map.spage <= vpn && vpn < e.Vm_map.epage)
+                entries
+            with
+            | None -> fail "pmap_unmapped" "translation outside any map entry"
+            | Some e -> (
+                if not (Pmap.Prot.subsumes e.Vm_map.prot pte.Pmap.prot) then
+                  fail "pmap_prot" "translation grants more than the entry";
+                match e.Vm_map.obj with
+                | None -> fail "pmap_unbacked" "translation without an object"
+                | Some o -> (
+                    let off = e.Vm_map.objoff + (vpn - e.Vm_map.spage) in
+                    match first_resident o off with
+                    | Some p when p == pte.Pmap.page -> ()
+                    | Some p ->
+                        fail "pmap_vs_object"
+                          (Printf.sprintf
+                             "maps frame %d but the chain resolves frame %d"
+                             pte.Pmap.page.Physmem.Page.id p.Physmem.Page.id)
+                    | None ->
+                        fail "pmap_stale"
+                          (Printf.sprintf
+                             "maps frame %d but the chain holds no resident page"
+                             pte.Pmap.page.Physmem.Page.id))))
+          (Pmap.translations vm.pmap))
+      sys.vmspaces
+
+  let audit sys =
+    let physmem = Bsd_sys.physmem sys.bsys in
+    Check.check_physmem ~system:name physmem;
+    Check.check_pv ~system:name (Bsd_sys.pmap_ctx sys.bsys) physmem;
+    let objs = audit_census sys in
+    audit_objects objs;
+    audit_swap sys objs;
+    audit_pmap sys
 
   (* Audit anonymous pages that no lookup path can reach any more — the
      swap-leak pathology of paper §5.3.  For every mapped offset we walk

@@ -100,6 +100,15 @@ let fault map ~vpn ~access ~wire =
                   in
                   Physmem.copy_data physmem ~src:page ~dst:fresh;
                   stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+                  (* The copy-up changes what any map entry whose chain
+                     starts at [first_obj] resolves for this offset.  Other
+                     processes sharing [first_obj] may still map the deeper
+                     page — remove those translations so they refault and
+                     find the copy.  Unrelated mappers of the deeper page
+                     just refault and re-resolve the same page; wired
+                     translations are skipped (they carry the wire count
+                     and their own chains still resolve the deeper page). *)
+                  Pmap.page_remove_unwired (Bsd_sys.pmap_ctx sys) page;
                   Vm_object.insert_page first_obj ~pgno:off fresh;
                   fresh.Physmem.Page.dirty <- true;
                   Physmem.activate physmem fresh;

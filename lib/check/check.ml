@@ -1,0 +1,185 @@
+type subsystem = Physmem | Swap | Map | Amap | Anon | Object | Pmap | Loan
+
+let subsystem_name = function
+  | Physmem -> "physmem"
+  | Swap -> "swap"
+  | Map -> "map"
+  | Amap -> "amap"
+  | Anon -> "anon"
+  | Object -> "object"
+  | Pmap -> "pmap"
+  | Loan -> "loan"
+
+type failure = {
+  system : string;
+  subsys : subsystem;
+  invariant : string;
+  detail : string;
+}
+
+exception Audit_failure of failure
+
+let string_of_failure f =
+  Printf.sprintf "[%s] %s/%s: %s" f.system (subsystem_name f.subsys)
+    f.invariant f.detail
+
+let () =
+  Printexc.register_printer (function
+    | Audit_failure f -> Some ("Audit_failure " ^ string_of_failure f)
+    | _ -> None)
+
+let fail ~system ~subsys ~invariant detail =
+  raise (Audit_failure { system; subsys; invariant; detail })
+
+(* -- physical memory ---------------------------------------------------- *)
+
+let queue_name = function
+  | Physmem.Page.Q_none -> "none"
+  | Physmem.Page.Q_free -> "free"
+  | Physmem.Page.Q_active -> "active"
+  | Physmem.Page.Q_inactive -> "inactive"
+
+let check_physmem ~system pm =
+  let fail invariant detail = fail ~system ~subsys:Physmem ~invariant detail in
+  (* Walk each queue: membership must be exclusive (a frame reached from
+     two rings is the double-insert corruption) and must agree with the
+     frame's own [queue] tag. *)
+  let seen : (int, Physmem.Page.queue) Hashtbl.t = Hashtbl.create 256 in
+  let walk kind pages =
+    List.iter
+      (fun (p : Physmem.Page.t) ->
+        (match Hashtbl.find_opt seen p.id with
+        | Some prev ->
+            fail "queue_exclusive"
+              (Printf.sprintf "page %d reached from both %s and %s queues"
+                 p.id (queue_name prev) (queue_name kind))
+        | None -> Hashtbl.replace seen p.id kind);
+        if p.queue <> kind then
+          fail "queue_tag"
+            (Printf.sprintf "page %d on %s queue but tagged %s" p.id
+               (queue_name kind) (queue_name p.queue)))
+      pages
+  in
+  walk Physmem.Page.Q_free (Physmem.free_pages pm);
+  walk Physmem.Page.Q_active (Physmem.active_pages pm);
+  walk Physmem.Page.Q_inactive (Physmem.inactive_pages pm);
+  (* Accounting: free + active + inactive + unqueued = total, with the
+     counter caches agreeing with the rings. *)
+  let nfree = List.length (Physmem.free_pages pm) in
+  if Physmem.free_count pm <> nfree then
+    fail "free_count"
+      (Printf.sprintf "free_count=%d but free list holds %d"
+         (Physmem.free_count pm) nfree);
+  let queued = Hashtbl.length seen in
+  let unqueued = ref 0 in
+  Physmem.iter_pages
+    (fun (p : Physmem.Page.t) ->
+      (match Hashtbl.find_opt seen p.id with
+      | Some _ -> ()
+      | None ->
+          incr unqueued;
+          if p.queue <> Physmem.Page.Q_none then
+            fail "queue_tag"
+              (Printf.sprintf "page %d tagged %s but on no queue" p.id
+                 (queue_name p.queue));
+          (* An unqueued frame must have a reason to be off the queues. *)
+          if
+            p.wire_count = 0 && (not p.busy)
+            && not (p.owner = Physmem.Page.No_owner && p.loan_count > 0)
+          then
+            fail "unqueued_unaccounted"
+              (Printf.sprintf
+                 "page %d is on no queue yet unwired, not busy, not an \
+                  owner-dropped loan"
+                 p.id));
+      if p.wire_count < 0 then
+        fail "wire_count" (Printf.sprintf "page %d wire_count < 0" p.id);
+      if p.loan_count < 0 then
+        raise
+          (Audit_failure
+             {
+               system;
+               subsys = Loan;
+               invariant = "loan_count";
+               detail = Printf.sprintf "page %d loan_count < 0" p.id;
+             });
+      match p.queue with
+      | Physmem.Page.Q_free ->
+          if p.owner <> Physmem.Page.No_owner then
+            fail "free_owned" (Printf.sprintf "free page %d has an owner" p.id);
+          if p.wire_count > 0 then
+            fail "free_wired" (Printf.sprintf "free page %d is wired" p.id);
+          if p.dirty then
+            fail "free_dirty" (Printf.sprintf "free page %d is dirty" p.id)
+      | _ -> ())
+    pm;
+  if queued + !unqueued <> Physmem.total_pages pm then
+    fail "page_count"
+      (Printf.sprintf "%d queued + %d unqueued <> %d total" queued !unqueued
+         (Physmem.total_pages pm))
+
+(* -- swap accounting ---------------------------------------------------- *)
+
+let check_swap ~system swap ~claims =
+  let fail invariant detail = fail ~system ~subsys:Swap ~invariant detail in
+  let owners : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (who, slot) ->
+      if slot < 1 || slot > Swap.Swapdev.capacity swap then
+        fail "slot_range"
+          (Printf.sprintf "%s claims out-of-range slot %d" who slot);
+      if not (Swap.Swapdev.is_allocated_slot swap ~slot) then
+        fail "slot_unallocated"
+          (Printf.sprintf "%s claims slot %d which is not allocated" who slot);
+      (match Hashtbl.find_opt owners slot with
+      | Some other ->
+          fail "slot_shared"
+            (Printf.sprintf "slot %d claimed by both %s and %s" slot other who)
+      | None -> ());
+      Hashtbl.replace owners slot who)
+    claims;
+  let claimed = Hashtbl.length owners in
+  let in_use = Swap.Swapdev.slots_in_use swap in
+  if claimed <> in_use then begin
+    (* Name a leaked slot to make the report actionable. *)
+    let leaked = ref None in
+    for slot = Swap.Swapdev.capacity swap downto 1 do
+      if
+        Swap.Swapdev.is_allocated_slot swap ~slot
+        && not (Hashtbl.mem owners slot)
+      then leaked := Some slot
+    done;
+    fail "slot_leak"
+      (Printf.sprintf "%d slots allocated but only %d reachable%s" in_use
+         claimed
+         (match !leaked with
+         | Some s -> Printf.sprintf " (e.g. slot %d unclaimed)" s
+         | None -> ""))
+  end
+
+(* -- pv-list symmetry ---------------------------------------------------- *)
+
+let check_pv ~system ctx pm =
+  let fail invariant detail = fail ~system ~subsys:Pmap ~invariant detail in
+  Physmem.iter_pages
+    (fun (p : Physmem.Page.t) ->
+      let mappings = Pmap.mappings_of_page ctx p in
+      if p.queue = Physmem.Page.Q_free && mappings <> [] then
+        fail "free_mapped"
+          (Printf.sprintf "free page %d still has %d translations" p.id
+             (List.length mappings));
+      List.iter
+        (fun (pmap, vpn) ->
+          match Pmap.lookup pmap ~vpn with
+          | Some pte when pte.Pmap.page == p -> ()
+          | Some _ ->
+              fail "pv_stale"
+                (Printf.sprintf
+                   "pv entry (vpn %d) for page %d maps a different frame" vpn
+                   p.id)
+          | None ->
+              fail "pv_dangling"
+                (Printf.sprintf "pv entry (vpn %d) for page %d has no pte" vpn
+                   p.id))
+        mappings)
+    pm

@@ -1,0 +1,63 @@
+(** The kernel invariant auditor's common machinery.
+
+    Real BSD kernels back their VM systems with always-on consistency
+    assertions (KASSERT under [DIAGNOSTIC]); this library is the simulator's
+    equivalent, shared by both VM systems.  A violated invariant raises
+    {!Audit_failure} carrying a structured {!failure}: which system, which
+    subsystem, which invariant, and the offending identifiers — enough for
+    the torture harness to write a crash artifact and for tests to assert
+    the auditor fired for the right reason.
+
+    The machine-level checks that do not depend on a particular VM system
+    (physical page queues, swap-slot accounting, pv-list symmetry) live
+    here; each VM system's [audit] adds its own walks (amap/anon reference
+    counts, object chains, map/pmap agreement) on top. *)
+
+type subsystem =
+  | Physmem  (** page queues and frame states *)
+  | Swap  (** swap-slot allocation vs. reachable owners *)
+  | Map  (** map-entry structure *)
+  | Amap  (** amap reference counts and slot coverage *)
+  | Anon  (** anon reference counts and residency *)
+  | Object  (** memory objects (UVM objects / BSD object chains) *)
+  | Pmap  (** translations vs. resident pages *)
+  | Loan  (** page loanout accounting *)
+
+val subsystem_name : subsystem -> string
+
+type failure = {
+  system : string;  (** "UVM" or "BSD VM" *)
+  subsys : subsystem;
+  invariant : string;  (** short stable name, e.g. ["queue_exclusive"] *)
+  detail : string;  (** offending identifiers, free-form *)
+}
+
+exception Audit_failure of failure
+
+val string_of_failure : failure -> string
+
+val fail : system:string -> subsys:subsystem -> invariant:string -> string -> 'a
+(** Raise {!Audit_failure}. *)
+
+val check_physmem : system:string -> Physmem.t -> unit
+(** Whole-RAM audit: every frame is on exactly the queue its [queue] field
+    claims (no frame on two queues, none missing), queue counts add up to
+    the total frame count, the free-page counter matches the free list,
+    free frames carry no owner/dirt/wiring, and an unqueued frame is
+    accounted for by wiring, business, or an owner-dropped loan. *)
+
+val check_swap :
+  system:string ->
+  Swap.Swapdev.t ->
+  claims:(string * int) list ->
+  unit
+(** Swap-leak oracle.  [claims] lists every swap slot reachable from a live
+    anon or memory object, with a description of the owner.  Verifies that
+    each claimed slot is really allocated, that no slot is claimed by two
+    owners, and that every allocated slot is claimed — an allocated but
+    unclaimed slot is precisely a swap leak (paper §5.3). *)
+
+val check_pv : system:string -> Pmap.ctx -> Physmem.t -> unit
+(** pv-list symmetry: every (pmap, vpn) entry on a page's pv list must be a
+    live translation of that very page, and no free page may have
+    translations. *)

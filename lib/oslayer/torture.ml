@@ -1,0 +1,1150 @@
+(** Seeded torture harness with a differential oracle.
+
+    Generates a random but reproducible sequence of VM operations
+    (mmap/munmap/mprotect/minherit/madvise/fault/fork/exit/wire/pageout
+    pressure) and runs the *same* sequence against UVM and the BSD VM
+    baseline on identically configured machines, auditing both kernels'
+    invariants ({!Vmiface.Vm_sig.VM_SYS.audit}) every K operations and
+    comparing the observable outcome of every operation.
+
+    Determinism is anchored in a shared placement model: the harness does
+    its own first-fit address assignment and passes [fixed_at] to both
+    systems, so a trace means the same thing to both kernels and to every
+    replay.  The model also knows which ranges are wired and refuses to
+    generate the few operation shapes whose semantics the two systems are
+    *allowed* to diverge on (e.g. unmapping wired pages), keeping the
+    differential oracle sound.
+
+    On failure the harness writes a crash artifact (op trace as JSON, the
+    structured failure, the event-ring dump and counter snapshot of both
+    machines) and can delta-debug the trace down to a minimal failing
+    sequence: ddmin over the op list, where a candidate subset reproduces
+    iff a fresh replay fails with the same (system, subsystem, invariant)
+    key.
+
+    The {!corruption} hooks seed deliberate bugs (a leaked swap slot, an
+    over-counted anon reference, a frame linked on two paging queues) so
+    tests can prove the auditor catches each class and names the right
+    subsystem. *)
+
+module Vmtypes = Vmiface.Vmtypes
+module Machine = Vmiface.Machine
+module Prot = Pmap.Prot
+open Vmtypes
+
+(* -- harness shape ----------------------------------------------------- *)
+
+let max_procs = 6
+let max_regions = 12 (* region slots per process *)
+let max_region_pages = 8
+let nfiles = 3
+let file_pages = 16
+let va_base = 16
+let va_limit = 4096
+
+(* -- the op DSL --------------------------------------------------------- *)
+
+(* Every operand is a small integer (slot indices, page offsets, table
+   indices), so an op serializes to a flat JSON object and survives
+   replay over any model state: ops that no longer make sense in a
+   shrunken trace simply fail to resolve and are skipped. *)
+type op =
+  | Spawn of { p : int }
+  | Exit of { p : int }
+  | Fork of { parent : int; child : int }
+  | Mmap of {
+      p : int;
+      r : int;
+      npages : int;
+      prot_ix : int;
+      shared : bool;
+      src_file : int;  (** 0 = zero-fill, 1..{!nfiles} = file *)
+      fileoff : int;
+    }
+  | Munmap of { p : int; r : int; off : int; len : int }
+  | Mprotect of { p : int; r : int; off : int; len : int; prot_ix : int }
+  | Minherit of { p : int; r : int; inh_ix : int }
+  | Madvise of { p : int; r : int; adv_ix : int }
+  | Read of { p : int; r : int; page : int }
+  | Write of { p : int; r : int; page : int; byte : int }
+  | Mlock of { p : int; r : int; off : int; len : int }
+  | Munlock of { p : int; r : int; off : int; len : int }
+  | Pressure of { npages : int }
+
+(* Prot choices deliberately all include read: wiring faults pages in
+   with a read access, and an unreadable wired range would make mlock
+   outcomes depend on eviction timing. *)
+let prots = [| Prot.rw; Prot.read; Prot.rwx; Prot.rx |]
+let inhs = [| Inh_copy; Inh_shared; Inh_none |]
+let advs = [| Adv_normal; Adv_random; Adv_sequential |]
+
+let op_name = function
+  | Spawn _ -> "spawn"
+  | Exit _ -> "exit"
+  | Fork _ -> "fork"
+  | Mmap _ -> "mmap"
+  | Munmap _ -> "munmap"
+  | Mprotect _ -> "mprotect"
+  | Minherit _ -> "minherit"
+  | Madvise _ -> "madvise"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Mlock _ -> "mlock"
+  | Munlock _ -> "munlock"
+  | Pressure _ -> "pressure"
+
+let op_fields = function
+  | Spawn { p } | Exit { p } -> [ ("p", p) ]
+  | Fork { parent; child } -> [ ("parent", parent); ("child", child) ]
+  | Mmap { p; r; npages; prot_ix; shared; src_file; fileoff } ->
+      [
+        ("p", p);
+        ("r", r);
+        ("npages", npages);
+        ("prot", prot_ix);
+        ("shared", if shared then 1 else 0);
+        ("src", src_file);
+        ("fileoff", fileoff);
+      ]
+  | Munmap { p; r; off; len } | Mlock { p; r; off; len }
+  | Munlock { p; r; off; len } ->
+      [ ("p", p); ("r", r); ("off", off); ("len", len) ]
+  | Mprotect { p; r; off; len; prot_ix } ->
+      [ ("p", p); ("r", r); ("off", off); ("len", len); ("prot", prot_ix) ]
+  | Minherit { p; r; inh_ix } -> [ ("p", p); ("r", r); ("inh", inh_ix) ]
+  | Madvise { p; r; adv_ix } -> [ ("p", p); ("r", r); ("adv", adv_ix) ]
+  | Read { p; r; page } -> [ ("p", p); ("r", r); ("page", page) ]
+  | Write { p; r; page; byte } ->
+      [ ("p", p); ("r", r); ("page", page); ("byte", byte) ]
+  | Pressure { npages } -> [ ("npages", npages) ]
+
+let op_to_string op =
+  Printf.sprintf "%s(%s)" (op_name op)
+    (String.concat ","
+       (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) (op_fields op)))
+
+(* -- the placement model ------------------------------------------------ *)
+
+type region = {
+  vpn : int;  (** harness-assigned first virtual page *)
+  npages : int;
+  src_file : int;
+  fileoff : int;
+  shared : bool;
+  mapped : bool array;  (** per-page: not yet unmapped *)
+  mutable inh : inherit_mode;
+  mutable wired : (int * int) list;  (** (off, len) multiset, from mlock *)
+  mutable lineage_cow : bool;  (** was on either side of an Inh_copy fork *)
+  mutable lineage_shared : bool;  (** was on either side of an Inh_shared fork *)
+}
+
+type proc = { regions : region option array }
+
+type model = {
+  procs : proc option array;
+  mutable total_wired : int;
+  wired_cap : int;
+}
+
+let fresh_model ~ram_pages =
+  {
+    procs = Array.make max_procs None;
+    total_wired = 0;
+    wired_cap = max 8 (ram_pages / 8);
+  }
+
+let proc_at m p = if p < 0 || p >= max_procs then None else m.procs.(p)
+
+let region_at m p r =
+  match proc_at m p with
+  | None -> None
+  | Some pr -> if r < 0 || r >= max_regions then None else pr.regions.(r)
+
+let live_spans pr =
+  let spans = ref [] in
+  Array.iter
+    (function
+      | Some rg -> spans := (rg.vpn, rg.npages) :: !spans | None -> ())
+    pr.regions;
+  List.sort compare !spans
+
+(* First fit over the proc's live region spans.  Both kernels receive the
+   result via [fixed_at], so placement never depends on either system's
+   own find-space policy. *)
+let find_place pr ~npages =
+  let rec scan at = function
+    | [] -> if at + npages <= va_limit then Some at else None
+    | (v, n) :: rest ->
+        if at + npages <= v then Some at else scan (max at (v + n)) rest
+  in
+  scan va_base (live_spans pr)
+
+let ranges_overlap (ao, al) (bo, bl) = ao < bo + bl && bo < ao + al
+let overlaps_wired rg ~off ~len =
+  List.exists (ranges_overlap (off, len)) rg.wired
+
+(* -- resolution: op -> executable action -------------------------------- *)
+
+type action =
+  | A_spawn of { p : int }
+  | A_exit of { p : int; unlocks : (int * int) list }  (** absolute (vpn, n) *)
+  | A_fork of { parent : int; child : int }
+  | A_mmap of {
+      p : int;
+      at : int;
+      npages : int;
+      prot : Prot.t;
+      share : share;
+      src_file : int;
+      fileoff : int;
+    }
+  | A_munmap of { p : int; vpn : int; npages : int }
+  | A_mprotect of { p : int; vpn : int; npages : int; prot : Prot.t }
+  | A_minherit of { p : int; vpn : int; npages : int; inh : inherit_mode }
+  | A_madvise of { p : int; vpn : int; npages : int; adv : advice }
+  | A_read of { p : int; vpn : int }
+  | A_write of { p : int; vpn : int; byte : int }
+  | A_mlock of { p : int; vpn : int; npages : int }
+  | A_munlock of { p : int; vpn : int; npages : int }
+  | A_pressure of { npages : int }
+
+(* Validate [op] against the model and compute absolute addresses.  Pure:
+   generation probes candidates with it, and replay of a shrunken trace
+   uses it to skip ops whose preconditions no longer hold.  The hazard
+   rules live here: no munmap/mprotect across a wired range (the systems
+   may legitimately diverge there), mlock only over fully mapped ranges
+   (a mid-range fault would leave the two kernels half-wired) and only
+   under the global wired-page cap. *)
+let resolve m op : action option =
+  match op with
+  | Spawn { p } -> (
+      match proc_at m p with
+      | None when p >= 0 && p < max_procs -> Some (A_spawn { p })
+      | _ -> None)
+  | Exit { p } -> (
+      match proc_at m p with
+      | None -> None
+      | Some pr ->
+          let unlocks = ref [] in
+          Array.iter
+            (function
+              | Some rg ->
+                  List.iter
+                    (fun (off, len) ->
+                      unlocks := (rg.vpn + off, len) :: !unlocks)
+                    rg.wired
+              | None -> ())
+            pr.regions;
+          Some (A_exit { p; unlocks = !unlocks }))
+  | Fork { parent; child } -> (
+      match (proc_at m parent, child) with
+      | Some _, c
+        when c >= 0 && c < max_procs && c <> parent && proc_at m c = None
+        ->
+          Some (A_fork { parent; child })
+      | _ -> None)
+  | Mmap { p; r; npages; prot_ix; shared; src_file; fileoff } -> (
+      match proc_at m p with
+      | None -> None
+      | Some pr ->
+          if
+            r < 0 || r >= max_regions
+            || pr.regions.(r) <> None
+            || npages < 1
+            || npages > max_region_pages
+            || prot_ix < 0
+            || prot_ix >= Array.length prots
+            || src_file < 0
+            || src_file > nfiles
+            || (src_file > 0 && (fileoff < 0 || fileoff + npages > file_pages))
+          then None
+          else
+            (* File mappings are forced private: shared file writes would
+               compare vnode-cache coherence policies, not invariants. *)
+            let share =
+              if src_file > 0 then Private
+              else if shared then Shared
+              else Private
+            in
+            (match find_place pr ~npages with
+            | None -> None
+            | Some at ->
+                Some
+                  (A_mmap
+                     {
+                       p;
+                       at;
+                       npages;
+                       prot = prots.(prot_ix);
+                       share;
+                       src_file;
+                       fileoff;
+                     })))
+  | Munmap { p; r; off; len } -> (
+      match region_at m p r with
+      | Some rg
+        when off >= 0 && len >= 1
+             && off + len <= rg.npages
+             && not (overlaps_wired rg ~off ~len) ->
+          Some (A_munmap { p; vpn = rg.vpn + off; npages = len })
+      | _ -> None)
+  | Mprotect { p; r; off; len; prot_ix } -> (
+      match region_at m p r with
+      | Some rg
+        when off >= 0 && len >= 1
+             && off + len <= rg.npages
+             && prot_ix >= 0
+             && prot_ix < Array.length prots
+             && not (overlaps_wired rg ~off ~len) ->
+          Some
+            (A_mprotect
+               { p; vpn = rg.vpn + off; npages = len; prot = prots.(prot_ix) })
+      | _ -> None)
+  | Minherit { p; r; inh_ix } -> (
+      match region_at m p r with
+      | Some rg when inh_ix >= 0 && inh_ix < Array.length inhs ->
+          (* Mixing COW and shared inheritance on one region is where the
+             two kernels legitimately diverge: 4.4BSD's object sharing
+             cannot express "share a mapping that already carries deferred
+             copies" (needs-copy sharers each grow a private shadow), while
+             UVM's shared amaps stay coherent — the paper's §5.1 argument,
+             not a bug.  Keep each region's sharing group homogeneous:
+             shared inheritance only for anonymous regions never on a COW
+             fork side, COW inheritance never for regions already shared. *)
+          let inh = inhs.(inh_ix) in
+          let allowed =
+            match inh with
+            | Inh_shared -> rg.src_file = 0 && not rg.lineage_cow
+            | Inh_copy -> (not rg.shared) && not rg.lineage_shared
+            | Inh_none -> true
+          in
+          if allowed then
+            Some (A_minherit { p; vpn = rg.vpn; npages = rg.npages; inh })
+          else None
+      | _ -> None)
+  | Madvise { p; r; adv_ix } -> (
+      match region_at m p r with
+      | Some rg when adv_ix >= 0 && adv_ix < Array.length advs ->
+          Some
+            (A_madvise
+               { p; vpn = rg.vpn; npages = rg.npages; adv = advs.(adv_ix) })
+      | _ -> None)
+  | Read { p; r; page } -> (
+      match region_at m p r with
+      | Some rg when page >= 0 && page < rg.npages ->
+          Some (A_read { p; vpn = rg.vpn + page })
+      | _ -> None)
+  | Write { p; r; page; byte } -> (
+      match region_at m p r with
+      | Some rg when page >= 0 && page < rg.npages && byte >= 0 && byte < 256
+        ->
+          Some (A_write { p; vpn = rg.vpn + page; byte })
+      | _ -> None)
+  | Mlock { p; r; off; len } -> (
+      match region_at m p r with
+      | Some rg
+        when off >= 0 && len >= 1
+             && off + len <= rg.npages
+             && m.total_wired + len <= m.wired_cap ->
+          let all_mapped = ref true in
+          for i = off to off + len - 1 do
+            if not rg.mapped.(i) then all_mapped := false
+          done;
+          if !all_mapped then Some (A_mlock { p; vpn = rg.vpn + off; npages = len })
+          else None
+      | _ -> None)
+  | Munlock { p; r; off; len } -> (
+      match region_at m p r with
+      | Some rg when List.mem (off, len) rg.wired ->
+          Some (A_munlock { p; vpn = rg.vpn + off; npages = len })
+      | _ -> None)
+  | Pressure { npages } ->
+      if npages >= 1 && npages <= 64 then Some (A_pressure { npages })
+      else None
+
+let rec remove_first x = function
+  | [] -> []
+  | y :: tl -> if x = y then tl else y :: remove_first x tl
+
+(* Commit the resolved op to the model. *)
+let apply m op a =
+  match (op, a) with
+  | Spawn _, A_spawn { p } ->
+      m.procs.(p) <- Some { regions = Array.make max_regions None }
+  | Fork _, A_fork { parent; child } ->
+      let pp =
+        match m.procs.(parent) with Some pr -> pr | None -> assert false
+      in
+      let regions =
+        Array.map
+          (function
+            | Some rg when rg.inh <> Inh_none ->
+                (* Inherited mappings keep their holes; wiring never
+                   crosses fork (both kernels clear the child's counts).
+                   Record the inheritance in both sides' lineage so
+                   [resolve]'s minherit gates keep COW and shared sharing
+                   groups disjoint from here on. *)
+                (match rg.inh with
+                | Inh_copy -> rg.lineage_cow <- true
+                | Inh_shared -> rg.lineage_shared <- true
+                | Inh_none -> ());
+                Some { rg with mapped = Array.copy rg.mapped; wired = [] }
+            | _ -> None)
+          pp.regions
+      in
+      m.procs.(child) <- Some { regions }
+  | Exit _, A_exit { p; unlocks } ->
+      m.total_wired <-
+        m.total_wired - List.fold_left (fun acc (_, l) -> acc + l) 0 unlocks;
+      m.procs.(p) <- None
+  | Mmap { r; _ }, A_mmap { p; at; npages; share; src_file; fileoff; _ } ->
+      let pr = match m.procs.(p) with Some pr -> pr | None -> assert false in
+      pr.regions.(r) <-
+        Some
+          {
+            vpn = at;
+            npages;
+            src_file;
+            fileoff;
+            shared = share = Shared;
+            mapped = Array.make npages true;
+            inh = (if share = Shared then Inh_shared else Inh_copy);
+            wired = [];
+            lineage_cow = false;
+            lineage_shared = false;
+          }
+  | Munmap { r; off; len; _ }, A_munmap { p; _ } ->
+      let pr = match m.procs.(p) with Some pr -> pr | None -> assert false in
+      let rg = match pr.regions.(r) with Some rg -> rg | None -> assert false in
+      for i = off to off + len - 1 do
+        rg.mapped.(i) <- false
+      done;
+      if Array.for_all (fun b -> not b) rg.mapped then pr.regions.(r) <- None
+  | Minherit { r; _ }, A_minherit { p; inh; _ } -> (
+      match region_at m p r with
+      | Some rg -> rg.inh <- inh
+      | None -> assert false)
+  | Mlock { r; off; len; _ }, A_mlock { p; _ } -> (
+      match region_at m p r with
+      | Some rg ->
+          rg.wired <- (off, len) :: rg.wired;
+          m.total_wired <- m.total_wired + len
+      | None -> assert false)
+  | Munlock { r; off; len; _ }, A_munlock { p; _ } -> (
+      match region_at m p r with
+      | Some rg ->
+          rg.wired <- remove_first (off, len) rg.wired;
+          m.total_wired <- m.total_wired - len
+      | None -> assert false)
+  | _ -> () (* mprotect/madvise/read/write/pressure leave the model alone *)
+
+(* -- outcomes ----------------------------------------------------------- *)
+
+type outcome =
+  | Done
+  | Byte of int  (** result of a 1-byte read *)
+  | Fault of string  (** deterministic Segv (no-entry / prot / pager) *)
+  | Oom  (** out of memory or swap — timing-dependent, compared as wildcard *)
+
+let outcome_to_string = function
+  | Done -> "done"
+  | Byte b -> Printf.sprintf "byte:%d" b
+  | Fault s -> "fault:" ^ s
+  | Oom -> "oom"
+
+(* -- per-system executor ------------------------------------------------ *)
+
+module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
+  type t = {
+    sys : V.sys;
+    procs : V.vmspace option array;
+    files : Vfs.Vnode.t array;
+    page_size : int;
+  }
+
+  let boot ~config () =
+    let sys = V.boot ~config () in
+    let mach = V.machine sys in
+    let files =
+      Array.init nfiles (fun i ->
+          Vfs.create_file mach.Machine.vfs
+            ~name:(Printf.sprintf "torture.%d" i)
+            ~size:(file_pages * Machine.page_size mach))
+    in
+    {
+      sys;
+      procs = Array.make max_procs None;
+      files;
+      page_size = Machine.page_size mach;
+    }
+
+  let name = V.name
+  let audit t = V.audit t.sys
+  let source t = (V.machine t.sys).Machine.trace_source
+
+  let proc t p =
+    match t.procs.(p) with
+    | Some vm -> vm
+    | None -> invalid_arg "Torture.exec: op on dead proc (harness bug)"
+
+  let fault_outcome = function
+    | Out_of_memory | Out_of_swap -> Oom
+    | e -> Fault (string_of_fault_error e)
+
+  let exec t (a : action) : outcome =
+    match a with
+    | A_spawn { p } ->
+        t.procs.(p) <- Some (V.new_vmspace t.sys);
+        Done
+    | A_fork { parent; child } ->
+        t.procs.(child) <- Some (V.fork t.sys (proc t parent));
+        Done
+    | A_exit { p; unlocks } ->
+        let vm = proc t p in
+        List.iter (fun (vpn, npages) -> V.munlock t.sys vm ~vpn ~npages) unlocks;
+        V.destroy_vmspace t.sys vm;
+        t.procs.(p) <- None;
+        Done
+    | A_mmap { p; at; npages; prot; share; src_file; fileoff } ->
+        let src =
+          if src_file = 0 then Zero
+          else File (t.files.(src_file - 1), fileoff)
+        in
+        let (_ : int) =
+          V.mmap t.sys (proc t p) ~fixed_at:at ~npages ~prot ~share src
+        in
+        Done
+    | A_munmap { p; vpn; npages } ->
+        V.munmap t.sys (proc t p) ~vpn ~npages;
+        Done
+    | A_mprotect { p; vpn; npages; prot } ->
+        V.mprotect t.sys (proc t p) ~vpn ~npages prot;
+        Done
+    | A_minherit { p; vpn; npages; inh } ->
+        V.minherit t.sys (proc t p) ~vpn ~npages inh;
+        Done
+    | A_madvise { p; vpn; npages; adv } ->
+        V.madvise t.sys (proc t p) ~vpn ~npages adv;
+        Done
+    | A_read { p; vpn } -> (
+        try
+          let b =
+            V.read_bytes t.sys (proc t p) ~addr:(vpn * t.page_size) ~len:1
+          in
+          Byte (Char.code (Bytes.get b 0))
+        with
+        | Segv { error; _ } -> fault_outcome error
+        | Physmem.Out_of_pages -> Oom)
+    | A_write { p; vpn; byte } -> (
+        try
+          V.write_bytes t.sys (proc t p) ~addr:(vpn * t.page_size)
+            (Bytes.make 1 (Char.chr byte));
+          Done
+        with
+        | Segv { error; _ } -> fault_outcome error
+        | Physmem.Out_of_pages -> Oom)
+    | A_mlock { p; vpn; npages } ->
+        (* The model capped total wiring well below RAM, so a wiring
+           fault here means the harness budget is wrong, not the kernel:
+           fail loudly rather than leave the two systems half-wired. *)
+        (try V.mlock t.sys (proc t p) ~vpn ~npages
+         with Segv _ | Physmem.Out_of_pages ->
+           failwith "Torture: out of memory while wiring; wired cap too high");
+        Done
+    | A_munlock { p; vpn; npages } ->
+        V.munlock t.sys (proc t p) ~vpn ~npages;
+        Done
+    | A_pressure { npages } ->
+        (* A throwaway address space dirties fresh anonymous pages and
+           exits, forcing page reclamation in whatever order the system's
+           own pagedaemon picks. *)
+        let vm = V.new_vmspace t.sys in
+        let vpn = V.mmap t.sys vm ~npages ~prot:Prot.rw ~share:Private Zero in
+        (try V.access_range t.sys vm ~vpn ~npages Write
+         with Segv _ | Physmem.Out_of_pages -> ());
+        V.destroy_vmspace t.sys vm;
+        Done
+end
+
+module Exec_uvm = Exec (Uvm.Sys)
+module Exec_bsd = Exec (Bsdvm.Sys)
+
+(* -- seeded corruptions ------------------------------------------------- *)
+
+type corruption =
+  | Leak_swap_slot  (** allocate a swap slot no object will ever claim *)
+  | Overref_anon  (** over-count some live anon's reference count *)
+  | Queue_double_insert  (** link a frame on two paging queues at once *)
+
+let corruption_name = function
+  | Leak_swap_slot -> "leak-swap-slot"
+  | Overref_anon -> "overref-anon"
+  | Queue_double_insert -> "queue-double-insert"
+
+let corruption_of_string = function
+  | "leak-swap-slot" -> Some Leak_swap_slot
+  | "overref-anon" -> Some Overref_anon
+  | "queue-double-insert" -> Some Queue_double_insert
+  | _ -> None
+
+(* Corruptions target the UVM instance (the machine-level ones could hit
+   either; the anon one needs UVM internals).  Returns false when the
+   needed state does not exist yet — the run then simply finds no bug. *)
+let apply_corruption (eu : Exec_uvm.t) c : bool =
+  let mach = Uvm.Sys.machine eu.Exec_uvm.sys in
+  match c with
+  | Leak_swap_slot -> (
+      match Swap.Swapdev.alloc_slots mach.Machine.swap ~n:1 with
+      | Some _ -> true
+      | None -> false)
+  | Queue_double_insert -> (
+      let victim = ref None in
+      Physmem.iter_pages
+        (fun (pg : Physmem.Page.t) ->
+          if Option.is_none !victim then
+            match pg.Physmem.Page.queue with
+            | Physmem.Page.Q_active | Physmem.Page.Q_inactive ->
+                victim := Some pg
+            | _ -> ())
+        mach.Machine.physmem;
+      match !victim with
+      | Some pg ->
+          Physmem.Testhook.double_insert mach.Machine.physmem pg;
+          true
+      | None -> false)
+  | Overref_anon ->
+      let hit = ref false in
+      Hashtbl.iter
+        (fun _ (vm : Uvm.Sys.vmspace) ->
+          if not !hit then
+            Uvm.Map.iter_entries
+              (fun (e : Uvm.Map.entry) ->
+                match e.Uvm.Map.amap with
+                | Some am when not !hit ->
+                    let n = e.Uvm.Map.epage - e.Uvm.Map.spage in
+                    for d = 0 to n - 1 do
+                      if not !hit then
+                        match
+                          Uvm.Amap.lookup am ~slot:(e.Uvm.Map.amapoff + d)
+                        with
+                        | Some (anon : Uvm.Anon.t) ->
+                            anon.Uvm.Anon.refs <- anon.Uvm.Anon.refs + 1;
+                            hit := true
+                        | None -> ()
+                    done
+                | _ -> ())
+              vm.Uvm.Sys.map)
+        eu.Exec_uvm.sys.Uvm.Sys.vmspaces;
+      !hit
+
+(* -- failures ----------------------------------------------------------- *)
+
+type bug =
+  | Audit_bug of { op_index : int; f : Check.failure }
+  | Mismatch of { op_index : int; op : op; uvm : outcome; bsd : outcome }
+  | Crash of { op_index : int; op : op; system : string; exn : string }
+
+(* The shrinker's notion of "the same bug": stable across replays even
+   though op indices and incidental detail shift as the trace shrinks. *)
+let bug_key = function
+  | Audit_bug { f; _ } ->
+      Printf.sprintf "audit:%s:%s:%s" f.Check.system
+        (Check.subsystem_name f.Check.subsys)
+        f.Check.invariant
+  | Mismatch { op; _ } -> "mismatch:" ^ op_name op
+  | Crash { system; exn; _ } -> Printf.sprintf "crash:%s:%s" system exn
+
+let string_of_bug = function
+  | Audit_bug { op_index; f } ->
+      Printf.sprintf "audit failure after op %d: %s" op_index
+        (Check.string_of_failure f)
+  | Mismatch { op_index; op; uvm; bsd } ->
+      Printf.sprintf "outcome mismatch at op %d %s: UVM=%s BSD VM=%s" op_index
+        (op_to_string op) (outcome_to_string uvm) (outcome_to_string bsd)
+  | Crash { op_index; op; system; exn } ->
+      Printf.sprintf "crash at op %d %s in %s: %s" op_index (op_to_string op)
+        system exn
+
+(* -- generation --------------------------------------------------------- *)
+
+let pick_list rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+
+let live_proc_slots m =
+  let out = ref [] in
+  for p = max_procs - 1 downto 0 do
+    if m.procs.(p) <> None then out := p :: !out
+  done;
+  !out
+
+let free_proc_slots m =
+  let out = ref [] in
+  for p = max_procs - 1 downto 0 do
+    if m.procs.(p) = None then out := p :: !out
+  done;
+  !out
+
+let region_slots m p ~live =
+  match proc_at m p with
+  | None -> []
+  | Some pr ->
+      let out = ref [] in
+      for r = max_regions - 1 downto 0 do
+        if (pr.regions.(r) <> None) = live then out := r :: !out
+      done;
+      !out
+
+(* Draw one op.  Candidates are sampled with field values that are
+   usually valid for the current model and verified with {!resolve}; if
+   nothing resolves after a bounded number of draws the fallback ladder
+   (spawn a process, else apply pressure) always succeeds, so generation
+   never stalls. *)
+let gen rng m ~faults : op =
+  let pick_live_region () =
+    match pick_list rng (live_proc_slots m) with
+    | None -> None
+    | Some p -> (
+        match pick_list rng (region_slots m p ~live:true) with
+        | None -> None
+        | Some r -> (
+            match region_at m p r with
+            | Some rg -> Some (p, r, rg)
+            | None -> None))
+  in
+  let cand_read () =
+    match pick_live_region () with
+    | Some (p, r, rg) -> Some (Read { p; r; page = Sim.Rng.int rng rg.npages })
+    | None -> None
+  in
+  let cand_write () =
+    match pick_live_region () with
+    | Some (p, r, rg) ->
+        Some
+          (Write
+             {
+               p;
+               r;
+               page = Sim.Rng.int rng rg.npages;
+               byte = 1 + Sim.Rng.int rng 255;
+             })
+    | None -> None
+  in
+  let cand_mmap () =
+    match pick_list rng (live_proc_slots m) with
+    | None -> None
+    | Some p -> (
+        match pick_list rng (region_slots m p ~live:false) with
+        | None -> None
+        | Some r ->
+            let npages = 1 + Sim.Rng.int rng max_region_pages in
+            let prot_ix = Sim.Rng.pick rng [| 0; 0; 0; 0; 1; 2; 3 |] in
+            let use_file = Sim.Rng.int rng 10 < 3 in
+            let src_file = if use_file then 1 + Sim.Rng.int rng nfiles else 0 in
+            let fileoff =
+              if use_file then Sim.Rng.int rng (file_pages - npages + 1) else 0
+            in
+            let shared = (not use_file) && Sim.Rng.int rng 4 = 0 in
+            Some (Mmap { p; r; npages; prot_ix; shared; src_file; fileoff }))
+  in
+  let cand_range mk =
+    match pick_live_region () with
+    | Some (p, r, rg) ->
+        let off = Sim.Rng.int rng rg.npages in
+        let len = 1 + Sim.Rng.int rng (rg.npages - off) in
+        Some (mk p r off len)
+    | None -> None
+  in
+  let cand_munmap () =
+    cand_range (fun p r off len -> Munmap { p; r; off; len })
+  in
+  let cand_mprotect () =
+    cand_range (fun p r off len ->
+        Mprotect
+          { p; r; off; len; prot_ix = Sim.Rng.int rng (Array.length prots) })
+  in
+  let cand_minherit () =
+    match pick_live_region () with
+    | Some (p, r, _) ->
+        Some (Minherit { p; r; inh_ix = Sim.Rng.int rng (Array.length inhs) })
+    | None -> None
+  in
+  let cand_madvise () =
+    match pick_live_region () with
+    | Some (p, r, _) ->
+        Some (Madvise { p; r; adv_ix = Sim.Rng.int rng (Array.length advs) })
+    | None -> None
+  in
+  let cand_mlock () =
+    match pick_live_region () with
+    | Some (p, r, rg) ->
+        let off = Sim.Rng.int rng rg.npages in
+        let len = 1 + Sim.Rng.int rng (min 4 (rg.npages - off)) in
+        Some (Mlock { p; r; off; len })
+    | None -> None
+  in
+  let cand_munlock () =
+    match pick_live_region () with
+    | Some (p, r, rg) -> (
+        match pick_list rng rg.wired with
+        | Some (off, len) -> Some (Munlock { p; r; off; len })
+        | None -> None)
+    | None -> None
+  in
+  let cand_fork () =
+    match
+      (pick_list rng (live_proc_slots m), pick_list rng (free_proc_slots m))
+    with
+    | Some parent, Some child -> Some (Fork { parent; child })
+    | _ -> None
+  in
+  let cand_exit () =
+    match pick_list rng (live_proc_slots m) with
+    | Some p -> Some (Exit { p })
+    | None -> None
+  in
+  let cand_spawn () =
+    match pick_list rng (free_proc_slots m) with
+    | Some p -> Some (Spawn { p })
+    | None -> None
+  in
+  let cand_pressure () = Some (Pressure { npages = 8 + Sim.Rng.int rng 41 }) in
+  let cands =
+    [
+      (18, cand_read);
+      (26, cand_write);
+      (14, cand_mmap);
+      (7, cand_munmap);
+      (6, cand_mprotect);
+      (3, cand_minherit);
+      (3, cand_madvise);
+      (6, cand_fork);
+      (2, cand_exit);
+      (2, cand_spawn);
+      (4, cand_pressure);
+    ]
+    (* Under injected I/O errors wiring faults can fail mid-range, which
+       would wedge the two kernels differently: keep wiring out of
+       fault-mode traces. *)
+    @ (if faults then [] else [ (5, cand_mlock); (4, cand_munlock) ])
+  in
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 cands in
+  let draw () =
+    let roll = Sim.Rng.int rng total in
+    let rec go acc = function
+      | (w, c) :: rest -> if roll < acc + w then c () else go (acc + w) rest
+      | [] -> assert false
+    in
+    go 0 cands
+  in
+  let rec attempt n =
+    if n = 0 then
+      match cand_spawn () with
+      | Some op when Option.is_some (resolve m op) -> op
+      | _ -> Pressure { npages = 8 + Sim.Rng.int rng 25 }
+    else
+      match draw () with
+      | Some op when Option.is_some (resolve m op) -> op
+      | _ -> attempt (n - 1)
+  in
+  attempt 40
+
+(* -- the differential driver -------------------------------------------- *)
+
+type cfg = {
+  seed : int;
+  nops : int;
+  audit_every : int;
+  faults : bool;
+  shrink : bool;
+  artifact_dir : string option;
+  corrupt : (int * corruption) option;
+      (** apply the corruption at the first op whose original index
+          reaches the threshold (so shrunken replays still trigger it) *)
+  ram_pages : int;
+  swap_pages : int;
+  trace_buf : int;
+}
+
+let default_cfg =
+  {
+    seed = 42;
+    nops = 5000;
+    audit_every = 100;
+    faults = false;
+    shrink = false;
+    artifact_dir = None;
+    corrupt = None;
+    ram_pages = 256;
+    swap_pages = 2048;
+    trace_buf = 4096;
+  }
+
+let machine_config cfg =
+  {
+    Machine.default_config with
+    ram_pages = cfg.ram_pages;
+    swap_pages = cfg.swap_pages;
+    seed = cfg.seed;
+    trace_buf = Some cfg.trace_buf;
+    fault_plan =
+      (if cfg.faults then
+         Some
+           (fun () ->
+             Sim.Fault_plan.create ~seed:cfg.seed ~read_error_rate:0.005
+               ~write_error_rate:0.005 ())
+       else None);
+  }
+
+type drive_source = Fresh of int | Replay of (int * op) list
+
+(* One full run: boot both systems, feed them the same resolved actions,
+   audit every [audit_every] executed ops and once at the end.  Stops at
+   the first bug.  Returns the trace actually fed (with original
+   indices) and both machines' observability sources for artifacts. *)
+let drive cfg src =
+  let config = machine_config cfg in
+  let eu = Exec_uvm.boot ~config () in
+  let eb = Exec_bsd.boot ~config () in
+  let m = fresh_model ~ram_pages:cfg.ram_pages in
+  let rng = Sim.Rng.create ~seed:cfg.seed in
+  let bug = ref None in
+  let trace = ref [] in
+  let pending = ref cfg.corrupt in
+  let executed = ref 0 in
+  let audit_one i run_audit =
+    if !bug = None then
+      try run_audit ()
+      with Check.Audit_failure f -> bug := Some (Audit_bug { op_index = i; f })
+  in
+  let audit_both i =
+    audit_one i (fun () -> Exec_uvm.audit eu);
+    audit_one i (fun () -> Exec_bsd.audit eb)
+  in
+  let step (i, op) =
+    (match !pending with
+    | Some (n, c) when i >= n ->
+        pending := None;
+        ignore (apply_corruption eu c : bool)
+    | _ -> ());
+    match resolve m op with
+    | None -> () (* stale op in a shrunken trace: skip *)
+    | Some a ->
+        apply m op a;
+        let side name f =
+          match f () with
+          | o -> Ok o
+          | exception e -> Error (name, Printexc.to_string e)
+        in
+        (match side Exec_uvm.name (fun () -> Exec_uvm.exec eu a) with
+        | Error (system, exn) ->
+            bug := Some (Crash { op_index = i; op; system; exn })
+        | Ok ou -> (
+            match side Exec_bsd.name (fun () -> Exec_bsd.exec eb a) with
+            | Error (system, exn) ->
+                bug := Some (Crash { op_index = i; op; system; exn })
+            | Ok ob ->
+                (* Oom is a wildcard: eviction timing may legitimately
+                   differ.  Under fault injection retry counts diverge,
+                   so outcomes are not compared at all — the audits are
+                   the oracle there. *)
+                if (not cfg.faults) && ou <> ob && ou <> Oom && ob <> Oom then
+                  bug := Some (Mismatch { op_index = i; op; uvm = ou; bsd = ob })
+            ));
+        incr executed;
+        if !bug = None && cfg.audit_every > 0 && !executed mod cfg.audit_every = 0
+        then audit_both i
+  in
+  (match src with
+  | Fresh n ->
+      let i = ref 0 in
+      while !bug = None && !i < n do
+        let op = gen rng m ~faults:cfg.faults in
+        trace := (!i, op) :: !trace;
+        step (!i, op);
+        incr i
+      done;
+      trace := List.rev !trace
+  | Replay ops ->
+      List.iter (fun iop -> if !bug = None then step iop) ops;
+      trace := ops);
+  if !bug = None then audit_both (max 0 (!executed - 1));
+  (!bug, !trace, [ Exec_uvm.source eu; Exec_bsd.source eb ])
+
+(* -- trace shrinking (ddmin) -------------------------------------------- *)
+
+let split_chunks l n =
+  let len = List.length l in
+  let size = max 1 ((len + n - 1) / n) in
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 tl
+        else go acc (x :: cur) (k + 1) tl
+  in
+  go [] [] 0 l
+
+let ddmin ~test ops =
+  let rec go ops n =
+    let len = List.length ops in
+    if len <= 1 then ops
+    else
+      let chunks = split_chunks ops n in
+      let complements =
+        List.mapi
+          (fun k _ ->
+            List.concat (List.filteri (fun j _ -> j <> k) chunks))
+          chunks
+      in
+      match List.find_opt test complements with
+      | Some smaller -> go smaller (max 2 (n - 1))
+      | None -> if n < len then go ops (min len (2 * n)) else ops
+  in
+  if test ops then go ops 2 else ops
+
+(* Shrink [trace] to a minimal subsequence whose replay fails with the
+   same bug key.  Replays audit after every op so the failure is pinned
+   to the earliest op that causes it. *)
+let shrink_trace cfg trace bug0 =
+  let rcfg = { cfg with audit_every = 1; shrink = false; artifact_dir = None } in
+  let run_subset subset =
+    let b, _, _ = drive rcfg (Replay subset) in
+    b
+  in
+  let key =
+    match run_subset trace with Some b -> bug_key b | None -> bug_key bug0
+  in
+  let test subset =
+    match run_subset subset with
+    | Some b -> String.equal (bug_key b) key
+    | None -> false
+  in
+  ddmin ~test trace
+
+(* -- crash artifacts ---------------------------------------------------- *)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let with_file name f =
+  let oc = open_out name in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let op_json buf (i, op) =
+  Buffer.add_string buf (Printf.sprintf "{\"i\":%d,\"op\":" i);
+  Sim.Trace_export.json_string buf (op_name op);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" k v))
+    (op_fields op);
+  Buffer.add_char buf '}'
+
+let ops_json buf ops =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun k iop ->
+      if k > 0 then Buffer.add_char buf ',';
+      op_json buf iop)
+    ops;
+  Buffer.add_char buf ']'
+
+let bug_json buf = function
+  | Audit_bug { op_index; f } ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"kind\":\"audit\",\"op_index\":%d,\"system\":"
+           op_index);
+      Sim.Trace_export.json_string buf f.Check.system;
+      Buffer.add_string buf ",\"subsystem\":";
+      Sim.Trace_export.json_string buf (Check.subsystem_name f.Check.subsys);
+      Buffer.add_string buf ",\"invariant\":";
+      Sim.Trace_export.json_string buf f.Check.invariant;
+      Buffer.add_string buf ",\"detail\":";
+      Sim.Trace_export.json_string buf f.Check.detail;
+      Buffer.add_char buf '}'
+  | Mismatch { op_index; op; uvm; bsd } ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"kind\":\"mismatch\",\"op_index\":%d,\"op\":"
+           op_index);
+      op_json buf (op_index, op);
+      Buffer.add_string buf ",\"uvm\":";
+      Sim.Trace_export.json_string buf (outcome_to_string uvm);
+      Buffer.add_string buf ",\"bsd\":";
+      Sim.Trace_export.json_string buf (outcome_to_string bsd);
+      Buffer.add_char buf '}'
+  | Crash { op_index; op; system; exn } ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"kind\":\"crash\",\"op_index\":%d,\"op\":" op_index);
+      op_json buf (op_index, op);
+      Buffer.add_string buf ",\"system\":";
+      Sim.Trace_export.json_string buf system;
+      Buffer.add_string buf ",\"exn\":";
+      Sim.Trace_export.json_string buf exn;
+      Buffer.add_char buf '}'
+
+let crash_json ~cfg ~bug ~trace ~minimal =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"uvm-sim-torture/1\",\"seed\":%d,\"nops\":%d,\"audit_every\":%d,\"faults\":%b"
+       cfg.seed cfg.nops cfg.audit_every cfg.faults);
+  (match cfg.corrupt with
+  | Some (at, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"corrupt\":{\"kind\":\"%s\",\"at\":%d}"
+           (corruption_name c) at)
+  | None -> ());
+  Buffer.add_string buf ",\"failure\":";
+  bug_json buf bug;
+  Buffer.add_string buf ",\"trace\":";
+  ops_json buf trace;
+  (match minimal with
+  | Some ops ->
+      Buffer.add_string buf ",\"minimal\":";
+      ops_json buf ops
+  | None -> ());
+  Buffer.add_string buf "}\n";
+  buf
+
+let write_artifacts ~dir ~cfg ~bug ~trace ~minimal ~sources =
+  mkdirs dir;
+  let path name = Filename.concat dir name in
+  with_file (path "crash.json") (fun oc ->
+      Buffer.output_buffer oc (crash_json ~cfg ~bug ~trace ~minimal));
+  let chrome = Buffer.create 65536 in
+  Sim.Trace_export.chrome_json chrome sources;
+  with_file (path "trace.chrome.json") (fun oc ->
+      Buffer.output_buffer oc chrome);
+  let stats = Buffer.create 4096 in
+  Sim.Trace_export.snapshot_json stats sources;
+  with_file (path "stats.json") (fun oc -> Buffer.output_buffer oc stats);
+  with_file (path "events.txt") (fun oc ->
+      let fmt = Format.formatter_of_out_channel oc in
+      Sim.Trace_export.pp_dump fmt sources;
+      Format.pp_print_flush fmt ())
+
+(* -- entry point -------------------------------------------------------- *)
+
+type result = {
+  r_bug : bug option;
+  r_trace : (int * op) list;
+  r_minimal : (int * op) list option;
+  r_artifacts : string option;  (** directory written, if any *)
+}
+
+let run cfg =
+  let bug, trace, sources = drive cfg (Fresh cfg.nops) in
+  let minimal =
+    match bug with
+    | Some b when cfg.shrink -> Some (shrink_trace cfg trace b)
+    | _ -> None
+  in
+  let artifacts =
+    match (cfg.artifact_dir, bug) with
+    | Some dir, Some b ->
+        write_artifacts ~dir ~cfg ~bug:b ~trace ~minimal ~sources;
+        Some dir
+    | _ -> None
+  in
+  { r_bug = bug; r_trace = trace; r_minimal = minimal; r_artifacts = artifacts }

@@ -11,6 +11,7 @@ type t = {
   free : Page.t Sim.Dlist.t;
   active : Page.t Sim.Dlist.t;
   inactive : Page.t Sim.Dlist.t;
+  pages : Page.t array;  (** every frame, indexed by frame number *)
   mutable free_count : int;
   freemin : int;
   freetarg : int;
@@ -20,6 +21,22 @@ type t = {
 
 let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
   if npages < 16 then invalid_arg "Physmem.create: need at least 16 pages";
+  let pages =
+    Array.init npages (fun i ->
+        {
+          Page.id = i;
+          data = Bytes.create page_size;
+          dirty = false;
+          busy = false;
+          wire_count = 0;
+          loan_count = 0;
+          owner = Page.No_owner;
+          owner_offset = 0;
+          queue = Page.Q_free;
+          node = None;
+          referenced = false;
+        })
+  in
   let t =
     {
       page_size;
@@ -30,6 +47,7 @@ let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
       free = Sim.Dlist.create ();
       active = Sim.Dlist.create ();
       inactive = Sim.Dlist.create ();
+      pages;
       free_count = 0;
       freemin = max 8 (npages / 32);
       freetarg = max 16 (npages / 16);
@@ -37,25 +55,11 @@ let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
       daemon_running = false;
     }
   in
-  for i = 0 to npages - 1 do
-    let page =
-      {
-        Page.id = i;
-        data = Bytes.create page_size;
-        dirty = false;
-        busy = false;
-        wire_count = 0;
-        loan_count = 0;
-        owner = Page.No_owner;
-        owner_offset = 0;
-        queue = Page.Q_free;
-        node = None;
-        referenced = false;
-      }
-    in
-    page.Page.node <- Some (Sim.Dlist.push_tail t.free page);
-    t.free_count <- t.free_count + 1
-  done;
+  Array.iter
+    (fun page ->
+      page.Page.node <- Some (Sim.Dlist.push_tail t.free page);
+      t.free_count <- t.free_count + 1)
+    t.pages;
   t
 
 let page_size t = t.page_size
@@ -167,6 +171,8 @@ let deactivate t (page : Page.t) =
 let dequeue t page = unlink t page
 let inactive_pages t = Sim.Dlist.to_list t.inactive
 let active_pages t = Sim.Dlist.to_list t.active
+let free_pages t = Sim.Dlist.to_list t.free
+let iter_pages f t = Array.iter f t.pages
 
 let wire t (page : Page.t) =
   page.wire_count <- page.wire_count + 1;
@@ -198,3 +204,15 @@ let zero_data t (page : Page.t) =
   Bytes.fill page.data 0 t.page_size '\000';
   Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.page_zero;
   t.stats.Sim.Stats.pages_zeroed <- t.stats.Sim.Stats.pages_zeroed + 1
+
+module Testhook = struct
+  (* Deliberately link [page] onto a second paging queue without unlinking
+     it from its current one, leaving the frame reachable from two rings at
+     once — the classic queue-corruption bug the auditor must catch.  Only
+     for tests; never called by the VM layers. *)
+  let double_insert t (page : Page.t) =
+    let second =
+      match page.Page.queue with Page.Q_inactive -> t.active | _ -> t.inactive
+    in
+    ignore (Sim.Dlist.push_tail second page)
+end

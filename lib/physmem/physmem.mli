@@ -69,6 +69,13 @@ val inactive_pages : t -> Page.t list
 
 val active_pages : t -> Page.t list
 
+val free_pages : t -> Page.t list
+(** Snapshot of the free list (invariant auditing). *)
+
+val iter_pages : (Page.t -> unit) -> t -> unit
+(** Visit every physical frame, allocated or not, in frame-number order —
+    the auditor's walk over the whole of simulated RAM. *)
+
 val wire : t -> Page.t -> unit
 (** Increment the wire count; a newly-wired page leaves the paging queues. *)
 
@@ -88,3 +95,11 @@ val zero_data : t -> Page.t -> unit
 
 val page_shortage : t -> bool
 (** True when the free list is below [freemin]. *)
+
+(** Deliberate state corruption for exercising the invariant auditor.
+    Never called by the VM layers. *)
+module Testhook : sig
+  val double_insert : t -> Page.t -> unit
+  (** Link [page] onto a second paging queue without removing it from its
+      current one. *)
+end

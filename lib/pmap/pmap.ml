@@ -105,6 +105,11 @@ let restrict_range t ~lo ~hi ~prot =
 let lookup t ~vpn = Hashtbl.find_opt t.ptes vpn
 let resident_count t = Hashtbl.length t.ptes
 
+let translations t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun vpn pte acc -> (vpn, pte) :: acc) t.ptes [])
+
 let destroy t =
   let all = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.ptes [] in
   List.iter (fun vpn -> remove_one t ~vpn) all
@@ -114,6 +119,14 @@ let mappings_of_page ctx (page : Physmem.Page.t) =
 
 let page_remove_all ctx page =
   List.iter (fun (pmap, vpn) -> remove_one pmap ~vpn) (mappings_of_page ctx page)
+
+let page_remove_unwired ctx page =
+  List.iter
+    (fun (pmap, vpn) ->
+      match Hashtbl.find_opt pmap.ptes vpn with
+      | Some pte when not pte.wired -> remove_one pmap ~vpn
+      | Some _ | None -> ())
+    (mappings_of_page ctx page)
 
 let page_protect_all ctx page ~prot =
   List.iter

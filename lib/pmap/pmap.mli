@@ -60,9 +60,22 @@ val lookup : t -> vpn:int -> pte option
 val resident_count : t -> int
 (** Number of valid translations (the process' resident set size). *)
 
+val translations : t -> (int * pte) list
+(** Every [(vpn, pte)] translation, sorted by vpn.  Charges no cost: this
+    is the invariant auditor's read-only walk, not a simulated MMU op. *)
+
 val page_remove_all : ctx -> Physmem.Page.t -> unit
 (** Remove every translation of a physical page, in every pmap
     (pageout path). *)
+
+val page_remove_unwired : ctx -> Physmem.Page.t -> unit
+(** Remove every {e unwired} translation of a physical page.  The COW
+    shootdown paths use this instead of {!page_remove_all}: a wired
+    translation records which page holds the wire count, so dropping it
+    would strand the count until teardown trips over a still-wired frame.
+    A wired translation left behind is either still valid (its own map
+    entry resolves the same page) or an incoherence the invariant auditor
+    reports. *)
 
 val page_protect_all : ctx -> Physmem.Page.t -> prot:Prot.t -> unit
 (** Restrict every translation of a physical page (loanout write-protect). *)

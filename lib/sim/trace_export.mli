@@ -1,0 +1,41 @@
+(** Exporters for the observability layer.
+
+    A {!source} bundles one traced machine's event history, counters and
+    latency histograms under a display label ("UVM", "BSD VM").  The
+    exporters consume a list of sources so one run of an experiment —
+    which boots both VM systems, possibly several times — lands in a
+    single artifact.  Sources sharing a label (several boots in a sweep)
+    are folded into one logical system by the aggregating exporters.
+
+    JSON is emitted by hand: the toolchain deliberately has no JSON
+    dependency, and the fixed schemas here do not justify one. *)
+
+type source = {
+  mutable label : string;
+  hist : Hist.t;
+  stats : Stats.t;
+  latencies : Histogram.set;
+}
+
+val json_string : Buffer.t -> string -> unit
+(** Append a JSON string literal, escaping as required. *)
+
+val json_float : Buffer.t -> float -> unit
+(** Append a finite float with millisecond-grade precision; non-finite
+    values become [0]. *)
+
+val chrome_json : Buffer.t -> source list -> unit
+(** Chrome trace-event JSON, loadable in Perfetto or [chrome://tracing].
+    Each source becomes a process, each subsystem a thread; spans are
+    complete ("X") events, instants are "i". *)
+
+val snapshot_json : Buffer.t -> source list -> unit
+(** Counters + histogram summaries, machine-readable
+    (schema ["uvm-sim-stats/1"]). *)
+
+val pp_dump : Format.formatter -> source list -> unit
+(** Flat human-readable event listing. *)
+
+val print_stats : source list -> unit
+(** The per-label counter/percentile tables behind the CLI's [--stats]
+    flag, on stdout. *)

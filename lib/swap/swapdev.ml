@@ -55,6 +55,7 @@ let slots_in_use t = Swapmap.in_use t.map
 let slots_usable t = Swapmap.usable t.map
 let bad_slot_count t = Swapmap.bad_count t.map
 let is_bad_slot t ~slot = Swapmap.is_bad t.map ~slot
+let is_allocated_slot t ~slot = Swapmap.is_allocated t.map ~slot
 let disk t = t.disk
 
 let alloc_slots t ~n =

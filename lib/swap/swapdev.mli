@@ -29,6 +29,9 @@ val slots_usable : t -> int
 val bad_slot_count : t -> int
 val is_bad_slot : t -> slot:int -> bool
 
+val is_allocated_slot : t -> slot:int -> bool
+(** Whether [slot] is currently charged to an owner (invariant auditing). *)
+
 val alloc_slots : t -> n:int -> int option
 (** Reserve [n] contiguous slots (no I/O yet). *)
 

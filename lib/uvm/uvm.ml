@@ -299,6 +299,271 @@ module Sys = struct
 
   let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Uvm_sys.swapdev sys.usys)
 
+  (* ---- invariant auditor (DIAGNOSTIC-style, paper §5.3's oracle) ------ *)
+
+  (* Census of the two UVM layers as seen from the maps: for every amap the
+     number of referencing entries and how many entries cover each slot;
+     for every object the number of referencing entries.  Everything else
+     the auditor needs hangs off these. *)
+  let audit_census sys =
+    let amaps = Hashtbl.create 32 in
+    let objs = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun _ vm ->
+        (match Uvm_map.check_invariants vm.map with
+        | Ok () -> ()
+        | Error msg ->
+            Check.fail ~system:name ~subsys:Check.Map ~invariant:"map_structure"
+              (Printf.sprintf "vmspace %d: %s" vm.vid msg));
+        Uvm_map.iter_entries
+          (fun e ->
+            (match e.Uvm_map.amap with
+            | Some am ->
+                let _, refs, cover =
+                  match Hashtbl.find_opt amaps am.Uvm_amap.id with
+                  | Some c -> c
+                  | None ->
+                      let c = (am, ref 0, Array.make am.Uvm_amap.nslots 0) in
+                      Hashtbl.replace amaps am.Uvm_amap.id c;
+                      c
+                in
+                incr refs;
+                for i = 0 to Uvm_map.entry_npages e - 1 do
+                  let s = e.Uvm_map.amapoff + i in
+                  if s >= 0 && s < Array.length cover then
+                    cover.(s) <- cover.(s) + 1
+                done
+            | None -> ());
+            match e.Uvm_map.obj with
+            | Some o ->
+                let _, refs =
+                  match Hashtbl.find_opt objs o.Uvm_object.id with
+                  | Some c -> c
+                  | None ->
+                      let c = (o, ref 0) in
+                      Hashtbl.replace objs o.Uvm_object.id c;
+                      c
+                in
+                incr refs
+            | None -> ())
+          vm.map)
+      sys.vmspaces;
+    (amaps, objs)
+
+  let audit_amaps amaps =
+    (* anon id -> (anon, number of amap slots holding it) *)
+    let anons = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ ((am : Uvm_amap.t), refs, cover) ->
+        let fail invariant detail =
+          Check.fail ~system:name ~subsys:Check.Amap ~invariant
+            (Printf.sprintf "amap %d: %s" am.Uvm_amap.id detail)
+        in
+        (match Uvm_amap.check_invariants am with
+        | Ok () -> ()
+        | Error msg -> fail "amap_structure" msg);
+        if am.Uvm_amap.refs <> !refs then
+          fail "amap_refs"
+            (Printf.sprintf "refcount %d but %d map entries reference it"
+               am.Uvm_amap.refs !refs);
+        (match am.Uvm_amap.ppref with
+        | Some pp ->
+            Array.iteri
+              (fun i c ->
+                if c <> cover.(i) then
+                  fail "amap_ppref"
+                    (Printf.sprintf
+                       "slot %d: per-page refcount %d but %d entries cover it"
+                       i c cover.(i)))
+              pp
+        | None ->
+            (* No ppref array means every reference covers every slot. *)
+            Array.iteri
+              (fun i c ->
+                if c <> !refs then
+                  fail "amap_coverage"
+                    (Printf.sprintf
+                       "no ppref yet slot %d covered by %d of %d references" i
+                       c !refs))
+              cover);
+        Array.iter
+          (function
+            | Some (anon : Uvm_anon.t) ->
+                let _, slots =
+                  match Hashtbl.find_opt anons anon.Uvm_anon.id with
+                  | Some c -> c
+                  | None ->
+                      let c = (anon, ref 0) in
+                      Hashtbl.replace anons anon.Uvm_anon.id c;
+                      c
+                in
+                incr slots
+            | None -> ())
+          am.Uvm_amap.anons)
+      amaps;
+    anons
+
+  let audit_anons anons =
+    Hashtbl.iter
+      (fun _ ((anon : Uvm_anon.t), slots) ->
+        let fail invariant detail =
+          Check.fail ~system:name ~subsys:Check.Anon ~invariant
+            (Printf.sprintf "anon %d: %s" anon.Uvm_anon.id detail)
+        in
+        if anon.Uvm_anon.refs <> !slots then
+          fail "anon_refs"
+            (Printf.sprintf "refcount %d but %d amap slots reference it"
+               anon.Uvm_anon.refs !slots);
+        match anon.Uvm_anon.page with
+        | Some p -> (
+            if p.Physmem.Page.queue = Physmem.Page.Q_free then
+              fail "anon_page_free"
+                (Printf.sprintf "page %d is on the free list" p.Physmem.Page.id);
+            match p.Physmem.Page.owner with
+            | Uvm_anon.Anon_page a when a == anon -> ()
+            | _ when p.Physmem.Page.loan_count > 0 ->
+                (* A borrowed frame (O->A loanout): owned elsewhere. *)
+                ()
+            | _ ->
+                fail "anon_page_owner"
+                  (Printf.sprintf "page %d is not owned by this anon"
+                     p.Physmem.Page.id))
+        | None ->
+            if anon.Uvm_anon.swslot = 0 then
+              fail "anon_no_data" "neither resident nor on swap")
+      anons
+
+  let audit_objects objs =
+    Hashtbl.iter
+      (fun _ ((o : Uvm_object.t), refs) ->
+        let fail invariant detail =
+          Check.fail ~system:name ~subsys:Check.Object ~invariant
+            (Printf.sprintf "object %d (%s): %s" o.Uvm_object.id
+               o.Uvm_object.pgops.Uvm_object.pgo_name detail)
+        in
+        if o.Uvm_object.refs <> !refs then
+          fail "object_refs"
+            (Printf.sprintf "refcount %d but %d map entries reference it"
+               o.Uvm_object.refs !refs);
+        Hashtbl.iter
+          (fun pgno (p : Physmem.Page.t) ->
+            (match p.owner with
+            | Uvm_object.Uobj_page o' when o' == o -> ()
+            | _ ->
+                fail "object_page_owner"
+                  (Printf.sprintf "resident page %d at offset %d owned elsewhere"
+                     p.id pgno));
+            if p.owner_offset <> pgno then
+              fail "object_page_offset"
+                (Printf.sprintf "page %d thinks offset %d, object says %d" p.id
+                   p.owner_offset pgno);
+            if p.queue = Physmem.Page.Q_free then
+              fail "object_page_free"
+                (Printf.sprintf "resident page %d is on the free list" p.id))
+          o.Uvm_object.pages)
+      objs
+
+  (* Every allocated swap slot must be claimed by exactly one anon or one
+     aobj page — an allocated-but-unclaimed slot is the §5.3 swap leak. *)
+  let audit_swap sys anons objs =
+    let claims = ref [] in
+    Hashtbl.iter
+      (fun _ ((anon : Uvm_anon.t), _) ->
+        if anon.Uvm_anon.swslot <> 0 then
+          claims :=
+            ( Printf.sprintf "anon#%d" anon.Uvm_anon.id,
+              anon.Uvm_anon.swslot )
+            :: !claims)
+      anons;
+    Hashtbl.iter
+      (fun _ ((o : Uvm_object.t), _) ->
+        List.iter
+          (fun (pgno, slot) ->
+            claims :=
+              (Printf.sprintf "aobj#%d@%d" o.Uvm_object.id pgno, slot)
+              :: !claims)
+          (Uvm_aobj.swslots o))
+      objs;
+    Check.check_swap ~system:name (Uvm_sys.swapdev sys.usys) ~claims:!claims
+
+  (* Every live translation must agree with the two-layer lookup the fault
+     routine would perform: anon layer first, then the backing object. *)
+  let audit_pmap sys =
+    Hashtbl.iter
+      (fun _ vm ->
+        let entries = Uvm_map.entries vm.map in
+        List.iter
+          (fun (vpn, (pte : Pmap.pte)) ->
+            let fail invariant detail =
+              Check.fail ~system:name ~subsys:Check.Pmap ~invariant
+                (Printf.sprintf "vmspace %d vpn %d: %s" vm.vid vpn detail)
+            in
+            match
+              List.find_opt
+                (fun (e : Uvm_map.entry) ->
+                  e.Uvm_map.spage <= vpn && vpn < e.Uvm_map.epage)
+                entries
+            with
+            | None -> fail "pmap_unmapped" "translation outside any map entry"
+            | Some e -> (
+                if not (Pmap.Prot.subsumes e.Uvm_map.prot pte.Pmap.prot) then
+                  fail "pmap_prot" "translation grants more than the entry";
+                let d = vpn - e.Uvm_map.spage in
+                let anon =
+                  match e.Uvm_map.amap with
+                  | Some am ->
+                      Uvm_amap.lookup am ~slot:(e.Uvm_map.amapoff + d)
+                  | None -> None
+                in
+                match anon with
+                | Some a ->
+                    if
+                      not
+                        (match a.Uvm_anon.page with
+                        | Some p -> p == pte.Pmap.page
+                        | None -> false)
+                    then
+                      fail "pmap_vs_anon"
+                        (Printf.sprintf
+                           "maps frame %d but anon %d holds %s"
+                           pte.Pmap.page.Physmem.Page.id a.Uvm_anon.id
+                           (match a.Uvm_anon.page with
+                           | Some p -> Printf.sprintf "frame %d" p.id
+                           | None -> "no page"))
+                | None -> (
+                    match e.Uvm_map.obj with
+                    | Some o ->
+                        if
+                          not
+                            (match
+                               Uvm_object.find_page o
+                                 ~pgno:(e.Uvm_map.objoff + d)
+                             with
+                            | Some p -> p == pte.Pmap.page
+                            | None -> false)
+                        then
+                          fail "pmap_vs_object"
+                            (Printf.sprintf
+                               "maps frame %d but object %d offset %d disagrees"
+                               pte.Pmap.page.Physmem.Page.id o.Uvm_object.id
+                               (e.Uvm_map.objoff + d))
+                    | None ->
+                        fail "pmap_unbacked"
+                          "translation for a zero-fill range with no anon")))
+          (Pmap.translations vm.pmap))
+      sys.vmspaces
+
+  let audit sys =
+    let physmem = Uvm_sys.physmem sys.usys in
+    Check.check_physmem ~system:name physmem;
+    Check.check_pv ~system:name (Uvm_sys.pmap_ctx sys.usys) physmem;
+    let amaps, objs = audit_census sys in
+    let anons = audit_amaps amaps in
+    audit_anons anons;
+    audit_objects objs;
+    audit_swap sys anons objs;
+    audit_pmap sys
+
   (* Audit: anonymous pages unreachable from any live address space.  UVM's
      reference counting frees anons eagerly, so this is always 0 — the test
      suite checks the audit agrees. *)

@@ -187,3 +187,8 @@ let swslot_count obj =
   match Hashtbl.find_opt registry obj.Uvm_object.id with
   | Some st -> Hashtbl.length st.swslots
   | None -> 0
+
+let swslots obj =
+  match Hashtbl.find_opt registry obj.Uvm_object.id with
+  | Some st -> Hashtbl.fold (fun pgno slot acc -> (pgno, slot) :: acc) st.swslots []
+  | None -> []

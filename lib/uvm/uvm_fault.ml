@@ -97,9 +97,11 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
           (* Replacing an anon in a *shared* amap: other sharers still map the
              displaced page — shoot those translations down so they refault
-             and find the new anon. *)
+             and find the new anon.  Wired translations are skipped: they
+             carry the page's wire count, and their owner's entry may well
+             still resolve the displaced anon through a different amap. *)
           if am.Uvm_amap.shared then
-            Pmap.page_remove_all (Uvm_sys.pmap_ctx sys) page;
+            Pmap.page_remove_unwired (Uvm_sys.pmap_ctx sys) page;
           Uvm_amap.replace sys am ~slot fresh;
           fresh_page.Physmem.Page.dirty <- true;
           Physmem.activate physmem fresh_page;
@@ -153,6 +155,13 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
             let anon_page = Option.get anon.Uvm_anon.page in
             Physmem.copy_data physmem ~src:page ~dst:anon_page;
             stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+            (* Promoting into a *shared* amap changes what every sharer's
+               entry resolves at this slot: sharers still mapping the
+               object's page read-only would keep reading it and miss all
+               writes through the new anon.  Shoot their translations down
+               so they refault and find the anon. *)
+            if am.Uvm_amap.shared then
+              Pmap.page_remove_unwired (Uvm_sys.pmap_ctx sys) page;
             Uvm_amap.add sys am ~slot anon;
             anon_page.Physmem.Page.dirty <- true;
             Physmem.activate physmem anon_page;

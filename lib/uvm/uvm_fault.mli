@@ -10,6 +10,13 @@
     faulting address (default 4 ahead / 3 behind, tuned by [madvise]) are
     mapped in read-only, cutting future fault counts (paper Table 2). *)
 
+val amap_copy_entry : Uvm_sys.t -> Uvm_map.entry -> unit
+(** Clear the entry's needs-copy deferral: allocate an empty amap if the
+    entry never faulted, or build a private amap aliasing the shared one's
+    anons.  The fault routine calls this lazily; [fork_map] calls it
+    eagerly when a needs-copy entry is inherited shared, since sharing
+    requires a concrete amap both sides reference. *)
+
 val fault :
   Uvm_map.t ->
   vpn:int ->

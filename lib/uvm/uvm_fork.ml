@@ -24,7 +24,12 @@ let clone_entry t (e : entry) =
   }
 
 let fork_shared sys child (e : entry) =
-  ignore sys;
+  (* Sharing needs a concrete amap both entries can reference: clear a
+     deferred needs-copy now (allocating the amap if the entry has never
+     faulted), as uvm_map_fork does before cloning a shared entry.
+     Otherwise each side's first fault would build a private amap and the
+     "shared" mapping would silently diverge. *)
+  if e.needs_copy then Uvm_fault.amap_copy_entry sys e;
   (match e.amap with
   | Some am ->
       Uvm_amap.ref_range am ~slotoff:e.amapoff ~len:(entry_npages e);
@@ -35,6 +40,54 @@ let fork_shared sys child (e : entry) =
   | None -> ());
   Uvm_map.insert_entry_raw child (clone_entry child e)
 
+(* amap_cow_now: a wired entry's copy may never be deferred.  Deferral
+   write-protects the parent, so the parent's next write would COW-resolve
+   by swapping a fresh anon into its amap slot — stranding the *wired*
+   frame (and its wire count) on the child's side, where teardown later
+   frees a still-wired page.  Instead the child gets its own amap with
+   every page copied at fork time.  No I/O can be needed: wiring faulted
+   every page of the range in, and wired pages sit on no paging queue, so
+   each one is resident — in an anon, or (never-written object ranges)
+   reachable through the parent's wired translation.  The parent keeps
+   writing in place: no needs-copy, no write-protect. *)
+let fork_copy_wired sys parent (e : entry) (fresh : entry) =
+  let physmem = Uvm_sys.physmem sys in
+  let stats = Uvm_sys.stats sys in
+  let len = entry_npages e in
+  let copy =
+    match e.amap with
+    | Some am -> Uvm_amap.copy sys am ~slotoff:e.amapoff ~len
+    | None -> Uvm_amap.create sys ~nslots:len
+  in
+  let copy_into_fresh_anon src =
+    let anon = Uvm_anon.alloc sys ~zero:false in
+    let dst = Option.get anon.Uvm_anon.page in
+    Physmem.copy_data physmem ~src ~dst;
+    stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+    dst.Physmem.Page.dirty <- true;
+    Physmem.activate physmem dst;
+    anon
+  in
+  for slot = 0 to len - 1 do
+    match Uvm_amap.lookup copy ~slot with
+    | Some anon when anon.Uvm_anon.refs > 1 ->
+        let src =
+          match anon.Uvm_anon.page with
+          | Some p -> p
+          | None -> invalid_arg "uvm_fork: wired anon not resident"
+        in
+        Uvm_amap.replace sys copy ~slot (copy_into_fresh_anon src)
+    | Some _ -> ()
+    | None -> (
+        (* Empty slot: the wired translation maps an object page. *)
+        match Pmap.lookup parent.pmap ~vpn:(e.spage + slot) with
+        | Some pte -> Uvm_amap.add sys copy ~slot (copy_into_fresh_anon pte.Pmap.page)
+        | None -> invalid_arg "uvm_fork: wired page not mapped")
+  done;
+  fresh.amap <- Some copy;
+  fresh.amapoff <- 0;
+  fresh.needs_copy <- false
+
 let fork_copy sys parent child (e : entry) =
   let fresh = clone_entry child e in
   fresh.cow <- true;
@@ -42,6 +95,7 @@ let fork_copy sys parent child (e : entry) =
   | Some o -> o.Uvm_object.pgops.Uvm_object.pgo_reference ()
   | None -> ());
   (match e.amap with
+  | _ when e.wired > 0 -> fork_copy_wired sys parent e fresh
   | None ->
       (* Nothing anonymous yet: pure needs-copy deferral. *)
       fresh.needs_copy <- true

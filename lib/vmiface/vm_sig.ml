@@ -119,6 +119,16 @@ module type VM_SYS = sig
 
   (* -- introspection -------------------------------------------------- *)
 
+  val audit : sys -> unit
+  (** Walk the whole machine state and verify the cross-layer invariants
+      this VM system promises: exclusive page-queue membership with
+      matching counts, every allocated swap slot reachable from exactly
+      one anon/object, reference counts equal to the referencing
+      entries/slots, sorted non-overlapping map entries, and pmap
+      translations agreeing with resident pages.  Read-only: charges no
+      simulated time and perturbs nothing, so it can run mid-workload.
+      @raise Check.Audit_failure naming the violated invariant. *)
+
   val swap_slots_in_use : sys -> int
   val leaked_pages : sys -> int
   (** Pages of anonymous memory that are allocated but no longer reachable

@@ -45,4 +45,11 @@ else
   echo 'ci: trace export produced (python3 unavailable, shape-checked only)'
 fi
 
+# Torture smoke: one fixed-seed differential run with periodic invariant
+# audits on both VM systems.  On failure it leaves a crash artifact (op
+# trace, failure, event ring, stats) in artifacts/torture/ for the CI
+# workflow to upload.
+dune exec bin/uvm_sim.exe -- torture --seed 42 --ops 2000 --audit-every 50 \
+  --shrink --artifact-dir artifacts/torture
+
 echo 'ci: build clean, all tests passed'
