@@ -223,7 +223,13 @@ let reproduce_paper () =
   let ab_cluster = ablation_pageout_cluster () in
   let ab_ahead = ablation_fault_ahead () in
   let ab_rate = ablation_fault_rate () in
+  (* The ledger-derived efficacy report (DESIGN.md §10): printed like the
+     other artifacts and embedded whole in BENCH_results.json so the
+     bench trajectory tracks policy efficacy, not just timings. *)
+  let eff = Experiments.Effreport.run () in
+  Experiments.Effreport.print_result eff;
   [
+    ("efficacy_report", fun buf -> Sim.Trace_export.report_json buf eff);
     ("table1", count_rows t1);
     ("table2", count_rows t2);
     ( "table3",

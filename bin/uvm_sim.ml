@@ -109,16 +109,26 @@ let stats_out =
              $(docv)." in
   Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
 
+let report_out =
+  let doc = "Write the comparative efficacy report \
+             (schema uvm-sim-report/1: fault-ahead hit/waste per madvise \
+             mode, pageout cluster distributions, residency percentiles, \
+             map-entry census) of every system the experiment booted to \
+             $(docv)." in
+  Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
+
 let with_file name f =
   let oc = open_out name in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let run_with_observability trace_out trace_buf stats stats_out f =
+let run_with_observability trace_out trace_buf stats stats_out report_out f =
   if trace_buf < 1 then begin
     Printf.eprintf "uvm_sim: --trace-buf must be >= 1 (got %d)\n" trace_buf;
     exit 2
   end;
-  let observing = trace_out <> None || stats_out <> None || stats in
+  let observing =
+    trace_out <> None || stats_out <> None || report_out <> None || stats
+  in
   if observing then Vmiface.Machine.set_default_trace (Some trace_buf);
   f ();
   if observing then begin
@@ -139,16 +149,22 @@ let run_with_observability trace_out trace_buf stats stats_out f =
         Sim.Trace_export.snapshot_json buf sources;
         with_file file (fun oc -> Buffer.output_buffer oc buf)
     | None -> ());
+    (match report_out with
+    | Some file ->
+        let buf = Buffer.create 8192 in
+        Sim.Trace_export.report_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf)
+    | None -> ());
     Vmiface.Machine.reset_traced ()
   end
 
 let with_faults f =
   Term.(
-    const (fun rr wr perm bad seed tout tbuf st stout () ->
+    const (fun rr wr perm bad seed tout tbuf st stout rout () ->
         install_faults rr wr perm bad seed;
-        run_with_observability tout tbuf st stout f)
+        run_with_observability tout tbuf st stout rout f)
     $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
-    $ trace_out $ trace_buf $ stats_flag $ stats_out $ const ())
+    $ trace_out $ trace_buf $ stats_flag $ stats_out $ report_out $ const ())
 
 (* -- torture ----------------------------------------------------------- *)
 
@@ -264,6 +280,42 @@ let torture_cmd =
       const run_torture $ seed $ ops $ audit_every $ faults $ shrink
       $ artifact_dir $ corrupt $ corrupt_at $ ram_pages $ swap_pages)
 
+(* -- report ------------------------------------------------------------ *)
+
+let run_report quick out =
+  let sources = Experiments.Effreport.run ~quick () in
+  Sim.Trace_export.print_report sources;
+  match out with
+  | Some file ->
+      let buf = Buffer.create 8192 in
+      Sim.Trace_export.report_json buf sources;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "report written to %s\n" file
+  | None -> ()
+
+let report_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Quarter-size workload (CI smoke test).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-report/1 JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Comparative efficacy report: the page-lifecycle ledger's \
+             derived analytics (fault-ahead hit/waste per madvise mode, \
+             pageout cluster size/contiguity, swap reassignment distances, \
+             residency and inter-fault histograms, map-entry census) for \
+             UVM and BSD VM over one mixed paging workload")
+    Term.(
+      const (fun rr wr perm bad seed quick out ->
+          install_faults rr wr perm bad seed;
+          run_report quick out)
+      $ read_error_rate $ write_error_rate $ permanent $ bad_slots
+      $ fault_seed $ quick $ out)
+
 (* -- commands --------------------------------------------------------- *)
 
 let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
@@ -281,4 +333,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          (all_cmd :: torture_cmd :: List.map cmd_of experiments)))
+          (all_cmd :: torture_cmd :: report_cmd :: List.map cmd_of experiments)))

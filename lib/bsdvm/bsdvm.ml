@@ -71,6 +71,8 @@ module Sys = struct
   let clone_entry bsys map (e : Vm_map.entry) =
     (Bsd_sys.stats bsys).Sim.Stats.map_entries_allocated <-
       (Bsd_sys.stats bsys).Sim.Stats.map_entries_allocated + 1;
+    Sim.Lifecycle.note_entry_alloc
+      (Physmem.lifecycle (Bsd_sys.physmem bsys));
     Bsd_sys.charge_struct_alloc bsys;
     ignore map;
     {
@@ -561,6 +563,7 @@ module Sys = struct
 
   let audit sys =
     let physmem = Bsd_sys.physmem sys.bsys in
+    Check.check_ledger ~system:name physmem;
     Check.check_physmem ~system:name physmem;
     Check.check_pv ~system:name (Bsd_sys.pmap_ctx sys.bsys) physmem;
     let objs = audit_census sys in

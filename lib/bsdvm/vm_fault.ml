@@ -99,6 +99,8 @@ let fault map ~vpn ~access ~wire =
                       ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
                   in
                   Physmem.copy_data physmem ~src:page ~dst:fresh;
+                  Physmem.note_fault_in physmem fresh
+                    ~fill:Sim.Lifecycle.Fill_cow;
                   stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
                   (* The copy-up changes what any map entry whose chain
                      starts at [first_obj] resolves for this offset.  Other
@@ -133,6 +135,8 @@ let fault map ~vpn ~access ~wire =
                   Physmem.alloc physmem ~zero:true
                     ~owner:(Vm_object.Obj_page first_obj) ~offset:off ()
                 in
+                Physmem.note_fault_in physmem fresh
+                  ~fill:Sim.Lifecycle.Fill_zero;
                 Vm_object.insert_page first_obj ~pgno:off fresh;
                 if write then fresh.Physmem.Page.dirty <- true;
                 Physmem.activate physmem fresh;
@@ -144,7 +148,13 @@ let fault map ~vpn ~access ~wire =
         match resolution with
         | Error e -> finish (Error e)
         | Ok page ->
-            if wire then Physmem.wire physmem page;
+            Physmem.note_demand_fault physmem page;
+            if wire then begin
+              Sim.Lifecycle.note_fill
+                (Physmem.lifecycle physmem)
+                Sim.Lifecycle.Fill_wire;
+              Physmem.wire physmem page
+            end;
             page.Physmem.Page.referenced <- true;
             finish (Ok ())
       end

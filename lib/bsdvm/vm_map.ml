@@ -54,6 +54,7 @@ let create sys ~cache ~pmap ~lo ~hi ~kernel =
 let stats t = Bsd_sys.stats t.sys
 let costs t = Bsd_sys.costs t.sys
 let charge t us = Bsd_sys.charge t.sys us
+let lifecycle t = Physmem.lifecycle (Bsd_sys.physmem t.sys)
 
 let lock t =
   assert (t.locked_since = None);
@@ -99,6 +100,7 @@ let alloc_entry t ~spage ~epage ~obj ~objoff ~prot ~maxprot ~inh ~advice
     ~wired ~cow ~needs_copy =
   (stats t).Sim.Stats.map_entries_allocated <-
     (stats t).Sim.Stats.map_entries_allocated + 1;
+  Sim.Lifecycle.note_entry_alloc (lifecycle t);
   charge t (costs t).Sim.Cost_model.struct_alloc;
   {
     spage;
@@ -118,7 +120,8 @@ let alloc_entry t ~spage ~epage ~obj ~objoff ~prot ~maxprot ~inh ~advice
 
 let free_entry t (_e : entry) =
   (stats t).Sim.Stats.map_entries_freed <-
-    (stats t).Sim.Stats.map_entries_freed + 1
+    (stats t).Sim.Stats.map_entries_freed + 1;
+  Sim.Lifecycle.note_entry_free (lifecycle t)
 
 let link_after t prev e =
   (match prev with

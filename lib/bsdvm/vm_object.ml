@@ -193,6 +193,8 @@ let rec find_in_chain sys obj ~off ~depth =
           trace_pagein ~t0 ~pager:"swap" (Result.is_ok r);
           match r with
           | Ok () ->
+              Physmem.note_fault_in (Bsd_sys.physmem sys) page
+                ~fill:Sim.Lifecycle.Fill_pagein;
               insert_page obj ~pgno:off page;
               Physmem.activate (Bsd_sys.physmem sys) page;
               Ok (Some (obj, off, page, depth))
@@ -215,6 +217,8 @@ let rec find_in_chain sys obj ~off ~depth =
               trace_pagein ~t0 ~pager:"vnode" (Result.is_ok r);
               match r with
               | Ok () ->
+                  Physmem.note_fault_in (Bsd_sys.physmem sys) page
+                    ~fill:Sim.Lifecycle.Fill_file;
                   insert_page obj ~pgno:off page;
                   Physmem.activate (Bsd_sys.physmem sys) page;
                   Ok (Some (obj, off, page, depth))

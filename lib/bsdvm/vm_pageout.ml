@@ -18,6 +18,9 @@ let reclaim sys (page : Physmem.Page.t) =
    writes (after the shared retry/blacklist-reassign policy) leave the
    page dirty in core — the daemon degrades to reclaiming clean pages. *)
 let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
+  (* Every BSD pageout is a singleton cluster — the ledger records the
+     size-1 distribution Figure 5 contrasts with UVM's. *)
+  Physmem.note_cluster (Bsd_sys.physmem sys) ~pages:[ page ] ~runs:1;
   let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
   let trace_pageout cleaned =
     if Bsd_sys.tracing sys then begin
@@ -65,7 +68,9 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
           let assign fresh =
             (match Hashtbl.find_opt obj.Vm_object.swslots pgno with
             | Some old when old <> fresh ->
-                Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
+                Swap.Swapdev.free_slots swapdev ~slot:old ~n:1;
+                Physmem.note_reassign (Bsd_sys.physmem sys) page
+                  ~dist:(abs (fresh - old))
             | Some _ | None -> ());
             Hashtbl.replace obj.Vm_object.swslots pgno fresh
           in

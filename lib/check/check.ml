@@ -1,4 +1,4 @@
-type subsystem = Physmem | Swap | Map | Amap | Anon | Object | Pmap | Loan
+type subsystem = Physmem | Swap | Map | Amap | Anon | Object | Pmap | Loan | Ledger
 
 let subsystem_name = function
   | Physmem -> "physmem"
@@ -9,6 +9,7 @@ let subsystem_name = function
   | Object -> "object"
   | Pmap -> "pmap"
   | Loan -> "loan"
+  | Ledger -> "ledger"
 
 type failure = {
   system : string;
@@ -38,6 +39,49 @@ let queue_name = function
   | Physmem.Page.Q_free -> "free"
   | Physmem.Page.Q_active -> "active"
   | Physmem.Page.Q_inactive -> "inactive"
+
+(* -- provenance ledger --------------------------------------------------- *)
+
+let check_ledger ~system pm =
+  let fail invariant detail = fail ~system ~subsys:Ledger ~invariant detail in
+  (* Any illegal transition physmem recorded is already a verdict. *)
+  (match Physmem.ledger_violations pm with
+  | [] -> ()
+  | v :: _ ->
+      fail "illegal_transition" (Physmem.string_of_violation v));
+  (* The ledger state must agree with where the frame is physically
+     reachable from.  This runs BEFORE the queue walks of
+     [check_physmem]: a frame reachable from a ring its ledger never
+     moved it to (the double-insert corruption) is first and foremost a
+     lifecycle violation. *)
+  let expect ring_name want pages =
+    List.iter
+      (fun (p : Physmem.Page.t) ->
+        if p.Physmem.Page.lstate <> want then
+          fail "queue_state"
+            (Printf.sprintf
+               "page %d reachable from %s ring but ledger says %s (step %d)"
+               p.Physmem.Page.id ring_name
+               (Physmem.Page.lstate_name p.Physmem.Page.lstate)
+               p.Physmem.Page.l_steps))
+      pages
+  in
+  expect "free" Physmem.Page.L_free (Physmem.free_pages pm);
+  expect "active" Physmem.Page.L_active (Physmem.active_pages pm);
+  expect "inactive" Physmem.Page.L_inactive (Physmem.inactive_pages pm);
+  (* Off-queue frames must be in an off-queue ledger state. *)
+  Physmem.iter_pages
+    (fun (p : Physmem.Page.t) ->
+      if p.Physmem.Page.queue = Physmem.Page.Q_none then
+        match p.Physmem.Page.lstate with
+        | Physmem.Page.L_detached | Physmem.Page.L_wired
+        | Physmem.Page.L_limbo ->
+            ()
+        | s ->
+            fail "queue_state"
+              (Printf.sprintf "page %d is off-queue but ledger says %s"
+                 p.Physmem.Page.id (Physmem.Page.lstate_name s)))
+    pm
 
 let check_physmem ~system pm =
   let fail invariant detail = fail ~system ~subsys:Physmem ~invariant detail in

@@ -22,6 +22,7 @@ type subsystem =
   | Object  (** memory objects (UVM objects / BSD object chains) *)
   | Pmap  (** translations vs. resident pages *)
   | Loan  (** page loanout accounting *)
+  | Ledger  (** per-page lifecycle provenance (DESIGN.md §10) *)
 
 val subsystem_name : subsystem -> string
 
@@ -38,6 +39,13 @@ val string_of_failure : failure -> string
 
 val fail : system:string -> subsys:subsystem -> invariant:string -> string -> 'a
 (** Raise {!Audit_failure}. *)
+
+val check_ledger : system:string -> Physmem.t -> unit
+(** Provenance-ledger audit, run before {!check_physmem} so lifecycle
+    corruption is attributed to the ledger class: fails on any recorded
+    illegal transition, on a frame reachable from a paging queue whose
+    ledger state disagrees with that queue (the double-insert bug), and
+    on an off-queue frame whose ledger state is a queued one. *)
 
 val check_physmem : system:string -> Physmem.t -> unit
 (** Whole-RAM audit: every frame is on exactly the queue its [queue] field

@@ -1,8 +1,9 @@
 (** Seeded torture harness with a differential oracle.
 
     Generates a random but reproducible sequence of VM operations
-    (mmap/munmap/mprotect/minherit/madvise/fault/fork/exit/wire/pageout
-    pressure) and runs the *same* sequence against UVM and the BSD VM
+    (mmap/munmap/mprotect/minherit/madvise/msync/fault/fork/exit/wire/
+    pageout pressure) and runs the *same* sequence against UVM and the
+    BSD VM
     baseline on identically configured machines, auditing both kernels'
     invariants ({!Vmiface.Vm_sig.VM_SYS.audit}) every K operations and
     comparing the observable outcome of every operation.
@@ -69,6 +70,7 @@ type op =
   | Write of { p : int; r : int; page : int; byte : int }
   | Mlock of { p : int; r : int; off : int; len : int }
   | Munlock of { p : int; r : int; off : int; len : int }
+  | Msync of { p : int; r : int; off : int; len : int }
   | Pressure of { npages : int }
 
 (* Prot choices deliberately all include read: wiring faults pages in
@@ -91,6 +93,7 @@ let op_name = function
   | Write _ -> "write"
   | Mlock _ -> "mlock"
   | Munlock _ -> "munlock"
+  | Msync _ -> "msync"
   | Pressure _ -> "pressure"
 
 let op_fields = function
@@ -107,7 +110,7 @@ let op_fields = function
         ("fileoff", fileoff);
       ]
   | Munmap { p; r; off; len } | Mlock { p; r; off; len }
-  | Munlock { p; r; off; len } ->
+  | Munlock { p; r; off; len } | Msync { p; r; off; len } ->
       [ ("p", p); ("r", r); ("off", off); ("len", len) ]
   | Mprotect { p; r; off; len; prot_ix } ->
       [ ("p", p); ("r", r); ("off", off); ("len", len); ("prot", prot_ix) ]
@@ -206,6 +209,7 @@ type action =
   | A_write of { p : int; vpn : int; byte : int }
   | A_mlock of { p : int; vpn : int; npages : int }
   | A_munlock of { p : int; vpn : int; npages : int }
+  | A_msync of { p : int; vpn : int; npages : int }
   | A_pressure of { npages : int }
 
 (* Validate [op] against the model and compute absolute addresses.  Pure:
@@ -358,6 +362,15 @@ let resolve m op : action option =
       | Some rg when List.mem (off, len) rg.wired ->
           Some (A_munlock { p; vpn = rg.vpn + off; npages = len })
       | _ -> None)
+  | Msync { p; r; off; len } -> (
+      (* msync neither unmaps nor rewires, so wired overlap is fine; both
+         kernels swallow write errors (failed pages just stay dirty), so
+         the outcome is always Done and the oracle stays sound even under
+         fault injection. *)
+      match region_at m p r with
+      | Some rg when off >= 0 && len >= 1 && off + len <= rg.npages ->
+          Some (A_msync { p; vpn = rg.vpn + off; npages = len })
+      | _ -> None)
   | Pressure { npages } ->
       if npages >= 1 && npages <= 64 then Some (A_pressure { npages })
       else None
@@ -436,7 +449,8 @@ let apply m op a =
           rg.wired <- remove_first (off, len) rg.wired;
           m.total_wired <- m.total_wired - len
       | None -> assert false)
-  | _ -> () (* mprotect/madvise/read/write/pressure leave the model alone *)
+  | _ -> ()
+  (* mprotect/madvise/read/write/msync/pressure leave the model alone *)
 
 (* -- outcomes ----------------------------------------------------------- *)
 
@@ -553,6 +567,9 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
         Done
     | A_munlock { p; vpn; npages } ->
         V.munlock t.sys (proc t p) ~vpn ~npages;
+        Done
+    | A_msync { p; vpn; npages } ->
+        V.msync t.sys (proc t p) ~vpn ~npages;
         Done
     | A_pressure { npages } ->
         (* A throwaway address space dirties fresh anonymous pages and
@@ -783,6 +800,9 @@ let gen rng m ~faults : op =
         Some (Mlock { p; r; off; len })
     | None -> None
   in
+  let cand_msync () =
+    cand_range (fun p r off len -> Msync { p; r; off; len })
+  in
   let cand_munlock () =
     match pick_live_region () with
     | Some (p, r, rg) -> (
@@ -818,6 +838,7 @@ let gen rng m ~faults : op =
       (6, cand_mprotect);
       (3, cand_minherit);
       (3, cand_madvise);
+      (3, cand_msync);
       (6, cand_fork);
       (2, cand_exit);
       (2, cand_spawn);

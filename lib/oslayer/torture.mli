@@ -37,6 +37,7 @@ type op =
   | Write of { p : int; r : int; page : int; byte : int }
   | Mlock of { p : int; r : int; off : int; len : int }
   | Munlock of { p : int; r : int; off : int; len : int }
+  | Msync of { p : int; r : int; off : int; len : int }
   | Pressure of { npages : int }
 
 val op_to_string : op -> string

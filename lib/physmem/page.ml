@@ -3,6 +3,8 @@ type tag += No_owner
 
 type queue = Q_none | Q_free | Q_active | Q_inactive
 
+type lstate = L_free | L_detached | L_active | L_inactive | L_wired | L_limbo
+
 type t = {
   id : int;
   data : bytes;
@@ -15,6 +17,16 @@ type t = {
   mutable queue : queue;
   mutable node : t Sim.Dlist.node option;
   mutable referenced : bool;
+  (* Provenance ledger (DESIGN.md §10).  Mutated only through Physmem's
+     transition function so that every move is checked for legality. *)
+  mutable lstate : lstate;
+  mutable l_birth : float;  (* sim time of the current allocation *)
+  mutable l_fill : Sim.Lifecycle.fill option;  (* how contents arrived *)
+  mutable l_last_fault : float;  (* last fault-in resolving to this frame *)
+  mutable l_fa : int;  (* pending fault-ahead premap: madv index, -1 none *)
+  mutable l_steps : int;  (* lifecycle transitions since alloc *)
+  mutable l_clusters : int;  (* pageout-cluster memberships *)
+  mutable l_reassigns : int;  (* swap-slot reassignments *)
 }
 
 let is_free t = t.queue = Q_free
@@ -26,6 +38,14 @@ let queue_name = function
   | Q_free -> "free"
   | Q_active -> "active"
   | Q_inactive -> "inactive"
+
+let lstate_name = function
+  | L_free -> "free"
+  | L_detached -> "detached"
+  | L_active -> "active"
+  | L_inactive -> "inactive"
+  | L_wired -> "wired"
+  | L_limbo -> "limbo"
 
 let pp ppf t =
   Format.fprintf ppf "page#%d{q=%s wire=%d loan=%d dirty=%b}" t.id

@@ -22,6 +22,13 @@ type queue =
   | Q_active
   | Q_inactive
 
+(** Ledger lifecycle state (DESIGN.md §10).  Mirrors [queue] for queued
+    pages and splits [Q_none] into why the page is off-queue: freshly
+    allocated or mid-I/O ([L_detached]), wired ([L_wired]), or
+    owner-dropped-while-loaned ([L_limbo]).  Only {!Physmem}'s audited
+    transition function may change it. *)
+type lstate = L_free | L_detached | L_active | L_inactive | L_wired | L_limbo
+
 type t = {
   id : int;  (** physical frame number *)
   data : bytes;  (** page contents, [page_size] bytes *)
@@ -34,10 +41,19 @@ type t = {
   mutable queue : queue;
   mutable node : t Sim.Dlist.node option;  (** paging-queue linkage *)
   mutable referenced : bool;  (** software-emulated reference bit *)
+  mutable lstate : lstate;  (** ledger state; audited against [queue] *)
+  mutable l_birth : float;  (** sim time of the current allocation *)
+  mutable l_fill : Sim.Lifecycle.fill option;  (** how contents arrived *)
+  mutable l_last_fault : float;  (** last fault-in resolving here, -1 none *)
+  mutable l_fa : int;  (** pending fault-ahead premap: madv index, -1 none *)
+  mutable l_steps : int;  (** lifecycle transitions since alloc *)
+  mutable l_clusters : int;  (** pageout-cluster memberships *)
+  mutable l_reassigns : int;  (** swap-slot reassignments *)
 }
 
 val is_free : t -> bool
 val is_wired : t -> bool
 val is_loaned : t -> bool
+val lstate_name : lstate -> string
 
 val pp : Format.formatter -> t -> unit

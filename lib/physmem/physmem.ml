@@ -2,12 +2,24 @@ module Page = Page
 
 exception Out_of_pages
 
+type violation = {
+  v_page : int;
+  v_from : Page.lstate;
+  v_to : Page.lstate;
+  v_op : string;
+}
+
+let string_of_violation v =
+  Printf.sprintf "page#%d %s->%s on %s" v.v_page
+    (Page.lstate_name v.v_from) (Page.lstate_name v.v_to) v.v_op
+
 type t = {
   page_size : int;
   total_pages : int;
   clock : Sim.Simclock.t;
   costs : Sim.Cost_model.t;
   stats : Sim.Stats.t;
+  lifecycle : Sim.Lifecycle.t;
   free : Page.t Sim.Dlist.t;
   active : Page.t Sim.Dlist.t;
   inactive : Page.t Sim.Dlist.t;
@@ -17,9 +29,59 @@ type t = {
   freetarg : int;
   mutable pagedaemon : (unit -> unit) option;
   mutable daemon_running : bool;
+  mutable violations : violation list;  (** first few illegal transitions *)
+  mutable last_fill : float;  (** time of the last fault-in, -1 if none *)
 }
 
-let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
+(* ---- Provenance ledger: the legal-transition state machine ---------- *)
+
+(* Which lifecycle moves a healthy kernel can make.  The teeth are the
+   [L_free] row (any use of a free frame except allocation is a bug), the
+   wired row (a wired frame may not be freed or deactivated) and the limbo
+   row (an owner-dropped loaned frame can only drain to the free list). *)
+let legal ~from ~to_ =
+  match (from, to_) with
+  | Page.L_free, Page.L_detached -> true
+  | Page.L_free, _ -> false
+  | Page.L_wired, (Page.L_free | Page.L_inactive) -> false
+  | Page.L_wired, _ -> true
+  | Page.L_limbo, (Page.L_free | Page.L_limbo | Page.L_wired) -> true
+  | Page.L_limbo, _ -> false
+  | (Page.L_detached | Page.L_active | Page.L_inactive), _ -> true
+
+let lstep t (page : Page.t) ~op to_ =
+  let from = page.Page.lstate in
+  if not (legal ~from ~to_) then begin
+    Sim.Lifecycle.note_illegal t.lifecycle;
+    if List.length t.violations < 8 then
+      t.violations <-
+        t.violations
+        @ [ { v_page = page.Page.id; v_from = from; v_to = to_; v_op = op } ]
+  end;
+  page.Page.lstate <- to_;
+  page.Page.l_steps <- page.Page.l_steps + 1
+
+(* Resolve a pending fault-ahead premap.  [used]: the mapping was touched
+   before eviction, i.e. a fault was avoided; otherwise the neighbour was
+   unmapped, evicted, freed or demand-faulted first and the premap was in
+   vain.  Takes stats/lifecycle rather than [t] so Pmap (which sees pages
+   but not the physmem handle) can resolve soft touches too. *)
+let fa_resolve ~stats ~lifecycle (page : Page.t) ~used =
+  if page.Page.l_fa >= 0 then begin
+    let m = Sim.Lifecycle.madv_of_index page.Page.l_fa in
+    page.Page.l_fa <- -1;
+    if used then begin
+      stats.Sim.Stats.fault_ahead_used <- stats.Sim.Stats.fault_ahead_used + 1;
+      Sim.Lifecycle.note_fa_used lifecycle m
+    end
+    else begin
+      stats.Sim.Stats.fault_ahead_wasted <-
+        stats.Sim.Stats.fault_ahead_wasted + 1;
+      Sim.Lifecycle.note_fa_wasted lifecycle m
+    end
+  end
+
+let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
   if npages < 16 then invalid_arg "Physmem.create: need at least 16 pages";
   let pages =
     Array.init npages (fun i ->
@@ -35,7 +97,18 @@ let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
           queue = Page.Q_free;
           node = None;
           referenced = false;
+          lstate = Page.L_free;
+          l_birth = 0.0;
+          l_fill = None;
+          l_last_fault = -1.0;
+          l_fa = -1;
+          l_steps = 0;
+          l_clusters = 0;
+          l_reassigns = 0;
         })
+  in
+  let lifecycle =
+    match lifecycle with Some l -> l | None -> Sim.Lifecycle.create ()
   in
   let t =
     {
@@ -44,6 +117,7 @@ let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
       clock;
       costs;
       stats;
+      lifecycle;
       free = Sim.Dlist.create ();
       active = Sim.Dlist.create ();
       inactive = Sim.Dlist.create ();
@@ -53,6 +127,8 @@ let create ?(page_size = 4096) ~npages ~clock ~costs ~stats () =
       freetarg = max 16 (npages / 16);
       pagedaemon = None;
       daemon_running = false;
+      violations = [];
+      last_fill = -1.0;
     }
   in
   Array.iter
@@ -130,12 +206,27 @@ let alloc t ?(zero = false) ~owner ~offset () =
   page.Page.referenced <- false;
   assert (page.Page.wire_count = 0);
   assert (page.Page.loan_count = 0);
+  page.Page.l_steps <- 0;
+  lstep t page ~op:"alloc" Page.L_detached;
+  page.Page.l_birth <- Sim.Simclock.now t.clock;
+  page.Page.l_fill <- None;
+  page.Page.l_last_fault <- -1.0;
+  page.Page.l_fa <- -1;
+  page.Page.l_clusters <- 0;
+  page.Page.l_reassigns <- 0;
   if zero then begin
     Bytes.fill page.Page.data 0 t.page_size '\000';
     Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.page_zero;
     t.stats.Sim.Stats.pages_zeroed <- t.stats.Sim.Stats.pages_zeroed + 1
   end;
   page
+
+(* Shared bookkeeping for a frame leaving service: resolve any dangling
+   fault-ahead premap as wasted and log the frame's residency time. *)
+let retire t (page : Page.t) =
+  fa_resolve ~stats:t.stats ~lifecycle:t.lifecycle page ~used:false;
+  Sim.Lifecycle.note_residency t.lifecycle
+    (Sim.Simclock.now t.clock -. page.Page.l_birth)
 
 let free_page t (page : Page.t) =
   if page.queue = Page.Q_free then
@@ -146,7 +237,8 @@ let free_page t (page : Page.t) =
        freed when the last loan is ended (uvm_loan handles that). *)
     page.owner <- Page.No_owner;
     page.owner_offset <- 0;
-    unlink t page
+    unlink t page;
+    lstep t page ~op:"free_loaned" Page.L_limbo
   end
   else if page.wire_count > 0 then
     invalid_arg "Physmem.free_page: page is wired"
@@ -156,19 +248,38 @@ let free_page t (page : Page.t) =
     page.dirty <- false;
     page.busy <- false;
     page.referenced <- false;
+    retire t page;
+    lstep t page ~op:"free" Page.L_free;
     enqueue t page Page.Q_free
   end
 
 let activate t (page : Page.t) =
-  if page.wire_count > 0 then unlink t page
-  else enqueue t page Page.Q_active
+  if page.wire_count > 0 then begin
+    lstep t page ~op:"activate_wired" Page.L_wired;
+    unlink t page
+  end
+  else begin
+    lstep t page ~op:"activate" Page.L_active;
+    enqueue t page Page.Q_active
+  end
 
 let deactivate t (page : Page.t) =
   page.referenced <- false;
-  if page.wire_count > 0 then unlink t page
-  else enqueue t page Page.Q_inactive
+  (* Cooling off without ever being soft-touched resolves a pending
+     fault-ahead premap as wasted. *)
+  fa_resolve ~stats:t.stats ~lifecycle:t.lifecycle page ~used:false;
+  if page.wire_count > 0 then begin
+    lstep t page ~op:"deactivate_wired" Page.L_wired;
+    unlink t page
+  end
+  else begin
+    lstep t page ~op:"deactivate" Page.L_inactive;
+    enqueue t page Page.Q_inactive
+  end
 
-let dequeue t page = unlink t page
+let dequeue t page =
+  lstep t page ~op:"dequeue" Page.L_detached;
+  unlink t page
 let inactive_pages t = Sim.Dlist.to_list t.inactive
 let active_pages t = Sim.Dlist.to_list t.active
 let free_pages t = Sim.Dlist.to_list t.free
@@ -176,12 +287,18 @@ let iter_pages f t = Array.iter f t.pages
 
 let wire t (page : Page.t) =
   page.wire_count <- page.wire_count + 1;
-  if page.wire_count = 1 then unlink t page
+  if page.wire_count = 1 then begin
+    lstep t page ~op:"wire" Page.L_wired;
+    unlink t page
+  end
 
 let unwire t (page : Page.t) =
   if page.wire_count <= 0 then invalid_arg "Physmem.unwire: page not wired";
   page.wire_count <- page.wire_count - 1;
-  if page.wire_count = 0 then enqueue t page Page.Q_active
+  if page.wire_count = 0 then begin
+    lstep t page ~op:"unwire" Page.L_active;
+    enqueue t page Page.Q_active
+  end
 
 let release_loan t (page : Page.t) =
   if page.loan_count <= 0 then
@@ -192,8 +309,54 @@ let release_loan t (page : Page.t) =
     page.dirty <- false;
     page.busy <- false;
     page.referenced <- false;
+    retire t page;
+    lstep t page ~op:"loan_free" Page.L_free;
     enqueue t page Page.Q_free
   end
+
+(* ---- Ledger notes from the VM layers -------------------------------- *)
+
+let lifecycle t = t.lifecycle
+let ledger_violations t = t.violations
+
+let note_fault_in t (page : Page.t) ~fill =
+  let now = Sim.Simclock.now t.clock in
+  if t.last_fill >= 0.0 then
+    Sim.Lifecycle.note_interfault t.lifecycle (now -. t.last_fill);
+  t.last_fill <- now;
+  page.Page.l_last_fault <- now;
+  page.Page.l_fill <- Some fill;
+  Sim.Lifecycle.note_fill t.lifecycle fill;
+  (* A demand fault resolving to a premapped frame means the premap did
+     not prevent the fault: in vain. *)
+  fa_resolve ~stats:t.stats ~lifecycle:t.lifecycle page ~used:false
+
+let note_fault_ahead_mapped t (page : Page.t) ~madv =
+  if page.Page.l_fa < 0 then begin
+    page.Page.l_fa <- Sim.Lifecycle.madv_index madv;
+    Sim.Lifecycle.note_fa_mapped t.lifecycle madv
+  end
+
+let note_soft_use ~stats ~lifecycle page =
+  fa_resolve ~stats ~lifecycle page ~used:true
+
+(* A demand fault landed on this frame: whatever premap it carried did not
+   prevent the fault. *)
+let note_demand_fault t page =
+  fa_resolve ~stats:t.stats ~lifecycle:t.lifecycle page ~used:false
+
+let note_unmapped ~stats ~lifecycle page =
+  fa_resolve ~stats ~lifecycle page ~used:false
+
+let note_cluster t ~pages ~runs =
+  Sim.Lifecycle.note_cluster t.lifecycle ~size:(List.length pages) ~runs;
+  List.iter
+    (fun (p : Page.t) -> p.Page.l_clusters <- p.Page.l_clusters + 1)
+    pages
+
+let note_reassign t (page : Page.t) ~dist =
+  page.Page.l_reassigns <- page.Page.l_reassigns + 1;
+  Sim.Lifecycle.note_reassign t.lifecycle ~dist
 
 let copy_data t ~(src : Page.t) ~(dst : Page.t) =
   Bytes.blit src.data 0 dst.data 0 t.page_size;

@@ -14,8 +14,20 @@ exception Out_of_pages
 
 type t
 
+type violation = {
+  v_page : int;
+  v_from : Page.lstate;
+  v_to : Page.lstate;
+  v_op : string;
+}
+(** An illegal ledger transition: the frame, the attempted move and the
+    physmem operation that tried it (DESIGN.md §10). *)
+
+val string_of_violation : violation -> string
+
 val create :
   ?page_size:int ->
+  ?lifecycle:Sim.Lifecycle.t ->
   npages:int ->
   clock:Sim.Simclock.t ->
   costs:Sim.Cost_model.t ->
@@ -23,7 +35,9 @@ val create :
   unit ->
   t
 (** [create ~npages ...] boots a machine with [npages] frames of physical
-    memory.  [page_size] defaults to 4096 bytes. *)
+    memory.  [page_size] defaults to 4096 bytes.  [lifecycle] is the
+    efficacy accumulator the provenance ledger feeds (a private one is
+    created when omitted). *)
 
 val page_size : t -> int
 val total_pages : t -> int
@@ -95,6 +109,51 @@ val zero_data : t -> Page.t -> unit
 
 val page_shortage : t -> bool
 (** True when the free list is below [freemin]. *)
+
+(** {1 Provenance ledger}
+
+    Every queue/wire/loan operation above already steps each frame's
+    lifecycle record through a legal-transition state machine; illegal
+    moves are recorded (and counted in {!Sim.Lifecycle}) for the
+    auditor.  The notes below let the VM layers stamp the events physmem
+    cannot see itself: fault-in kind, fault-ahead premaps and their
+    resolution, pageout-cluster membership and swap-slot reassignment. *)
+
+val lifecycle : t -> Sim.Lifecycle.t
+
+val ledger_violations : t -> violation list
+(** Illegal transitions seen so far (bounded; oldest first). *)
+
+val note_fault_in : t -> Page.t -> fill:Sim.Lifecycle.fill -> unit
+(** A fault resolved to this frame: records the fill kind and the
+    inter-fault interval, and resolves a pending fault-ahead premap as
+    wasted (the premap did not prevent this fault). *)
+
+val note_fault_ahead_mapped : t -> Page.t -> madv:Sim.Lifecycle.madv -> unit
+(** Fault-ahead premapped this resident frame under the given advice.
+    No-op if a premap is already pending (first premap wins). *)
+
+val note_demand_fault : t -> Page.t -> unit
+(** A demand fault resolved to this frame (whether or not it was a fresh
+    fill): any pending premap is resolved as wasted. *)
+
+val note_soft_use :
+  stats:Sim.Stats.t -> lifecycle:Sim.Lifecycle.t -> Page.t -> unit
+(** The frame was touched through an existing translation: a pending
+    fault-ahead premap is resolved as used (a fault was avoided).
+    Takes the sinks explicitly so pmap can call it without a [t]. *)
+
+val note_unmapped :
+  stats:Sim.Stats.t -> lifecycle:Sim.Lifecycle.t -> Page.t -> unit
+(** A translation to the frame was removed; a pending premap is wasted. *)
+
+val note_cluster : t -> pages:Page.t list -> runs:int -> unit
+(** The pages went out in one pageout cluster laid out in [runs]
+    contiguous swap-slot runs (1 = fully contiguous, the paper's §6
+    ideal; |pages| = one seek per page, the BSD baseline). *)
+
+val note_reassign : t -> Page.t -> dist:int -> unit
+(** The frame's swap slot moved [dist] slots away during clustering. *)
 
 (** Deliberate state corruption for exercising the invariant auditor.
     Never called by the VM layers. *)

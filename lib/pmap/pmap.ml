@@ -10,14 +10,18 @@ type ctx = {
   clock : Sim.Simclock.t;
   costs : Sim.Cost_model.t;
   stats : Sim.Stats.t;
+  lifecycle : Sim.Lifecycle.t;
   pv : (int, (t * int) list ref) Hashtbl.t;
   mutable next_id : int;
 }
 
 and t = { ctx : ctx; id : int; ptes : (int, pte) Hashtbl.t }
 
-let create_ctx ~clock ~costs ~stats =
-  { clock; costs; stats; pv = Hashtbl.create 1024; next_id = 0 }
+let create_ctx ?lifecycle ~clock ~costs ~stats () =
+  let lifecycle =
+    match lifecycle with Some l -> l | None -> Sim.Lifecycle.create ()
+  in
+  { clock; costs; stats; lifecycle; pv = Hashtbl.create 1024; next_id = 0 }
 
 let create ctx =
   let id = ctx.next_id in
@@ -50,6 +54,10 @@ let remove_one t ~vpn =
   match Hashtbl.find_opt t.ptes vpn with
   | None -> ()
   | Some pte ->
+      (* Dropping a translation to a frame whose fault-ahead premap was
+         never touched resolves the premap as wasted. *)
+      Physmem.note_unmapped ~stats:t.ctx.stats ~lifecycle:t.ctx.lifecycle
+        pte.page;
       pv_remove t.ctx pte.page t vpn;
       Hashtbl.remove t.ptes vpn;
       charge t t.ctx.costs.Sim.Cost_model.pmap_remove;
@@ -147,5 +155,9 @@ let mark_access t ~vpn ~write =
   match Hashtbl.find_opt t.ptes vpn with
   | None -> ()
   | Some pte ->
+      (* A touch through an existing translation: if the frame was
+         premapped by fault-ahead this is precisely a fault avoided. *)
+      Physmem.note_soft_use ~stats:t.ctx.stats ~lifecycle:t.ctx.lifecycle
+        pte.page;
       pte.page.Physmem.Page.referenced <- true;
       if write then pte.page.Physmem.Page.dirty <- true

@@ -26,7 +26,15 @@ type pte = {
 }
 
 val create_ctx :
-  clock:Sim.Simclock.t -> costs:Sim.Cost_model.t -> stats:Sim.Stats.t -> ctx
+  ?lifecycle:Sim.Lifecycle.t ->
+  clock:Sim.Simclock.t ->
+  costs:Sim.Cost_model.t ->
+  stats:Sim.Stats.t ->
+  unit ->
+  ctx
+(** [lifecycle] is the ledger-analytics sink shared with {!Physmem}
+    (fault-ahead premaps resolve on {!mark_access}/{!remove_one}); a
+    private one is created when omitted. *)
 
 val create : ctx -> t
 (** A fresh, empty address-space pmap. *)

@@ -1,0 +1,65 @@
+(** Efficacy analytics derived from the page-provenance ledger.
+
+    [lib/physmem] stamps every physical frame with a compact lifecycle
+    record (see DESIGN.md §10); the hooks below fold those events into the
+    distributions the paper's quantitative claims are about: fault-ahead
+    hit/waste rates split by [madvise] mode (§7), pageout cluster
+    size/contiguity and swap-slot reassignment distances (§6), frame
+    residency-time and inter-fault histograms, and a live map-entry
+    census over time (§5).  One [t] per simulated machine, merged per
+    label for reporting by {!Trace_export}. *)
+
+type madv = Madv_normal | Madv_random | Madv_sequential
+(** Mirror of [Vmiface.Vmtypes.advice]; duplicated here because [sim]
+    sits below the VM interface layer. *)
+
+val nmadv : int
+val madv_index : madv -> int
+val madv_of_index : int -> madv
+val madv_name : madv -> string
+
+(** How a frame's current contents arrived (the ledger's fault-in kind). *)
+type fill = Fill_zero | Fill_file | Fill_pagein | Fill_cow | Fill_wire
+
+val nfill : int
+val fill_index : fill -> int
+val fill_of_index : int -> fill
+val fill_name : fill -> string
+
+type t
+
+val create : unit -> t
+
+val note_fa_mapped : t -> madv -> unit
+(** A resident neighbour was premapped by fault-ahead under this advice. *)
+
+val note_fa_used : t -> madv -> unit
+(** A premapped neighbour was touched through the mapping (fault avoided). *)
+
+val note_fa_wasted : t -> madv -> unit
+(** A premapped neighbour was unmapped, evicted, freed or demand-faulted
+    without ever being soft-touched: the mapping was in vain. *)
+
+val note_fill : t -> fill -> unit
+val note_cluster : t -> size:int -> runs:int -> unit
+val note_reassign : t -> dist:int -> unit
+val note_residency : t -> float -> unit
+val note_interfault : t -> float -> unit
+val note_entry_alloc : t -> unit
+val note_entry_free : t -> unit
+val note_illegal : t -> unit
+
+val fa_mapped : t -> madv -> int
+val fa_used : t -> madv -> int
+val fa_wasted : t -> madv -> int
+val fill_count : t -> fill -> int
+val frag_live : t -> int
+val frag_peak : t -> int
+val illegal_transitions : t -> int
+
+val hist_rows : t -> (string * Histogram.t) list
+(** The distribution series, in a fixed order (also the JSON order). *)
+
+val merge : into:t -> t -> unit
+(** Accumulate a second machine's ledger analytics (per-label
+    aggregation, like [Trace_export.aggregate]). *)

@@ -1,6 +1,8 @@
 type t = {
   mutable faults : int;
   mutable fault_ahead_mapped : int;
+  mutable fault_ahead_used : int;
+  mutable fault_ahead_wasted : int;
   mutable pageins : int;
   mutable pageouts : int;
   mutable disk_read_ops : int;
@@ -49,6 +51,8 @@ let create () =
   {
     faults = 0;
     fault_ahead_mapped = 0;
+    fault_ahead_used = 0;
+    fault_ahead_wasted = 0;
     pageins = 0;
     pageouts = 0;
     disk_read_ops = 0;
@@ -96,6 +100,8 @@ let create () =
 let reset t =
   t.faults <- 0;
   t.fault_ahead_mapped <- 0;
+  t.fault_ahead_used <- 0;
+  t.fault_ahead_wasted <- 0;
   t.pageins <- 0;
   t.pageouts <- 0;
   t.disk_read_ops <- 0;
@@ -145,6 +151,8 @@ let diff ~after ~before =
   {
     faults = after.faults - before.faults;
     fault_ahead_mapped = after.fault_ahead_mapped - before.fault_ahead_mapped;
+    fault_ahead_used = after.fault_ahead_used - before.fault_ahead_used;
+    fault_ahead_wasted = after.fault_ahead_wasted - before.fault_ahead_wasted;
     pageins = after.pageins - before.pageins;
     pageouts = after.pageouts - before.pageouts;
     disk_read_ops = after.disk_read_ops - before.disk_read_ops;
@@ -197,6 +205,8 @@ let to_rows t =
   [
     ("faults", float_of_int t.faults);
     ("fault_ahead_mapped", float_of_int t.fault_ahead_mapped);
+    ("fault_ahead_used", float_of_int t.fault_ahead_used);
+    ("fault_ahead_wasted", float_of_int t.fault_ahead_wasted);
     ("pageins", float_of_int t.pageins);
     ("pageouts", float_of_int t.pageouts);
     ("disk_read_ops", float_of_int t.disk_read_ops);

@@ -8,6 +8,8 @@
 type t = {
   mutable faults : int;  (** page faults taken *)
   mutable fault_ahead_mapped : int;  (** resident neighbours mapped by fault-ahead *)
+  mutable fault_ahead_used : int;  (** fault-ahead pages touched before eviction *)
+  mutable fault_ahead_wasted : int;  (** fault-ahead pages evicted/refaulted untouched *)
   mutable pageins : int;  (** pages read from backing store *)
   mutable pageouts : int;  (** pages written to backing store *)
   mutable disk_read_ops : int;

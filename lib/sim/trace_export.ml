@@ -22,6 +22,7 @@ type source = {
   hist : Hist.t;
   stats : Stats.t;
   latencies : Histogram.set;
+  lifecycle : Lifecycle.t;
 }
 
 (* -- JSON primitives --------------------------------------------------- *)
@@ -123,6 +124,7 @@ type agg = {
   agg_label : string;
   counters : (string * float) list;  (* declaration order, summed *)
   hists : (string * Histogram.t) list;  (* merged, sorted by name *)
+  agg_life : Lifecycle.t;  (* merged ledger analytics *)
   agg_recorded : int;
   agg_dropped : int;
 }
@@ -157,10 +159,13 @@ let aggregate sources =
             (fun (name, h) -> Histogram.merge ~into:(Histogram.get hset name) h)
             (Histogram.rows s.latencies))
         group;
+      let life = Lifecycle.create () in
+      List.iter (fun s -> Lifecycle.merge ~into:life s.lifecycle) group;
       {
         agg_label = label;
         counters;
         hists = Histogram.rows hset;
+        agg_life = life;
         agg_recorded =
           List.fold_left (fun n s -> n + Hist.recorded s.hist) 0 group;
         agg_dropped = List.fold_left (fun n s -> n + Hist.dropped s.hist) 0 group;
@@ -168,6 +173,15 @@ let aggregate sources =
     labels
 
 (* -- stats/histogram snapshot ------------------------------------------ *)
+
+let json_hist buf h =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"count\":%d,\"sum\":%.3f,\"mean\":%.3f,\"min\":%.3f,\
+        \"max\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}"
+       (Histogram.count h) (Histogram.sum h) (Histogram.mean h)
+       (Histogram.min_value h) (Histogram.max_value h) (Histogram.p50 h)
+       (Histogram.p95 h) (Histogram.p99 h))
 
 let snapshot_json buf sources =
   Buffer.add_string buf "{\"schema\":\"uvm-sim-stats/1\",\"systems\":[";
@@ -194,13 +208,8 @@ let snapshot_json buf sources =
         (fun (name, h) ->
           json_sep buf first;
           json_string buf name;
-          Buffer.add_string buf
-            (Printf.sprintf
-               ":{\"count\":%d,\"sum\":%.3f,\"mean\":%.3f,\"min\":%.3f,\
-                \"max\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}"
-               (Histogram.count h) (Histogram.sum h) (Histogram.mean h)
-               (Histogram.min_value h) (Histogram.max_value h) (Histogram.p50 h)
-               (Histogram.p95 h) (Histogram.p99 h)))
+          Buffer.add_char buf ':';
+          json_hist buf h)
         a.hists;
       Buffer.add_string buf
         (Printf.sprintf "},\"trace\":{\"recorded\":%d,\"dropped\":%d}}"
@@ -252,3 +261,136 @@ let print_stats sources =
         Printf.printf "== %s: trace: %d events recorded, %d dropped ==\n"
           a.agg_label a.agg_recorded a.agg_dropped)
     (aggregate sources)
+
+(* -- efficacy report (ledger-derived) ----------------------------------- *)
+
+let all_madv =
+  [ Lifecycle.Madv_normal; Lifecycle.Madv_random; Lifecycle.Madv_sequential ]
+
+let all_fills =
+  [
+    Lifecycle.Fill_zero;
+    Lifecycle.Fill_file;
+    Lifecycle.Fill_pagein;
+    Lifecycle.Fill_cow;
+    Lifecycle.Fill_wire;
+  ]
+
+let hit_rate used wasted =
+  let resolved = used + wasted in
+  if resolved = 0 then 0.0
+  else 100.0 *. float_of_int used /. float_of_int resolved
+
+let report_json buf sources =
+  Buffer.add_string buf "{\"schema\":\"uvm-sim-report/1\",\"systems\":[";
+  let first_sys = ref true in
+  List.iter
+    (fun a ->
+      let life = a.agg_life in
+      json_sep buf first_sys;
+      Buffer.add_string buf "{\"label\":";
+      json_string buf a.agg_label;
+      Buffer.add_string buf ",\"fault_ahead\":{";
+      let first = ref true in
+      List.iter
+        (fun m ->
+          json_sep buf first;
+          json_string buf (Lifecycle.madv_name m);
+          let used = Lifecycle.fa_used life m
+          and wasted = Lifecycle.fa_wasted life m in
+          Buffer.add_string buf
+            (Printf.sprintf
+               ":{\"mapped\":%d,\"used\":%d,\"wasted\":%d,\"hit_rate\":%.1f}"
+               (Lifecycle.fa_mapped life m) used wasted (hit_rate used wasted)))
+        all_madv;
+      Buffer.add_string buf "},\"fills\":{";
+      let first = ref true in
+      List.iter
+        (fun k ->
+          json_sep buf first;
+          json_string buf (Lifecycle.fill_name k);
+          Buffer.add_string buf
+            (Printf.sprintf ":%d" (Lifecycle.fill_count life k)))
+        all_fills;
+      Buffer.add_string buf "},\"distributions\":{";
+      let first = ref true in
+      List.iter
+        (fun (name, h) ->
+          json_sep buf first;
+          json_string buf name;
+          Buffer.add_char buf ':';
+          json_hist buf h)
+        (Lifecycle.hist_rows life);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "},\"fragmentation\":{\"live_entries\":%d,\"peak_entries\":%d}"
+           (Lifecycle.frag_live life) (Lifecycle.frag_peak life));
+      Buffer.add_string buf
+        (Printf.sprintf ",\"ledger\":{\"illegal_transitions\":%d}}"
+           (Lifecycle.illegal_transitions life)))
+    (aggregate sources);
+  Buffer.add_string buf "]}\n"
+
+(* Side-by-side human tables: one column per aggregated label. *)
+let print_report sources =
+  let aggs = aggregate sources in
+  if aggs <> [] then begin
+    let col v = Printf.sprintf "%14s" v in
+    let header title =
+      Printf.printf "\n== %s ==\n%-34s" title "";
+      List.iter (fun a -> print_string (col a.agg_label)) aggs;
+      print_newline ()
+    in
+    let row name value =
+      Printf.printf "%-34s" name;
+      List.iter (fun a -> print_string (col (value a.agg_life))) aggs;
+      print_newline ()
+    in
+    let int_row name value = row name (fun l -> string_of_int (value l)) in
+    header "fault-ahead efficacy (per madvise mode)";
+    List.iter
+      (fun m ->
+        let n = Lifecycle.madv_name m in
+        int_row
+          (Printf.sprintf "%s: neighbours premapped" n)
+          (fun l -> Lifecycle.fa_mapped l m);
+        int_row
+          (Printf.sprintf "%s: used (fault avoided)" n)
+          (fun l -> Lifecycle.fa_used l m);
+        int_row
+          (Printf.sprintf "%s: wasted (mapped in vain)" n)
+          (fun l -> Lifecycle.fa_wasted l m);
+        row
+          (Printf.sprintf "%s: hit rate" n)
+          (fun l ->
+            Printf.sprintf "%.1f%%"
+              (hit_rate (Lifecycle.fa_used l m) (Lifecycle.fa_wasted l m))))
+      all_madv;
+    header "fault-in kinds (ledger fills)";
+    List.iter
+      (fun k ->
+        int_row (Lifecycle.fill_name k) (fun l -> Lifecycle.fill_count l k))
+      all_fills;
+    let dist (name, title) =
+      let h l = List.assoc name (Lifecycle.hist_rows l) in
+      header title;
+      int_row "samples" (fun l -> Histogram.count (h l));
+      row "mean" (fun l -> Printf.sprintf "%.1f" (Histogram.mean (h l)));
+      List.iter
+        (fun (pname, p) ->
+          row pname (fun l ->
+              Printf.sprintf "%.1f" (Histogram.percentile (h l) p)))
+        [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0) ];
+      row "max" (fun l -> Printf.sprintf "%.1f" (Histogram.max_value (h l)))
+    in
+    dist ("cluster_size_pages", "pageout cluster size (pages/write)");
+    dist ("cluster_slot_runs", "pageout cluster contiguity (slot runs)");
+    dist ("reassign_distance_slots", "swap-slot reassignment distance");
+    dist ("residency_us", "frame residency time (us)");
+    dist ("interfault_us", "per-frame inter-fault interval (us)");
+    dist ("live_map_entries", "map-entry fragmentation census");
+    header "map entries / ledger";
+    int_row "live entries now" Lifecycle.frag_live;
+    int_row "peak live entries" Lifecycle.frag_peak;
+    int_row "illegal ledger transitions" Lifecycle.illegal_transitions
+  end

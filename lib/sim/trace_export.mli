@@ -15,6 +15,7 @@ type source = {
   hist : Hist.t;
   stats : Stats.t;
   latencies : Histogram.set;
+  lifecycle : Lifecycle.t;  (** ledger-derived efficacy analytics *)
 }
 
 val json_string : Buffer.t -> string -> unit
@@ -39,3 +40,15 @@ val pp_dump : Format.formatter -> source list -> unit
 val print_stats : source list -> unit
 (** The per-label counter/percentile tables behind the CLI's [--stats]
     flag, on stdout. *)
+
+val report_json : Buffer.t -> source list -> unit
+(** The comparative efficacy report (schema ["uvm-sim-report/1"]):
+    per aggregated label, fault-ahead hit/waste per madvise mode,
+    fault-in kind counts, pageout cluster size/contiguity and
+    reassignment-distance distributions, residency and inter-fault
+    histograms, the map-entry fragmentation census, and the count of
+    illegal ledger transitions. *)
+
+val print_report : source list -> unit
+(** Human rendering of {!report_json}: side-by-side tables with one
+    column per aggregated label ("UVM" vs "BSD VM"), on stdout. *)

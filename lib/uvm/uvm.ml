@@ -555,6 +555,7 @@ module Sys = struct
 
   let audit sys =
     let physmem = Uvm_sys.physmem sys.usys in
+    Check.check_ledger ~system:name physmem;
     Check.check_physmem ~system:name physmem;
     Check.check_pv ~system:name (Uvm_sys.pmap_ctx sys.usys) physmem;
     let amaps, objs = audit_census sys in

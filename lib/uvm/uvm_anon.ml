@@ -99,6 +99,8 @@ let ensure_resident sys t =
        end);
       match r with
       | Ok () ->
+          Physmem.note_fault_in (Uvm_sys.physmem sys) page
+            ~fill:Sim.Lifecycle.Fill_pagein;
           Physmem.activate (Uvm_sys.physmem sys) page;
           t.page <- Some page;
           Ok page

@@ -24,6 +24,7 @@ let make_ops sys st obj =
          Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj) ~offset:center
            ()
        in
+       let from_swap = Hashtbl.mem st.swslots center in
        let filled =
          match Hashtbl.find_opt st.swslots center with
          | Some slot ->
@@ -53,6 +54,10 @@ let make_ops sys st obj =
        in
        match filled with
        | Ok () ->
+           Physmem.note_fault_in physmem page
+             ~fill:
+               (if from_swap then Sim.Lifecycle.Fill_pagein
+                else Sim.Lifecycle.Fill_zero);
            Uvm_object.insert_page sys obj ~pgno:center page;
            Physmem.activate physmem page
        | Error _ ->
@@ -78,7 +83,8 @@ let make_ops sys st obj =
         let pgno = page.owner_offset in
         (match Hashtbl.find_opt st.swslots pgno with
         | Some old when old <> base + i ->
-            Swap.Swapdev.free_slots swapdev ~slot:old ~n:1
+            Swap.Swapdev.free_slots swapdev ~slot:old ~n:1;
+            Physmem.note_reassign physmem page ~dist:(abs (base + i - old))
         | Some _ | None -> ());
         Hashtbl.replace st.swslots pgno (base + i))
       pages
@@ -141,16 +147,19 @@ let make_ops sys st obj =
         let n = List.length pages in
         match Swap.Swapdev.alloc_slots swapdev ~n with
         | Some base ->
+            Physmem.note_cluster physmem ~pages ~runs:1;
             rebind_cluster pages base;
             write_batch_at pages base
         | None ->
             (* No contiguous run of n; write page-at-a-time into whatever
                slots remain. *)
+            Physmem.note_cluster physmem ~pages ~runs:n;
             List.fold_left
               (fun acc page -> combine acc (write_single page))
               (Ok ()) pages)
     | _ ->
         (* Ablation mode: BSD-style fixed slots, one I/O per page. *)
+        Physmem.note_cluster physmem ~pages ~runs:(List.length pages);
         List.fold_left
           (fun acc page -> combine acc (write_single page))
           (Ok ()) pages

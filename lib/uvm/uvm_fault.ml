@@ -57,7 +57,9 @@ let map_neighbour map entry vpn =
             ~prot:(Pmap.Prot.remove_write entry.prot)
             ~wired:false;
           (Uvm_sys.stats sys).Sim.Stats.fault_ahead_mapped <-
-            (Uvm_sys.stats sys).Sim.Stats.fault_ahead_mapped + 1
+            (Uvm_sys.stats sys).Sim.Stats.fault_ahead_mapped + 1;
+          Physmem.note_fault_ahead_mapped (Uvm_sys.physmem sys) page
+            ~madv:(Vmtypes.lifecycle_madv entry.advice)
       | Some _ | None -> ())
 
 let fault_ahead map entry ~vpn =
@@ -94,6 +96,8 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           let fresh = Uvm_anon.alloc sys ~zero:false in
           let fresh_page = Option.get fresh.Uvm_anon.page in
           Physmem.copy_data physmem ~src:page ~dst:fresh_page;
+          Physmem.note_fault_in physmem fresh_page
+            ~fill:Sim.Lifecycle.Fill_cow;
           stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
           (* Replacing an anon in a *shared* amap: other sharers still map the
              displaced page — shoot those translations down so they refault
@@ -154,6 +158,8 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
             let anon = Uvm_anon.alloc sys ~zero:false in
             let anon_page = Option.get anon.Uvm_anon.page in
             Physmem.copy_data physmem ~src:page ~dst:anon_page;
+            Physmem.note_fault_in physmem anon_page
+              ~fill:Sim.Lifecycle.Fill_cow;
             stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
             (* Promoting into a *shared* amap changes what every sharer's
                entry resolves at this slot: sharers still mapping the
@@ -187,6 +193,7 @@ let resolve_zero_fill map entry ~vpn ~write ~wire =
   let slot = entry.amapoff + (vpn - entry.spage) in
   let anon = Uvm_anon.alloc sys ~zero:true in
   let page = Option.get anon.Uvm_anon.page in
+  Physmem.note_fault_in physmem page ~fill:Sim.Lifecycle.Fill_zero;
   Uvm_amap.add sys am ~slot anon;
   if write then page.Physmem.Page.dirty <- true;
   Physmem.activate physmem page;
@@ -276,7 +283,13 @@ let fault map ~vpn ~access ~wire =
         match resolution with
         | Error e -> finish (Error e)
         | Ok page ->
-            if wire then Physmem.wire (Uvm_sys.physmem sys) page;
+            Physmem.note_demand_fault (Uvm_sys.physmem sys) page;
+            if wire then begin
+              Sim.Lifecycle.note_fill
+                (Physmem.lifecycle (Uvm_sys.physmem sys))
+                Sim.Lifecycle.Fill_wire;
+              Physmem.wire (Uvm_sys.physmem sys) page
+            end;
             page.Physmem.Page.referenced <- true;
             (* Step 3: opportunistically map resident neighbours. *)
             if not wire then fault_ahead map entry ~vpn;

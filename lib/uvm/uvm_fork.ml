@@ -4,6 +4,7 @@ open Uvm_map
 let clone_entry t (e : entry) =
   (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated <-
     (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated + 1;
+  Sim.Lifecycle.note_entry_alloc (Physmem.lifecycle (Uvm_sys.physmem t.sys));
   Uvm_sys.charge_struct_alloc t.sys;
   {
     spage = e.spage;

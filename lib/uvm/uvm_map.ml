@@ -47,6 +47,7 @@ let create sys ~pmap ~lo ~hi ~kernel =
 let stats t = Uvm_sys.stats t.sys
 let costs t = Uvm_sys.costs t.sys
 let charge t us = Uvm_sys.charge t.sys us
+let lifecycle t = Physmem.lifecycle (Uvm_sys.physmem t.sys)
 
 let lock t =
   assert (t.locked_since = None);
@@ -92,6 +93,7 @@ let alloc_entry t ~spage ~epage ~obj ~objoff ~amap ~amapoff ~prot ~maxprot ~inh
     ~advice ~wired ~cow ~needs_copy =
   (stats t).Sim.Stats.map_entries_allocated <-
     (stats t).Sim.Stats.map_entries_allocated + 1;
+  Sim.Lifecycle.note_entry_alloc (lifecycle t);
   charge t (costs t).Sim.Cost_model.struct_alloc;
   {
     spage;
@@ -113,7 +115,8 @@ let alloc_entry t ~spage ~epage ~obj ~objoff ~amap ~amapoff ~prot ~maxprot ~inh
 
 let free_entry t (_e : entry) =
   (stats t).Sim.Stats.map_entries_freed <-
-    (stats t).Sim.Stats.map_entries_freed + 1
+    (stats t).Sim.Stats.map_entries_freed + 1;
+  Sim.Lifecycle.note_entry_free (lifecycle t)
 
 (* Link [e] after [prev] (or at the head when [prev] is None). *)
 let link_after t prev e =

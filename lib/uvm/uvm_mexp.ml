@@ -7,6 +7,7 @@ let clone_entry_at t (e : entry) ~spage ~cow ~needs_copy =
   let npgs = entry_npages e in
   (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated <-
     (Uvm_sys.stats t.sys).Sim.Stats.map_entries_allocated + 1;
+  Sim.Lifecycle.note_entry_alloc (Physmem.lifecycle (Uvm_sys.physmem t.sys));
   Uvm_sys.charge_struct_alloc t.sys;
   {
     spage;

@@ -27,6 +27,7 @@ let flush_anon_batch sys batch =
   | _ ->
       let swapdev = Uvm_sys.swapdev sys in
       let stats = Uvm_sys.stats sys in
+      let physmem = Uvm_sys.physmem sys in
       let n = List.length batch in
       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
       let write_at ~slot ~assign ~pages =
@@ -49,9 +50,15 @@ let flush_anon_batch sys batch =
              invoked by write_resilient if bad media forces a move. *)
           let assign base =
             List.iteri
-              (fun i (anon, _page) -> Uvm_anon.set_swslot sys anon (base + i))
+              (fun i (anon, page) ->
+                let old = anon.Uvm_anon.swslot in
+                if old <> 0 && old <> base + i then
+                  Physmem.note_reassign physmem page
+                    ~dist:(abs (base + i - old));
+                Uvm_anon.set_swslot sys anon (base + i))
               batch
           in
+          Physmem.note_cluster physmem ~pages:(List.map snd batch) ~runs:1;
           assign base;
           write_at ~slot:base ~assign ~pages:(List.map snd batch)
       | None ->
@@ -60,6 +67,7 @@ let flush_anon_batch sys batch =
              stats.Sim.Stats.swap_full_events <-
                stats.Sim.Stats.swap_full_events + 1);
           (* BSD-style (or swap-fragmented) path: one I/O per page. *)
+          Physmem.note_cluster physmem ~pages:(List.map snd batch) ~runs:n;
           List.iter
             (fun (anon, page) ->
               let slot =
@@ -70,7 +78,12 @@ let flush_anon_batch sys batch =
               | Some slot ->
                   if anon.Uvm_anon.swslot = 0 then anon.Uvm_anon.swslot <- slot;
                   write_at ~slot
-                    ~assign:(fun fresh -> Uvm_anon.set_swslot sys anon fresh)
+                    ~assign:(fun fresh ->
+                      let old = anon.Uvm_anon.swslot in
+                      if old <> 0 && old <> fresh then
+                        Physmem.note_reassign physmem page
+                          ~dist:(abs (fresh - old));
+                      Uvm_anon.set_swslot sys anon fresh)
                     ~pages:[ page ]
               | None ->
                   (* Swap full: the page cannot be cleaned, keep it in

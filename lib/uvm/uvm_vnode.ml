@@ -58,6 +58,8 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
        | Ok () ->
            List.iteri
              (fun i page ->
+               Physmem.note_fault_in physmem page
+                 ~fill:Sim.Lifecycle.Fill_file;
                Uvm_object.insert_page sys obj ~pgno:(center + i) page;
                Physmem.activate physmem page)
              pages
@@ -93,6 +95,9 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
   let pgo_put pages =
     (* Attempt every run even if one fails — maximise what gets cleaned —
        then report the first failure.  Failed runs stay dirty. *)
+    let runs = runs_of_pages pages in
+    if pages <> [] then
+      Physmem.note_cluster physmem ~pages ~runs:(List.length runs);
     List.fold_left
       (fun acc run ->
         match run with
@@ -122,7 +127,7 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
                 match acc with
                 | Error _ -> acc
                 | Ok () -> Error Vmiface.Vmtypes.Pager_error)))
-      (Ok ()) (runs_of_pages pages)
+      (Ok ()) runs
   in
   let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
   let pgo_detach () =

@@ -57,6 +57,7 @@ type t = {
   vfs : Vfs.t;
   hist : Sim.Hist.t;
   latencies : Sim.Histogram.set;
+  lifecycle : Sim.Lifecycle.t;
   trace_source : Sim.Trace_export.source;
 }
 
@@ -64,6 +65,7 @@ let boot ?(config = default_config) () =
   let clock = Sim.Simclock.create () in
   let costs = config.costs in
   let stats = Sim.Stats.create () in
+  let lifecycle = Sim.Lifecycle.create () in
   let trace_buf =
     match config.trace_buf with Some _ as n -> n | None -> !default_trace_buf
   in
@@ -74,7 +76,7 @@ let boot ?(config = default_config) () =
   in
   let latencies = Sim.Histogram.create_set () in
   let trace_source =
-    { Sim.Trace_export.label = "vm"; hist; stats; latencies }
+    { Sim.Trace_export.label = "vm"; hist; stats; latencies; lifecycle }
   in
   let t =
     {
@@ -84,9 +86,9 @@ let boot ?(config = default_config) () =
       stats;
       rng = Sim.Rng.create ~seed:config.seed;
       physmem =
-        Physmem.create ~page_size:config.page_size ~npages:config.ram_pages
-          ~clock ~costs ~stats ();
-      pmap_ctx = Pmap.create_ctx ~clock ~costs ~stats;
+        Physmem.create ~page_size:config.page_size ~lifecycle
+          ~npages:config.ram_pages ~clock ~costs ~stats ();
+      pmap_ctx = Pmap.create_ctx ~lifecycle ~clock ~costs ~stats ();
       swap =
         Swap.Swapdev.create ~nslots:config.swap_pages
           ~page_size:config.page_size ~clock ~costs ~stats;
@@ -95,6 +97,7 @@ let boot ?(config = default_config) () =
           ~clock ~costs ~stats ();
       hist;
       latencies;
+      lifecycle;
       trace_source;
     }
   in

@@ -57,6 +57,8 @@ type t = {
   vfs : Vfs.t;
   hist : Sim.Hist.t;  (** per-machine event history (disabled by default) *)
   latencies : Sim.Histogram.set;  (** per-machine latency histograms *)
+  lifecycle : Sim.Lifecycle.t;
+      (** ledger-derived efficacy analytics, shared by physmem and pmap *)
   trace_source : Sim.Trace_export.source;
 }
 

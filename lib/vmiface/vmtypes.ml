@@ -17,6 +17,13 @@ type inherit_mode = Inh_none | Inh_shared | Inh_copy
     fault-ahead window (paper §5.4). *)
 type advice = Adv_normal | Adv_random | Adv_sequential
 
+(** The provenance ledger (below the VM interface) keys fault-ahead
+    efficacy by its own mirror of [advice]. *)
+let lifecycle_madv = function
+  | Adv_normal -> Sim.Lifecycle.Madv_normal
+  | Adv_random -> Sim.Lifecycle.Madv_random
+  | Adv_sequential -> Sim.Lifecycle.Madv_sequential
+
 (** Kind of memory access. *)
 type access = Read | Write
 

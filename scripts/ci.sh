@@ -52,4 +52,33 @@ fi
 dune exec bin/uvm_sim.exe -- torture --seed 42 --ops 2000 --audit-every 50 \
   --shrink --artifact-dir artifacts/torture
 
+# Efficacy-report smoke (DESIGN.md §10): quick-mode ledger report over
+# both systems, kept in artifacts/ for the workflow to upload.
+mkdir -p artifacts
+dune exec bin/uvm_sim.exe -- report --quick --out artifacts/report.json \
+  > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/report.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "uvm-sim-report/1", r.get("schema")
+systems = {s["label"]: s for s in r["systems"]}
+assert set(systems) >= {"UVM", "BSD VM"}, set(systems)
+for label, s in systems.items():
+    assert s["ledger"]["illegal_transitions"] == 0, label
+    assert set(s["fault_ahead"]) == {"normal", "random", "sequential"}, label
+print("ci: efficacy report valid (%d systems)" % len(r["systems"]))
+EOF
+else
+  grep -q '"uvm-sim-report/1"' artifacts/report.json
+  echo 'ci: efficacy report produced (python3 unavailable, shape-checked only)'
+fi
+
+# Full bench: reproduces every paper table/figure, the ablations and the
+# embedded efficacy report; leaves BENCH_results.json at the repo root so
+# the workflow can start accumulating the bench trajectory.
+dune exec bench/main.exe > /dev/null
+test -s BENCH_results.json
+
 echo 'ci: build clean, all tests passed'

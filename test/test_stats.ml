@@ -49,7 +49,12 @@ let test_to_rows_complete () =
   Alcotest.(check int)
     "row names are unique"
     (List.length names)
-    (List.length (List.sort_uniq compare names))
+    (List.length (List.sort_uniq compare names));
+  (* The ledger-backed fault-ahead outcome counters must be reported. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " reported") true (List.mem n names))
+    [ "fault_ahead_used"; "fault_ahead_wasted" ]
 
 let test_snapshot_independent () =
   let t = Sim.Stats.create () in
