@@ -220,6 +220,8 @@ let reproduce_paper () =
   Experiments.Swapleak.print_result sl;
   let rs = Experiments.Resilience.run () in
   Experiments.Resilience.print_result rs;
+  let sv = Experiments.Serve.run () in
+  Experiments.Serve.print_result sv;
   let ab_cluster = ablation_pageout_cluster () in
   let ab_ahead = ablation_fault_ahead () in
   let ab_rate = ablation_fault_rate () in
@@ -259,6 +261,22 @@ let reproduce_paper () =
               ("mexp_us", jfloat r.mexp_us);
             ])
         dm );
+    ( "serve",
+      arr
+        (fun (r : Experiments.Serve.row) buf ->
+          obj buf
+            [
+              ("system", jstr r.sv_system);
+              ("policy", jstr r.sv_policy);
+              ("payload", jint r.sv_payload);
+              ("requests", jint r.sv_requests);
+              ("total_us", jfloat r.sv_total_us);
+              ("mb_s", jfloat r.sv_mb_s);
+              ("p50_us", jfloat r.sv_p50_us);
+              ("p95_us", jfloat r.sv_p95_us);
+              ("p99_us", jfloat r.sv_p99_us);
+            ])
+        sv );
     ( "swapleak",
       arr
         (fun (s : Experiments.Swapleak.step) buf ->

@@ -179,7 +179,7 @@ let run_torture seed ops audit_every faults shrink artifact_dir corrupt
         | None ->
             Printf.eprintf
               "uvm_sim: unknown --corrupt kind %S (expected leak-swap-slot, \
-               overref-anon or queue-double-insert)\n"
+               overref-anon, queue-double-insert or leak-loan)\n"
               name;
             exit 2)
   in
@@ -257,8 +257,8 @@ let torture_cmd =
   let corrupt =
     Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND"
            ~doc:"Deliberately corrupt kernel state mid-run to exercise the \
-                 auditor: leak-swap-slot, overref-anon or \
-                 queue-double-insert.")
+                 auditor: leak-swap-slot, overref-anon, queue-double-insert \
+                 or leak-loan.")
   in
   let corrupt_at =
     Arg.(value & opt int 0 & info [ "corrupt-at" ] ~docv:"N"
@@ -316,6 +316,41 @@ let report_cmd =
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
       $ fault_seed $ quick $ out)
 
+(* -- serve ------------------------------------------------------------- *)
+
+let run_serve quick out =
+  let rows = Experiments.Serve.run ~quick () in
+  Experiments.Serve.print_result rows;
+  match out with
+  | Some file ->
+      let buf = Buffer.create 4096 in
+      Experiments.Serve.json buf rows;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "serve results written to %s\n" file
+  | None -> ()
+
+let serve_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Smaller client count and payload sweep (CI smoke test).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-serve/1 JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Section 7 end-to-end: N clients request payloads from a server \
+             under memory pressure, once per IPC policy (copy, page loanout, \
+             map-entry passing) on both VM systems, reporting throughput and \
+             round-trip latency percentiles")
+    Term.(
+      const (fun rr wr perm bad seed quick out ->
+          install_faults rr wr perm bad seed;
+          run_serve quick out)
+      $ read_error_rate $ write_error_rate $ permanent $ bad_slots
+      $ fault_seed $ quick $ out)
+
 (* -- commands --------------------------------------------------------- *)
 
 let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
@@ -333,4 +368,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          (all_cmd :: torture_cmd :: report_cmd :: List.map cmd_of experiments)))
+          (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
+          :: List.map cmd_of experiments)))

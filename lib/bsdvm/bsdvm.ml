@@ -260,6 +260,16 @@ module Sys = struct
     Vm_map.mark_unwired vm.map ~spage:wb.wb_vpn ~npages:wb.wb_npages;
     unwire_pages sys vm ~vpn:wb.wb_vpn ~npages:wb.wb_npages
 
+  (* BSD VM has neither page loanout nor map-entry passing: IPC staging
+     always declines and the IPC layer copies (the paper's baseline). *)
+  type stage = unit
+
+  let stage_loan _sys _vm ~vpn:_ ~npages:_ = None
+  let stage_mexp _sys _vm ~vpn:_ ~npages:_ = None
+  let stage_read _sys () ~off:_ ~len:_ = assert false
+  let stage_map _sys _vm () = None
+  let stage_free _sys () = ()
+
   let wanted_prot = function
     | Read -> { Pmap.Prot.r = true; w = false; x = false }
     | Write -> Pmap.Prot.rw
@@ -565,6 +575,8 @@ module Sys = struct
     let physmem = Bsd_sys.physmem sys.bsys in
     Check.check_ledger ~system:name physmem;
     Check.check_physmem ~system:name physmem;
+    (* No loanout on BSD VM: every frame's loan_count must be zero. *)
+    Check.check_loans ~system:name physmem ~claims:[];
     Check.check_pv ~system:name (Bsd_sys.pmap_ctx sys.bsys) physmem;
     let objs = audit_census sys in
     audit_objects objs;

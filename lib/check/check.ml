@@ -75,7 +75,7 @@ let check_ledger ~system pm =
       if p.Physmem.Page.queue = Physmem.Page.Q_none then
         match p.Physmem.Page.lstate with
         | Physmem.Page.L_detached | Physmem.Page.L_wired
-        | Physmem.Page.L_limbo ->
+        | Physmem.Page.L_loaned | Physmem.Page.L_limbo ->
             ()
         | s ->
             fail "queue_state"
@@ -200,6 +200,39 @@ let check_swap ~system swap ~claims =
          | Some s -> Printf.sprintf " (e.g. slot %d unclaimed)" s
          | None -> ""))
   end
+
+(* -- loan census --------------------------------------------------------- *)
+
+let check_loans ~system pm ~claims =
+  let fail invariant detail = fail ~system ~subsys:Loan ~invariant detail in
+  let borrows : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let holders : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (who, id) ->
+      if id < 0 || id >= Physmem.total_pages pm then
+        fail "loan_range"
+          (Printf.sprintf "%s claims out-of-range frame %d" who id);
+      Hashtbl.replace borrows id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt borrows id));
+      Hashtbl.replace holders id who)
+    claims;
+  Physmem.iter_pages
+    (fun (p : Physmem.Page.t) ->
+      if p.queue = Physmem.Page.Q_free && p.loan_count > 0 then
+        fail "loan_freed"
+          (Printf.sprintf "free page %d still carries loan_count %d" p.id
+             p.loan_count);
+      let claimed =
+        Option.value ~default:0 (Hashtbl.find_opt borrows p.id)
+      in
+      if claimed <> p.loan_count then
+        fail "loan_census"
+          (Printf.sprintf "page %d loan_count=%d but %d live borrower(s)%s"
+             p.id p.loan_count claimed
+             (match Hashtbl.find_opt holders p.id with
+             | Some who -> Printf.sprintf " (e.g. %s)" who
+             | None -> "")))
+    pm
 
 (* -- pv-list symmetry ---------------------------------------------------- *)
 

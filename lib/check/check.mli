@@ -65,6 +65,18 @@ val check_swap :
     owners, and that every allocated slot is claimed — an allocated but
     unclaimed slot is precisely a swap leak (paper §5.3). *)
 
+val check_loans :
+  system:string ->
+  Physmem.t ->
+  claims:(string * int) list ->
+  unit
+(** Loan-count census.  [claims] lists every live borrowed reference to a
+    frame — kernel loans held by mbuf chains plus anons borrowing a frame
+    they do not own — as [(holder description, frame id)] pairs, one pair
+    per outstanding borrow.  Verifies that each frame's [loan_count]
+    equals its number of claimed borrowers, and that no free frame still
+    carries a loan. *)
+
 val check_pv : system:string -> Pmap.ctx -> Physmem.t -> unit
 (** pv-list symmetry: every (pmap, vpn) entry on a page's pv list must be a
     live translation of that very page, and no free page may have

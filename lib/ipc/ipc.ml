@@ -1,0 +1,286 @@
+(** Simulated kernel IPC: pipes and stream sockets over mbuf chains.
+
+    The paper's §6 motivates loanout, page transfer and map-entry passing
+    as the mechanisms that move IPC data from process to kernel to
+    process without copying.  This layer is their kernel client: a
+    unidirectional channel queues mbuf-style segments, and the sender
+    picks one of three data-movement policies per call:
+
+    - [Copy]: the baseline (and the only policy the BSD VM supports).
+      Bytes are copied user->kernel on send and kernel->user on recv —
+      two copies per byte.
+    - [Loan]: the sender's pages are loaned read-only into the chain
+      ([uvm_loan]); the receive side pays a single delivery copy and the
+      loan is returned when the segment is consumed.  COW is preserved:
+      a sender write after send faults into a fresh page, and a loaned
+      page whose owner is paged out or exits survives in limbo until
+      unloaned.
+    - [Mexp]: page-aligned payloads travel as whole map entries
+      ([uvm_mexp]); a receiver that accepts mapped delivery gets the
+      pages mapped into its own space with no copy at all.
+
+    Policies only change how bytes move, never how many are accepted:
+    acceptance depends on queue capacity alone, so a Copy run on the BSD
+    baseline and a Loan/Mexp run on UVM produce byte-identical streams —
+    the property the torture oracle compares.  On a VM system without
+    the zero-copy hooks, Loan and Mexp degrade to Copy.
+
+    A physio-style path ([vslocked:true]) wires the user buffer with
+    [vslock] around the transfer, exercising the §3.2 buffer-wiring
+    cases on both kernels. *)
+
+type policy = Copy | Loan | Mexp
+
+let policy_name = function Copy -> "copy" | Loan -> "loan" | Mexp -> "mexp"
+
+let policy_of_string = function
+  | "copy" -> Some Copy
+  | "loan" -> Some Loan
+  | "mexp" -> Some Mexp
+  | _ -> None
+
+let all_policies = [ Copy; Loan; Mexp ]
+
+module Machine = Vmiface.Machine
+
+module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
+  (* One mbuf: either bytes copied into the kernel, or an external
+     segment referencing staged (loaned / extracted) pages. *)
+  type segment =
+    | S_bytes of { data : bytes; mutable off : int }
+    | S_stage of {
+        stage : V.stage;
+        start : int;  (* byte offset of the payload within the stage *)
+        len : int;  (* payload bytes *)
+        mutable off : int;  (* bytes already consumed *)
+      }
+
+  let seg_remaining = function
+    | S_bytes s -> Bytes.length s.data - s.off
+    | S_stage s -> s.len - s.off
+
+  type chan = {
+    id : int;
+    cap : int;  (* byte capacity: the socket buffer high-water mark *)
+    q : segment Queue.t;
+    mutable q_len : int;  (* queued payload bytes *)
+    mutable closed : bool;
+  }
+
+  type endpoint = { tx : chan; rx : chan }
+
+  type delivery = Data of int | Mapped of { vpn : int; npages : int; len : int }
+
+  let chan_ids = ref 0
+
+  let pipe sys ?cap_bytes () =
+    let m = V.machine sys in
+    let cap =
+      match cap_bytes with Some c -> c | None -> 16 * Machine.page_size m
+    in
+    if cap < 1 then invalid_arg "Ipc.pipe: capacity must be positive";
+    incr chan_ids;
+    { id = !chan_ids; cap; q = Queue.create (); q_len = 0; closed = false }
+
+  let socketpair sys ?cap_bytes () =
+    let a = pipe sys ?cap_bytes () and b = pipe sys ?cap_bytes () in
+    ({ tx = a; rx = b }, { tx = b; rx = a })
+
+  let capacity ch = ch.cap
+  let queued_bytes ch = ch.q_len
+  let closed ch = ch.closed
+
+  let free_seg sys = function
+    | S_bytes _ -> ()
+    | S_stage s -> V.stage_free sys s.stage
+
+  let close sys ch =
+    if not ch.closed then begin
+      ch.closed <- true;
+      Queue.iter (free_seg sys) ch.q;
+      Queue.clear ch.q;
+      ch.q_len <- 0
+    end
+
+  (* -- accounting helpers ------------------------------------------------ *)
+
+  let charge sys us = Machine.charge (V.machine sys) us
+
+  (* The memory-bus cost of moving [n] payload bytes by copy, scaled from
+     the cost model's per-page copy charge. *)
+  let charge_copy sys n =
+    let m = V.machine sys in
+    charge sys
+      (m.Machine.costs.Sim.Cost_model.page_copy
+      *. float_of_int n
+      /. float_of_int (Machine.page_size m))
+
+  let record sys ~ts name ~how ~bytes ~chan =
+    let m = V.machine sys in
+    if Sim.Hist.enabled m.Machine.hist then begin
+      let dur = Machine.now m -. ts in
+      Sim.Hist.record m.Machine.hist ~subsys:Sim.Hist.Ipc ~ts ~dur
+        ~detail:
+          [
+            ("how", how);
+            ("bytes", string_of_int bytes);
+            ("chan", string_of_int chan);
+          ]
+        name;
+      Sim.Histogram.observe
+        (Sim.Histogram.get m.Machine.latencies ("ipc_" ^ name ^ "_us"))
+        dur
+    end
+
+  (* Wire the user buffer for a physio-style transfer. *)
+  let with_vslock sys vm ~addr ~len f =
+    if len <= 0 then f ()
+    else begin
+      let m = V.machine sys in
+      let ps = Machine.page_size m in
+      m.Machine.stats.Sim.Stats.vslock_ios <-
+        m.Machine.stats.Sim.Stats.vslock_ios + 1;
+      let vpn = addr / ps in
+      let npages = ((addr + len - 1) / ps) - vpn + 1 in
+      let wb = V.vslock sys vm ~vpn ~npages in
+      Fun.protect ~finally:(fun () -> V.vsunlock sys vm wb) f
+    end
+
+  (* -- send -------------------------------------------------------------- *)
+
+  let enqueue ch seg n =
+    Queue.push seg ch.q;
+    ch.q_len <- ch.q_len + n
+
+  let send_copy sys vm ch ~addr ~n =
+    let m = V.machine sys in
+    let data = V.read_bytes sys vm ~addr ~len:n in
+    charge_copy sys n;
+    m.Machine.stats.Sim.Stats.ipc_bytes_copied <-
+      m.Machine.stats.Sim.Stats.ipc_bytes_copied + n;
+    enqueue ch (S_bytes { data; off = 0 }) n
+
+  let send_loan sys vm ch ~addr ~n =
+    let m = V.machine sys in
+    let ps = Machine.page_size m in
+    let vpn = addr / ps in
+    let npages = ((addr + n - 1) / ps) - vpn + 1 in
+    match V.stage_loan sys vm ~vpn ~npages with
+    | None -> send_copy sys vm ch ~addr ~n
+    | Some stage ->
+        m.Machine.stats.Sim.Stats.ipc_bytes_loaned <-
+          m.Machine.stats.Sim.Stats.ipc_bytes_loaned + n;
+        enqueue ch (S_stage { stage; start = addr mod ps; len = n; off = 0 }) n
+
+  let send_mexp sys vm ch ~addr ~n =
+    let m = V.machine sys in
+    let ps = Machine.page_size m in
+    if addr mod ps <> 0 || n mod ps <> 0 then
+      (* Map-entry passing moves whole pages; sub-page payloads copy. *)
+      send_copy sys vm ch ~addr ~n
+    else
+      match V.stage_mexp sys vm ~vpn:(addr / ps) ~npages:(n / ps) with
+      | None -> send_copy sys vm ch ~addr ~n
+      | Some stage ->
+          m.Machine.stats.Sim.Stats.ipc_bytes_mapped <-
+            m.Machine.stats.Sim.Stats.ipc_bytes_mapped + n;
+          enqueue ch (S_stage { stage; start = 0; len = n; off = 0 }) n
+
+  let send sys vm ?(vslocked = false) ch ~policy ~addr ~len =
+    if ch.closed then invalid_arg "Ipc.send: channel is closed";
+    if len < 0 then invalid_arg "Ipc.send: negative length";
+    let m = V.machine sys in
+    let t0 = Machine.now m in
+    charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
+    (* Acceptance is policy- and kernel-independent: capacity alone
+       decides, so every kernel accepts identical byte counts. *)
+    let n = min len (ch.cap - ch.q_len) in
+    let n = max n 0 in
+    if n > 0 then begin
+      let move () =
+        match policy with
+        | Copy -> send_copy sys vm ch ~addr ~n
+        | Loan -> send_loan sys vm ch ~addr ~n
+        | Mexp -> send_mexp sys vm ch ~addr ~n
+      in
+      if vslocked then with_vslock sys vm ~addr ~len move else move ();
+      m.Machine.stats.Sim.Stats.ipc_sends <-
+        m.Machine.stats.Sim.Stats.ipc_sends + 1
+    end;
+    record sys ~ts:t0 "send" ~how:(policy_name policy) ~bytes:n ~chan:ch.id;
+    n
+
+  (* -- recv -------------------------------------------------------------- *)
+
+  (* Whole-segment mapped delivery: the head segment is a complete
+     page-aligned stage no bigger than the receiver's buffer, and the VM
+     system can donate its entries into the receiver. *)
+  let try_mapped_delivery sys vm ch ~len =
+    let ps = Machine.page_size (V.machine sys) in
+    match Queue.peek_opt ch.q with
+    | Some (S_stage s)
+      when s.off = 0 && s.start = 0 && s.len mod ps = 0 && s.len <= len -> (
+        match V.stage_map sys vm s.stage with
+        | Some vpn ->
+            ignore (Queue.pop ch.q);
+            ch.q_len <- ch.q_len - s.len;
+            Some (Mapped { vpn; npages = s.len / ps; len = s.len })
+        | None -> None)
+    | _ -> None
+
+  let recv sys vm ?(vslocked = false) ?(accept_mapped = false) ch ~addr ~len =
+    let m = V.machine sys in
+    let t0 = Machine.now m in
+    charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
+    let mapped =
+      if accept_mapped then try_mapped_delivery sys vm ch ~len else None
+    in
+    let result =
+      match mapped with
+      | Some d -> d
+      | None ->
+          let buf = Bytes.create (max len 0) in
+          let got = ref 0 in
+          while !got < len && not (Queue.is_empty ch.q) do
+            let seg = Queue.peek ch.q in
+            let n = min (seg_remaining seg) (len - !got) in
+            (match seg with
+            | S_bytes s ->
+                Bytes.blit s.data s.off buf !got n;
+                s.off <- s.off + n
+            | S_stage s ->
+                let part =
+                  V.stage_read sys s.stage ~off:(s.start + s.off) ~len:n
+                in
+                Bytes.blit part 0 buf !got n;
+                s.off <- s.off + n);
+            got := !got + n;
+            if seg_remaining seg = 0 then begin
+              ignore (Queue.pop ch.q);
+              free_seg sys seg
+            end
+          done;
+          if !got > 0 then begin
+            let deliver () =
+              V.write_bytes sys vm ~addr (Bytes.sub buf 0 !got)
+            in
+            if vslocked then with_vslock sys vm ~addr ~len deliver
+            else deliver ();
+            charge_copy sys !got;
+            m.Machine.stats.Sim.Stats.ipc_bytes_copied <-
+              m.Machine.stats.Sim.Stats.ipc_bytes_copied + !got;
+            ch.q_len <- ch.q_len - !got
+          end;
+          Data !got
+    in
+    (match result with
+    | Data 0 -> ()
+    | Data _ | Mapped _ ->
+        m.Machine.stats.Sim.Stats.ipc_recvs <-
+          m.Machine.stats.Sim.Stats.ipc_recvs + 1);
+    record sys ~ts:t0 "recv"
+      ~how:(match result with Data _ -> "data" | Mapped _ -> "mapped")
+      ~bytes:(match result with Data n -> n | Mapped d -> d.len)
+      ~chan:ch.id;
+    result
+end

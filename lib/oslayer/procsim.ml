@@ -10,6 +10,8 @@
 module Vmtypes = Vmiface.Vmtypes
 
 module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
+  module I = Ipc.Make (V)
+
   type segment = { seg_vpn : int; seg_pages : int }
 
   type proc = {
@@ -169,6 +171,19 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     + List.fold_left
         (fun acc proc -> if proc.dead then acc else acc + V.map_entry_count proc.vm)
         0 procs
+
+  (* -- IPC syscalls (lib/ipc over this VM system) --------------------- *)
+
+  let pipe sys ?cap_bytes () = I.pipe sys ?cap_bytes ()
+  let socketpair sys ?cap_bytes () = I.socketpair sys ?cap_bytes ()
+
+  let send sys proc ?vslocked ch ~policy ~addr ~len =
+    I.send sys proc.vm ?vslocked ch ~policy ~addr ~len
+
+  let recv sys proc ?vslocked ?accept_mapped ch ~addr ~len =
+    I.recv sys proc.vm ?vslocked ?accept_mapped ch ~addr ~len
+
+  let close_chan sys ch = I.close sys ch
 
   (* Replay an access trace (from {!Trace}) against a process. *)
   let replay sys proc trace =

@@ -42,6 +42,13 @@ let nfiles = 3
 let file_pages = 16
 let va_base = 16
 let va_limit = 4096
+let max_chans = 4 (* global pipe slots (kernel objects, not per-proc) *)
+let chan_cap_pages = 4
+
+(* Pipe payload offsets/lengths are in bytes, so the placement model
+   needs the page size to know which pages a transfer touches.  The
+   harness always runs on default-sized pages. *)
+let page_bytes = Machine.default_config.Machine.page_size
 
 (* -- the op DSL --------------------------------------------------------- *)
 
@@ -72,6 +79,18 @@ type op =
   | Munlock of { p : int; r : int; off : int; len : int }
   | Msync of { p : int; r : int; off : int; len : int }
   | Pressure of { npages : int }
+  | Pipe_open of { k : int }
+  | Pipe_close of { k : int }
+  | Pipe_write of {
+      k : int;
+      p : int;
+      r : int;
+      off : int;  (** byte offset within the region *)
+      len : int;  (** byte count *)
+      pol_ix : int;  (** index into {!Ipc.all_policies} *)
+      vsl : bool;  (** wire the user buffer around the transfer *)
+    }
+  | Pipe_read of { k : int; p : int; r : int; off : int; len : int; vsl : bool }
 
 (* Prot choices deliberately all include read: wiring faults pages in
    with a read access, and an unreadable wired range would make mlock
@@ -95,6 +114,10 @@ let op_name = function
   | Munlock _ -> "munlock"
   | Msync _ -> "msync"
   | Pressure _ -> "pressure"
+  | Pipe_open _ -> "pipe_open"
+  | Pipe_close _ -> "pipe_close"
+  | Pipe_write _ -> "pipe_write"
+  | Pipe_read _ -> "pipe_read"
 
 let op_fields = function
   | Spawn { p } | Exit { p } -> [ ("p", p) ]
@@ -120,6 +143,26 @@ let op_fields = function
   | Write { p; r; page; byte } ->
       [ ("p", p); ("r", r); ("page", page); ("byte", byte) ]
   | Pressure { npages } -> [ ("npages", npages) ]
+  | Pipe_open { k } | Pipe_close { k } -> [ ("k", k) ]
+  | Pipe_write { k; p; r; off; len; pol_ix; vsl } ->
+      [
+        ("k", k);
+        ("p", p);
+        ("r", r);
+        ("off", off);
+        ("len", len);
+        ("pol", pol_ix);
+        ("vsl", if vsl then 1 else 0);
+      ]
+  | Pipe_read { k; p; r; off; len; vsl } ->
+      [
+        ("k", k);
+        ("p", p);
+        ("r", r);
+        ("off", off);
+        ("len", len);
+        ("vsl", if vsl then 1 else 0);
+      ]
 
 let op_to_string op =
   Printf.sprintf "%s(%s)" (op_name op)
@@ -135,6 +178,7 @@ type region = {
   fileoff : int;
   shared : bool;
   mapped : bool array;  (** per-page: not yet unmapped *)
+  writable : bool array;  (** per-page: current prot includes write *)
   mutable inh : inherit_mode;
   mutable wired : (int * int) list;  (** (off, len) multiset, from mlock *)
   mutable lineage_cow : bool;  (** was on either side of an Inh_copy fork *)
@@ -145,6 +189,7 @@ type proc = { regions : region option array }
 
 type model = {
   procs : proc option array;
+  chans : bool array;  (** pipe slot open? — mirrors both executors *)
   mutable total_wired : int;
   wired_cap : int;
 }
@@ -152,6 +197,7 @@ type model = {
 let fresh_model ~ram_pages =
   {
     procs = Array.make max_procs None;
+    chans = Array.make max_chans false;
     total_wired = 0;
     wired_cap = max 8 (ram_pages / 8);
   }
@@ -211,6 +257,25 @@ type action =
   | A_munlock of { p : int; vpn : int; npages : int }
   | A_msync of { p : int; vpn : int; npages : int }
   | A_pressure of { npages : int }
+  | A_pipe_open of { k : int }
+  | A_pipe_close of { k : int }
+  | A_pipe_write of {
+      k : int;
+      p : int;
+      vpn : int;  (** region base; the byte address is vpn*ps + boff *)
+      boff : int;
+      len : int;
+      policy : Ipc.policy;
+      vsl : bool;
+    }
+  | A_pipe_read of {
+      k : int;
+      p : int;
+      vpn : int;
+      boff : int;
+      len : int;
+      vsl : bool;
+    }
 
 (* Validate [op] against the model and compute absolute addresses.  Pure:
    generation probes candidates with it, and replay of a shrunken trace
@@ -374,6 +439,68 @@ let resolve m op : action option =
   | Pressure { npages } ->
       if npages >= 1 && npages <= 64 then Some (A_pressure { npages })
       else None
+  | Pipe_open { k } ->
+      if k >= 0 && k < max_chans && not m.chans.(k) then
+        Some (A_pipe_open { k })
+      else None
+  | Pipe_close { k } ->
+      if k >= 0 && k < max_chans && m.chans.(k) then Some (A_pipe_close { k })
+      else None
+  | Pipe_write { k; p; r; off; len; pol_ix; vsl } -> (
+      match region_at m p r with
+      | Some rg
+        when k >= 0 && k < max_chans && m.chans.(k)
+             && pol_ix >= 0
+             && pol_ix < List.length Ipc.all_policies
+             && off >= 0 && len >= 1
+             && off + len <= rg.npages * page_bytes
+             (* Shared mappings are object-backed: sharers write the
+                loaned frame in place, so a post-send write would reach
+                the borrower under UVM but not under the copy baseline.
+                Private mappings always COW away from loaned frames
+                ([writable_in_place] checks the loan count), so they are
+                the sound source set. *)
+             && not rg.shared ->
+          let lo = off / page_bytes and hi = (off + len - 1) / page_bytes in
+          let all_mapped = ref true in
+          for i = lo to hi do
+            if not rg.mapped.(i) then all_mapped := false
+          done;
+          (* A hole would fault mid-loan and leak the pages already wired,
+             so sends need full source coverage. *)
+          if !all_mapped then
+            Some
+              (A_pipe_write
+                 {
+                   k;
+                   p;
+                   vpn = rg.vpn;
+                   boff = off;
+                   len;
+                   policy = List.nth Ipc.all_policies pol_ix;
+                   vsl;
+                 })
+          else None
+      | _ -> None)
+  | Pipe_read { k; p; r; off; len; vsl } -> (
+      match region_at m p r with
+      | Some rg
+        when k >= 0 && k < max_chans && m.chans.(k)
+             && off >= 0 && len >= 1
+             && off + len <= rg.npages * page_bytes ->
+          (* Delivery must not fault mid-write: the queue pops before the
+             copy-out, so a Segv there would leave the channel with bytes
+             popped but not delivered.  Requiring a fully mapped writable
+             destination keeps receives total. *)
+          let lo = off / page_bytes and hi = (off + len - 1) / page_bytes in
+          let ok = ref true in
+          for i = lo to hi do
+            if not (rg.mapped.(i) && rg.writable.(i)) then ok := false
+          done;
+          if !ok then
+            Some (A_pipe_read { k; p; vpn = rg.vpn; boff = off; len; vsl })
+          else None
+      | _ -> None)
 
 let rec remove_first x = function
   | [] -> []
@@ -401,7 +528,13 @@ let apply m op a =
                 | Inh_copy -> rg.lineage_cow <- true
                 | Inh_shared -> rg.lineage_shared <- true
                 | Inh_none -> ());
-                Some { rg with mapped = Array.copy rg.mapped; wired = [] }
+                Some
+                  {
+                    rg with
+                    mapped = Array.copy rg.mapped;
+                    writable = Array.copy rg.writable;
+                    wired = [];
+                  }
             | _ -> None)
           pp.regions
       in
@@ -410,7 +543,8 @@ let apply m op a =
       m.total_wired <-
         m.total_wired - List.fold_left (fun acc (_, l) -> acc + l) 0 unlocks;
       m.procs.(p) <- None
-  | Mmap { r; _ }, A_mmap { p; at; npages; share; src_file; fileoff; _ } ->
+  | Mmap { r; _ }, A_mmap { p; at; npages; prot; share; src_file; fileoff; _ }
+    ->
       let pr = match m.procs.(p) with Some pr -> pr | None -> assert false in
       pr.regions.(r) <-
         Some
@@ -421,6 +555,7 @@ let apply m op a =
             fileoff;
             shared = share = Shared;
             mapped = Array.make npages true;
+            writable = Array.make npages prot.Prot.w;
             inh = (if share = Shared then Inh_shared else Inh_copy);
             wired = [];
             lineage_cow = false;
@@ -449,29 +584,45 @@ let apply m op a =
           rg.wired <- remove_first (off, len) rg.wired;
           m.total_wired <- m.total_wired - len
       | None -> assert false)
+  | Mprotect { r; off; len; _ }, A_mprotect { p; prot; _ } -> (
+      match region_at m p r with
+      | Some rg ->
+          for i = off to off + len - 1 do
+            rg.writable.(i) <- prot.Prot.w
+          done
+      | None -> assert false)
+  | Pipe_open _, A_pipe_open { k } -> m.chans.(k) <- true
+  | Pipe_close _, A_pipe_close { k } -> m.chans.(k) <- false
   | _ -> ()
-  (* mprotect/madvise/read/write/msync/pressure leave the model alone *)
+  (* madvise/read/write/msync/pressure/pipe transfers leave the model alone *)
 
 (* -- outcomes ----------------------------------------------------------- *)
 
 type outcome =
   | Done
   | Byte of int  (** result of a 1-byte read *)
+  | Io of { n : int; sum : int }
+      (** pipe transfer: bytes moved, and a positional checksum of the
+          delivered data for reads *)
   | Fault of string  (** deterministic Segv (no-entry / prot / pager) *)
   | Oom  (** out of memory or swap — timing-dependent, compared as wildcard *)
 
 let outcome_to_string = function
   | Done -> "done"
   | Byte b -> Printf.sprintf "byte:%d" b
+  | Io { n; sum } -> Printf.sprintf "io:%d:%d" n sum
   | Fault s -> "fault:" ^ s
   | Oom -> "oom"
 
 (* -- per-system executor ------------------------------------------------ *)
 
 module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
+  module I = Ipc.Make (V)
+
   type t = {
     sys : V.sys;
     procs : V.vmspace option array;
+    chans : I.chan option array;
     files : Vfs.Vnode.t array;
     page_size : int;
   }
@@ -488,6 +639,7 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
     {
       sys;
       procs = Array.make max_procs None;
+      chans = Array.make max_chans None;
       files;
       page_size = Machine.page_size mach;
     }
@@ -500,6 +652,20 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
     match t.procs.(p) with
     | Some vm -> vm
     | None -> invalid_arg "Torture.exec: op on dead proc (harness bug)"
+
+  let chan t k =
+    match t.chans.(k) with
+    | Some ch -> ch
+    | None -> invalid_arg "Torture.exec: op on closed pipe (harness bug)"
+
+  (* Positional checksum of delivered bytes: catches both corruption and
+     reordering in the received stream. *)
+  let checksum data n =
+    let sum = ref 0 in
+    for i = 0 to n - 1 do
+      sum := ((!sum * 31) + Char.code (Bytes.get data i)) land 0x3FFFFFFF
+    done;
+    !sum
 
   let fault_outcome = function
     | Out_of_memory | Out_of_swap -> Oom
@@ -581,6 +747,38 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
          with Segv _ | Physmem.Out_of_pages -> ());
         V.destroy_vmspace t.sys vm;
         Done
+    | A_pipe_open { k } ->
+        t.chans.(k) <-
+          Some (I.pipe t.sys ~cap_bytes:(chan_cap_pages * t.page_size) ());
+        Done
+    | A_pipe_close { k } ->
+        I.close t.sys (chan t k);
+        t.chans.(k) <- None;
+        Done
+    | A_pipe_write { k; p; vpn; boff; len; policy; vsl } -> (
+        let addr = (vpn * t.page_size) + boff in
+        try
+          let n =
+            I.send t.sys (proc t p) ~vslocked:vsl (chan t k) ~policy ~addr ~len
+          in
+          Io { n; sum = 0 }
+        with
+        | Segv { error; _ } -> fault_outcome error
+        | Physmem.Out_of_pages -> Oom)
+    | A_pipe_read { k; p; vpn; boff; len; vsl } -> (
+        let addr = (vpn * t.page_size) + boff in
+        let vm = proc t p in
+        try
+          match I.recv t.sys vm ~vslocked:vsl (chan t k) ~addr ~len with
+          | I.Data n ->
+              let data =
+                if n > 0 then V.read_bytes t.sys vm ~addr ~len:n else Bytes.empty
+              in
+              Io { n; sum = checksum data n }
+          | I.Mapped _ -> assert false (* never requested *)
+        with
+        | Segv { error; _ } -> fault_outcome error
+        | Physmem.Out_of_pages -> Oom)
 end
 
 module Exec_uvm = Exec (Uvm.Sys)
@@ -592,16 +790,19 @@ type corruption =
   | Leak_swap_slot  (** allocate a swap slot no object will ever claim *)
   | Overref_anon  (** over-count some live anon's reference count *)
   | Queue_double_insert  (** link a frame on two paging queues at once *)
+  | Leak_loan  (** bump a live page's loan count with no borrower *)
 
 let corruption_name = function
   | Leak_swap_slot -> "leak-swap-slot"
   | Overref_anon -> "overref-anon"
   | Queue_double_insert -> "queue-double-insert"
+  | Leak_loan -> "leak-loan"
 
 let corruption_of_string = function
   | "leak-swap-slot" -> Some Leak_swap_slot
   | "overref-anon" -> Some Overref_anon
   | "queue-double-insert" -> Some Queue_double_insert
+  | "leak-loan" -> Some Leak_loan
   | _ -> None
 
 (* Corruptions target the UVM instance (the machine-level ones could hit
@@ -627,6 +828,25 @@ let apply_corruption (eu : Exec_uvm.t) c : bool =
       match !victim with
       | Some pg ->
           Physmem.Testhook.double_insert mach.Machine.physmem pg;
+          true
+      | None -> false)
+  | Leak_loan -> (
+      (* An anon-owned frame whose loan count says "borrowed" while no
+         kernel loan or borrowing anon exists: exactly what a lost
+         uvm_unloan would leave behind. *)
+      let victim = ref None in
+      Physmem.iter_pages
+        (fun (pg : Physmem.Page.t) ->
+          if Option.is_none !victim then
+            match (pg.Physmem.Page.queue, pg.Physmem.Page.owner) with
+            | ( (Physmem.Page.Q_active | Physmem.Page.Q_inactive),
+                Uvm.Anon.Anon_page _ ) ->
+                victim := Some pg
+            | _ -> ())
+        mach.Machine.physmem;
+      match !victim with
+      | Some pg ->
+          pg.Physmem.Page.loan_count <- pg.Physmem.Page.loan_count + 1;
           true
       | None -> false)
   | Overref_anon ->
@@ -829,6 +1049,64 @@ let gen rng m ~faults : op =
     | None -> None
   in
   let cand_pressure () = Some (Pressure { npages = 8 + Sim.Rng.int rng 41 }) in
+  let chan_slots ~live =
+    let out = ref [] in
+    for k = max_chans - 1 downto 0 do
+      if m.chans.(k) = live then out := k :: !out
+    done;
+    !out
+  in
+  let cand_pipe_open () =
+    match pick_list rng (chan_slots ~live:false) with
+    | Some k -> Some (Pipe_open { k })
+    | None -> None
+  in
+  let cand_pipe_close () =
+    match pick_list rng (chan_slots ~live:true) with
+    | Some k -> Some (Pipe_close { k })
+    | None -> None
+  in
+  let pick_byte_range rg =
+    (* Bias toward page alignment so mexp can actually pass map entries,
+       with unaligned offsets and sub-page lengths in the mix. *)
+    let total = rg.npages * page_bytes in
+    let off =
+      if Sim.Rng.int rng 2 = 0 then page_bytes * Sim.Rng.int rng rg.npages
+      else Sim.Rng.int rng total
+    in
+    let room = total - off in
+    let len =
+      match Sim.Rng.int rng 3 with
+      | 0 -> 1 + Sim.Rng.int rng (min 512 room)
+      | 1 -> min room page_bytes
+      | _ -> min room (page_bytes * (1 + Sim.Rng.int rng chan_cap_pages))
+    in
+    (off, len)
+  in
+  let cand_pipe_write () =
+    match (pick_list rng (chan_slots ~live:true), pick_live_region ()) with
+    | Some k, Some (p, r, rg) ->
+        let off, len = pick_byte_range rg in
+        (* Loaning faults source pages in one by one; an injected pagein
+           error mid-range would leak the pages already wired, so
+           fault-mode traces stick to copy and mexp (which stages whole
+           map entries without touching the frames). *)
+        let pol_ix =
+          if faults then 2 * Sim.Rng.int rng 2
+          else Sim.Rng.int rng (List.length Ipc.all_policies)
+        in
+        Some
+          (Pipe_write
+             { k; p; r; off; len; pol_ix; vsl = Sim.Rng.int rng 6 = 0 })
+    | _ -> None
+  in
+  let cand_pipe_read () =
+    match (pick_list rng (chan_slots ~live:true), pick_live_region ()) with
+    | Some k, Some (p, r, rg) ->
+        let off, len = pick_byte_range rg in
+        Some (Pipe_read { k; p; r; off; len; vsl = Sim.Rng.int rng 6 = 0 })
+    | _ -> None
+  in
   let cands =
     [
       (18, cand_read);
@@ -843,6 +1121,10 @@ let gen rng m ~faults : op =
       (2, cand_exit);
       (2, cand_spawn);
       (4, cand_pressure);
+      (3, cand_pipe_open);
+      (1, cand_pipe_close);
+      (12, cand_pipe_write);
+      (12, cand_pipe_read);
     ]
     (* Under injected I/O errors wiring faults can fail mid-range, which
        would wedge the two kernels differently: keep wiring out of

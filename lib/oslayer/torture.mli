@@ -39,20 +39,41 @@ type op =
   | Munlock of { p : int; r : int; off : int; len : int }
   | Msync of { p : int; r : int; off : int; len : int }
   | Pressure of { npages : int }
+  | Pipe_open of { k : int }
+  | Pipe_close of { k : int }
+  | Pipe_write of {
+      k : int;
+      p : int;
+      r : int;
+      off : int;  (** byte offset within the region *)
+      len : int;  (** byte count *)
+      pol_ix : int;  (** index into {!Ipc.all_policies} *)
+      vsl : bool;  (** wire the user buffer around the transfer *)
+    }
+  | Pipe_read of { k : int; p : int; r : int; off : int; len : int; vsl : bool }
 
 val op_to_string : op -> string
 
 (** Observable result of one operation, compared across the two systems.
     [Oom] is a wildcard: page-reclamation timing may legitimately differ
     between the kernels, so an out-of-memory outcome matches anything. *)
-type outcome = Done | Byte of int | Fault of string | Oom
+type outcome =
+  | Done
+  | Byte of int
+  | Io of { n : int; sum : int }
+  | Fault of string
+  | Oom
 
 val outcome_to_string : outcome -> string
 
 (** Deliberate state corruptions, applied mid-run to the UVM instance so
     tests can prove the auditor catches each class of bug and attributes
     it to the right subsystem. *)
-type corruption = Leak_swap_slot | Overref_anon | Queue_double_insert
+type corruption =
+  | Leak_swap_slot
+  | Overref_anon
+  | Queue_double_insert
+  | Leak_loan
 
 val corruption_name : corruption -> string
 val corruption_of_string : string -> corruption option

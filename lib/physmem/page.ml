@@ -3,7 +3,14 @@ type tag += No_owner
 
 type queue = Q_none | Q_free | Q_active | Q_inactive
 
-type lstate = L_free | L_detached | L_active | L_inactive | L_wired | L_limbo
+type lstate =
+  | L_free
+  | L_detached
+  | L_active
+  | L_inactive
+  | L_wired
+  | L_loaned
+  | L_limbo
 
 type t = {
   id : int;
@@ -45,6 +52,7 @@ let lstate_name = function
   | L_active -> "active"
   | L_inactive -> "inactive"
   | L_wired -> "wired"
+  | L_loaned -> "loaned"
   | L_limbo -> "limbo"
 
 let pp ppf t =

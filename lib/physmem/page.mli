@@ -24,10 +24,18 @@ type queue =
 
 (** Ledger lifecycle state (DESIGN.md §10).  Mirrors [queue] for queued
     pages and splits [Q_none] into why the page is off-queue: freshly
-    allocated or mid-I/O ([L_detached]), wired ([L_wired]), or
-    owner-dropped-while-loaned ([L_limbo]).  Only {!Physmem}'s audited
-    transition function may change it. *)
-type lstate = L_free | L_detached | L_active | L_inactive | L_wired | L_limbo
+    allocated or mid-I/O ([L_detached]), wired ([L_wired]), wired while
+    out on loan to the kernel ([L_loaned]), or owner-dropped-while-loaned
+    ([L_limbo]).  Only {!Physmem}'s audited transition function may
+    change it. *)
+type lstate =
+  | L_free
+  | L_detached
+  | L_active
+  | L_inactive
+  | L_wired
+  | L_loaned
+  | L_limbo
 
 type t = {
   id : int;  (** physical frame number *)

@@ -45,7 +45,13 @@ let legal ~from ~to_ =
   | Page.L_free, _ -> false
   | Page.L_wired, (Page.L_free | Page.L_inactive) -> false
   | Page.L_wired, _ -> true
-  | Page.L_limbo, (Page.L_free | Page.L_limbo | Page.L_wired) -> true
+  (* Loaned-and-wired frames obey the wired rules: the borrower must end
+     the loan (draining through unwire/release_loan) before the frame can
+     reach the free list or cool off. *)
+  | Page.L_loaned, (Page.L_free | Page.L_inactive) -> false
+  | Page.L_loaned, _ -> true
+  | Page.L_limbo, (Page.L_free | Page.L_limbo | Page.L_wired | Page.L_loaned)
+    -> true
   | Page.L_limbo, _ -> false
   | (Page.L_detached | Page.L_active | Page.L_inactive), _ -> true
 
@@ -288,17 +294,26 @@ let iter_pages f t = Array.iter f t.pages
 let wire t (page : Page.t) =
   page.wire_count <- page.wire_count + 1;
   if page.wire_count = 1 then begin
-    lstep t page ~op:"wire" Page.L_wired;
+    (* A frame wired on behalf of a loan (uvm_loan wiring the borrower's
+       reference) is ledgered separately from plain wirings. *)
+    lstep t page ~op:"wire"
+      (if page.loan_count > 0 then Page.L_loaned else Page.L_wired);
     unlink t page
   end
 
 let unwire t (page : Page.t) =
   if page.wire_count <= 0 then invalid_arg "Physmem.unwire: page not wired";
   page.wire_count <- page.wire_count - 1;
-  if page.wire_count = 0 then begin
-    lstep t page ~op:"unwire" Page.L_active;
-    enqueue t page Page.Q_active
-  end
+  if page.wire_count = 0 then
+    if page.owner = Page.No_owner && page.loan_count > 0 then
+      (* Owner dropped the frame while it was loaned out: it stays in
+         limbo (off-queue) until the last loan drains it to the free
+         list. *)
+      lstep t page ~op:"unwire_limbo" Page.L_limbo
+    else begin
+      lstep t page ~op:"unwire" Page.L_active;
+      enqueue t page Page.Q_active
+    end
 
 let release_loan t (page : Page.t) =
   if page.loan_count <= 0 then

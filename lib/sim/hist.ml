@@ -1,6 +1,6 @@
-type subsystem = Fault | Map | Pdaemon | Pager | Swap
+type subsystem = Fault | Map | Pdaemon | Pager | Swap | Ipc
 
-let all_subsystems = [ Fault; Map; Pdaemon; Pager; Swap ]
+let all_subsystems = [ Fault; Map; Pdaemon; Pager; Swap; Ipc ]
 
 let subsystem_name = function
   | Fault -> "fault"
@@ -8,6 +8,7 @@ let subsystem_name = function
   | Pdaemon -> "pdaemon"
   | Pager -> "pager"
   | Swap -> "swap"
+  | Ipc -> "ipc"
 
 type event = {
   seq : int;
@@ -39,6 +40,7 @@ let subsys_index = function
   | Pdaemon -> 2
   | Pager -> 3
   | Swap -> 4
+  | Ipc -> 5
 
 let dummy_event =
   { seq = -1; ts = 0.0; dur = 0.0; subsys = Fault; name = ""; detail = [] }

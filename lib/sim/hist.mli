@@ -10,7 +10,7 @@
     Recording is gated on a single [enabled] flag so an untraced run
     pays one boolean check per call site and allocates nothing. *)
 
-type subsystem = Fault | Map | Pdaemon | Pager | Swap
+type subsystem = Fault | Map | Pdaemon | Pager | Swap | Ipc
 
 val all_subsystems : subsystem list
 (** In a fixed order, used by exporters for stable numbering. *)

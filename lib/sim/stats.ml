@@ -45,6 +45,12 @@ type t = {
   mutable pageins_failed : int;
   mutable bad_slots : int;
   mutable swap_full_events : int;
+  mutable ipc_sends : int;
+  mutable ipc_recvs : int;
+  mutable ipc_bytes_copied : int;
+  mutable ipc_bytes_loaned : int;
+  mutable ipc_bytes_mapped : int;
+  mutable vslock_ios : int;
 }
 
 let create () =
@@ -95,6 +101,12 @@ let create () =
     pageins_failed = 0;
     bad_slots = 0;
     swap_full_events = 0;
+    ipc_sends = 0;
+    ipc_recvs = 0;
+    ipc_bytes_copied = 0;
+    ipc_bytes_loaned = 0;
+    ipc_bytes_mapped = 0;
+    vslock_ios = 0;
   }
 
 let reset t =
@@ -143,7 +155,13 @@ let reset t =
   t.pageouts_recovered <- 0;
   t.pageins_failed <- 0;
   t.bad_slots <- 0;
-  t.swap_full_events <- 0
+  t.swap_full_events <- 0;
+  t.ipc_sends <- 0;
+  t.ipc_recvs <- 0;
+  t.ipc_bytes_copied <- 0;
+  t.ipc_bytes_loaned <- 0;
+  t.ipc_bytes_mapped <- 0;
+  t.vslock_ios <- 0
 
 let snapshot t = { t with faults = t.faults }
 
@@ -199,6 +217,12 @@ let diff ~after ~before =
     pageins_failed = after.pageins_failed - before.pageins_failed;
     bad_slots = after.bad_slots - before.bad_slots;
     swap_full_events = after.swap_full_events - before.swap_full_events;
+    ipc_sends = after.ipc_sends - before.ipc_sends;
+    ipc_recvs = after.ipc_recvs - before.ipc_recvs;
+    ipc_bytes_copied = after.ipc_bytes_copied - before.ipc_bytes_copied;
+    ipc_bytes_loaned = after.ipc_bytes_loaned - before.ipc_bytes_loaned;
+    ipc_bytes_mapped = after.ipc_bytes_mapped - before.ipc_bytes_mapped;
+    vslock_ios = after.vslock_ios - before.vslock_ios;
   }
 
 let to_rows t =
@@ -249,6 +273,12 @@ let to_rows t =
     ("pageins_failed", float_of_int t.pageins_failed);
     ("bad_slots", float_of_int t.bad_slots);
     ("swap_full_events", float_of_int t.swap_full_events);
+    ("ipc_sends", float_of_int t.ipc_sends);
+    ("ipc_recvs", float_of_int t.ipc_recvs);
+    ("ipc_bytes_copied", float_of_int t.ipc_bytes_copied);
+    ("ipc_bytes_loaned", float_of_int t.ipc_bytes_loaned);
+    ("ipc_bytes_mapped", float_of_int t.ipc_bytes_mapped);
+    ("vslock_ios", float_of_int t.vslock_ios);
   ]
 
 let pp ppf t =

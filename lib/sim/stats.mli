@@ -52,6 +52,12 @@ type t = {
   mutable pageins_failed : int;  (** pageins abandoned after exhausting retries *)
   mutable bad_slots : int;  (** swap slots blacklisted as bad media *)
   mutable swap_full_events : int;  (** times slot allocation failed: swap exhausted *)
+  mutable ipc_sends : int;  (** IPC send syscalls accepted *)
+  mutable ipc_recvs : int;  (** IPC recv syscalls that returned data *)
+  mutable ipc_bytes_copied : int;  (** IPC payload bytes moved by copying *)
+  mutable ipc_bytes_loaned : int;  (** IPC payload bytes moved by page loanout *)
+  mutable ipc_bytes_mapped : int;  (** IPC payload bytes moved by map-entry passing *)
+  mutable vslock_ios : int;  (** physio-style transfers over a vslock'd buffer *)
 }
 
 val create : unit -> t

@@ -223,6 +223,75 @@ module Sys = struct
       copied := !copied + n
     done
 
+  (* ---- IPC data staging (paper §7) ----------------------------------- *)
+
+  type stage =
+    | St_loan of Uvm_loan.t
+    | St_mexp of { kvpn : int; npages : int }
+
+  let stage_loan _sys vm ~vpn ~npages =
+    Some (St_loan (Uvm_loan.to_kernel vm.map ~vpn ~npages))
+
+  (* The extraction raises on unmapped holes; probe first so a bad source
+     range declines to the copy path and faults exactly like the
+     baseline kernel would. *)
+  let mexp_range_ok vm ~vpn ~npages =
+    let entries = Uvm_map.entries vm.map in
+    let covered v =
+      List.exists
+        (fun (e : Uvm_map.entry) ->
+          e.Uvm_map.spage <= v && v < e.Uvm_map.epage
+          && e.Uvm_map.prot.Pmap.Prot.r)
+        entries
+    in
+    let ok = ref true in
+    for v = vpn to vpn + npages - 1 do
+      if not (covered v) then ok := false
+    done;
+    !ok
+
+  let stage_mexp sys vm ~vpn ~npages =
+    if not (mexp_range_ok vm ~vpn ~npages) then None
+    else
+      let kvpn =
+        Uvm_mexp.extract ~src:vm.map ~spage:vpn ~npages ~dst:sys.kernel.map
+          Uvm_mexp.Copy
+      in
+      Some (St_mexp { kvpn; npages })
+
+  let stage_read sys stage ~off ~len =
+    let page_size = Machine.page_size (machine sys) in
+    match stage with
+    | St_loan loan ->
+        (* Loaned frames are wired: read straight out of them. *)
+        let pages = Array.of_list (Uvm_loan.pages loan) in
+        let out = Bytes.create len in
+        let copied = ref 0 in
+        while !copied < len do
+          let o = off + !copied in
+          let i = o / page_size and po = o mod page_size in
+          let n = min (len - !copied) (page_size - po) in
+          Bytes.blit pages.(i).Physmem.Page.data po out !copied n;
+          copied := !copied + n
+        done;
+        out
+    | St_mexp { kvpn; _ } ->
+        (* Through the kernel mapping: pages that were paged out since
+           staging fault back in here. *)
+        read_bytes sys sys.kernel ~addr:((kvpn * page_size) + off) ~len
+
+  let stage_map sys dst = function
+    | St_loan _ -> None
+    | St_mexp { kvpn; npages } ->
+        Some
+          (Uvm_mexp.extract ~src:sys.kernel.map ~spage:kvpn ~npages
+             ~dst:dst.map Uvm_mexp.Donate)
+
+  let stage_free sys = function
+    | St_loan loan -> Uvm_loan.finish sys.usys loan
+    | St_mexp { kvpn; npages } ->
+        Uvm_map.unmap sys.kernel.map ~spage:kvpn ~npages
+
   let msync sys vm ~vpn ~npages =
     let usys = sys.usys in
     List.iter
@@ -553,6 +622,27 @@ module Sys = struct
           (Pmap.translations vm.pmap))
       sys.vmspaces
 
+  (* Loan census: every page's loan_count must equal its live borrowed
+     references — outstanding kernel loans (mbuf chains, physio) plus
+     anons holding a frame they do not own (O->A page transfer). *)
+  let audit_loans sys anons =
+    let physmem = Uvm_sys.physmem sys.usys in
+    let claims = ref (Uvm_sys.kernel_loan_claims sys.usys) in
+    Hashtbl.iter
+      (fun _ ((anon : Uvm_anon.t), _) ->
+        match anon.Uvm_anon.page with
+        | Some p -> (
+            match p.Physmem.Page.owner with
+            | Uvm_anon.Anon_page a when a == anon -> ()
+            | _ ->
+                claims :=
+                  ( Printf.sprintf "anon#%d-borrow" anon.Uvm_anon.id,
+                    p.Physmem.Page.id )
+                  :: !claims)
+        | None -> ())
+      anons;
+    Check.check_loans ~system:name physmem ~claims:!claims
+
   let audit sys =
     let physmem = Uvm_sys.physmem sys.usys in
     Check.check_ledger ~system:name physmem;
@@ -561,6 +651,7 @@ module Sys = struct
     let amaps, objs = audit_census sys in
     let anons = audit_amaps amaps in
     audit_anons anons;
+    audit_loans sys anons;
     audit_objects objs;
     audit_swap sys anons objs;
     audit_pmap sys

@@ -71,6 +71,66 @@ let fault_ahead map entry ~vpn =
         map_neighbour map entry v
     done
 
+(* Install a resolved translation while keeping the mapping's wire
+   accounting attached to the frame the pmap actually maps.  mlock
+   wirings are recorded in [entry.wired] and carried by the mapped
+   frame's wire count; when resolution yields a different frame (COW,
+   loan displacement, shared-amap replacement) those wirings must move
+   with the translation, or a later munlock would unwire a frame that no
+   longer carries them.  Re-entering the same frame must preserve an
+   existing wired flag even on a plain fault, or the wirings would
+   become invisible to the next displacement. *)
+(* Snapshot of the translation a fault is about to displace, taken
+   before any anon/amap surgery: unref of a displaced anon tears down
+   all its translations, ours included. *)
+let pte_snapshot map ~vpn =
+  match Pmap.lookup map.pmap ~vpn with
+  | Some pte -> Some (pte.Pmap.page, pte.Pmap.wired)
+  | None -> None
+
+(* How many of this mapping's wirings must move from the displaced frame
+   to [page].  mlock wirings are recorded in [entry.wired] and carried by
+   the mapped frame's wire count, so when resolution yields a different
+   frame (COW, loan displacement, shared-amap replacement) they travel
+   with the translation — or a later munlock would unwire a frame that no
+   longer carries them.  [entry.wired] also counts the wiring this very
+   fault establishes when it is a wire-fault (mark_wired runs before
+   wire_pages), but that one has not been applied to any frame yet: only
+   the previously established wirings move. *)
+let wirings_to_move entry ~prev ~page ~wire =
+  match prev with
+  | Some (old_page, true) when old_page != page ->
+      max 0 (entry.wired - if wire then 1 else 0)
+  | Some _ | None -> 0
+
+(* Detach the moving wirings from the displaced frame.  Must run before
+   the amap surgery of a COW replacement: dropping the displaced anon's
+   last reference frees its page, which must not still carry the
+   mapping's wirings (and tears down its translations, so the snapshot
+   has to be taken earlier still). *)
+let unwire_displaced map ~prev ~transfer =
+  match prev with
+  | Some (old_page, _) ->
+      for _ = 1 to transfer do
+        Physmem.unwire (Uvm_sys.physmem map.sys) old_page
+      done
+  | None -> ()
+
+(* Install a resolved translation, re-applying the moved wirings to the
+   new frame and preserving an existing wired flag on a same-frame
+   re-enter even when the fault itself is not a wiring one — otherwise
+   the wirings would become invisible to the next displacement. *)
+let enter_resolved map ~vpn ~page ~prot ~wire ~prev ~transfer =
+  let keep =
+    match prev with
+    | Some (old_page, wired) -> wired && old_page == page
+    | None -> false
+  in
+  Pmap.enter map.pmap ~vpn ~page ~prot ~wired:(wire || keep || transfer > 0);
+  for _ = 1 to transfer do
+    Physmem.wire (Uvm_sys.physmem map.sys) page
+  done
+
 let resolve_anon_fault map entry ~vpn ~write ~wire anon =
   let sys = map.sys in
   let physmem = Uvm_sys.physmem sys in
@@ -80,6 +140,7 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
   match Uvm_anon.ensure_resident sys anon with
   | Error _ as e -> e
   | Ok page ->
+      let prev = pte_snapshot map ~vpn in
       if write then
         if Uvm_anon.writable_in_place anon then begin
           (* Sole reference, no loans: write straight into the page — the
@@ -87,7 +148,9 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           stats.Sim.Stats.cow_reuses <- stats.Sim.Stats.cow_reuses + 1;
           page.Physmem.Page.dirty <- true;
           Physmem.activate physmem page;
-          Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+          let transfer = wirings_to_move entry ~prev ~page ~wire in
+          unwire_displaced map ~prev ~transfer;
+          enter_resolved map ~vpn ~page ~prot:entry.prot ~wire ~prev ~transfer;
           Ok page
         end
         else begin
@@ -99,6 +162,8 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           Physmem.note_fault_in physmem fresh_page
             ~fill:Sim.Lifecycle.Fill_cow;
           stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+          let transfer = wirings_to_move entry ~prev ~page:fresh_page ~wire in
+          unwire_displaced map ~prev ~transfer;
           (* Replacing an anon in a *shared* amap: other sharers still map the
              displaced page — shoot those translations down so they refault
              and find the new anon.  Wired translations are skipped: they
@@ -109,8 +174,8 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           Uvm_amap.replace sys am ~slot fresh;
           fresh_page.Physmem.Page.dirty <- true;
           Physmem.activate physmem fresh_page;
-          Pmap.enter map.pmap ~vpn ~page:fresh_page ~prot:entry.prot
-            ~wired:wire;
+          enter_resolved map ~vpn ~page:fresh_page ~prot:entry.prot ~wire ~prev
+            ~transfer;
           Ok fresh_page
         end
       else begin
@@ -120,7 +185,9 @@ let resolve_anon_fault map entry ~vpn ~write ~wire anon =
           else Pmap.Prot.remove_write entry.prot
         in
         Physmem.activate physmem page;
-        Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+        let transfer = wirings_to_move entry ~prev ~page ~wire in
+        unwire_displaced map ~prev ~transfer;
+        enter_resolved map ~vpn ~page ~prot ~wire ~prev ~transfer;
         Ok page
       end
 
@@ -151,6 +218,7 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
              error rather than panicking the kernel. *)
           Error Vmtypes.Pager_error
       | Some page ->
+          let prev = pte_snapshot map ~vpn in
           if write && entry.cow then begin
             (* Promote: anonymise the page so the object stays unmodified. *)
             let am = Option.get entry.amap in
@@ -161,6 +229,8 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
             Physmem.note_fault_in physmem anon_page
               ~fill:Sim.Lifecycle.Fill_cow;
             stats.Sim.Stats.cow_copies <- stats.Sim.Stats.cow_copies + 1;
+            let transfer = wirings_to_move entry ~prev ~page:anon_page ~wire in
+            unwire_displaced map ~prev ~transfer;
             (* Promoting into a *shared* amap changes what every sharer's
                entry resolves at this slot: sharers still mapping the
                object's page read-only would keep reading it and miss all
@@ -171,8 +241,8 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
             Uvm_amap.add sys am ~slot anon;
             anon_page.Physmem.Page.dirty <- true;
             Physmem.activate physmem anon_page;
-            Pmap.enter map.pmap ~vpn ~page:anon_page ~prot:entry.prot
-              ~wired:wire;
+            enter_resolved map ~vpn ~page:anon_page ~prot:entry.prot ~wire ~prev
+              ~transfer;
             Ok anon_page
           end
           else begin
@@ -182,7 +252,9 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
               else entry.prot
             in
             Physmem.activate physmem page;
-            Pmap.enter map.pmap ~vpn ~page ~prot ~wired:wire;
+            let transfer = wirings_to_move entry ~prev ~page ~wire in
+            unwire_displaced map ~prev ~transfer;
+            enter_resolved map ~vpn ~page ~prot ~wire ~prev ~transfer;
             Ok page
           end)
 
@@ -197,7 +269,10 @@ let resolve_zero_fill map entry ~vpn ~write ~wire =
   Uvm_amap.add sys am ~slot anon;
   if write then page.Physmem.Page.dirty <- true;
   Physmem.activate physmem page;
-  Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+  let prev = pte_snapshot map ~vpn in
+  let transfer = wirings_to_move entry ~prev ~page ~wire in
+  unwire_displaced map ~prev ~transfer;
+  enter_resolved map ~vpn ~page ~prot:entry.prot ~wire ~prev ~transfer;
   Ok page
 
 let fault map ~vpn ~access ~wire =

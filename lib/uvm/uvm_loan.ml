@@ -1,6 +1,6 @@
 module Vmtypes = Vmiface.Vmtypes
 
-type t = { loaned : Physmem.Page.t list }
+type t = { token : int; loaned : Physmem.Page.t list }
 
 (* Fault the page at [vpn] in for read and return the backing frame. *)
 let resolve_page map ~vpn =
@@ -44,11 +44,14 @@ let to_kernel map ~vpn ~npages =
   let loaned =
     List.init npages (fun i -> loan_one map ~vpn:(vpn + i) ~wire:true)
   in
-  { loaned }
+  (* Register with the auditor's loan census: each outstanding kernel
+     loan must account for exactly one loan_count on each of its pages. *)
+  { token = Uvm_sys.register_kernel_loan sys loaned; loaned }
 
 let pages t = t.loaned
 
 let finish sys t =
+  Uvm_sys.unregister_kernel_loan sys t.token;
   let physmem = Uvm_sys.physmem sys in
   List.iter
     (fun (page : Physmem.Page.t) ->

@@ -25,6 +25,9 @@ type t = {
   io_retries : int;
   io_backoff_us : float;
   mutable next_id : int;
+  (* Outstanding kernel loans (uvm_loan.to_kernel), keyed by token, so the
+     auditor can census every page's loan_count against live borrowers. *)
+  mutable kernel_loans : (int * Physmem.Page.t list) list;
 }
 
 let create ?(fault_ahead = 4) ?(fault_behind = 3) ?(pageout_cluster = 4)
@@ -40,6 +43,7 @@ let create ?(fault_ahead = 4) ?(fault_behind = 3) ?(pageout_cluster = 4)
     io_retries;
     io_backoff_us;
     next_id = 0;
+    kernel_loans = [];
   }
 
 (* Ids are unique process-wide (not just per system) so they can key
@@ -51,6 +55,25 @@ let fresh_id t =
   incr id_counter;
   t.next_id <- t.next_id + 1;
   !id_counter
+
+let register_kernel_loan t pages =
+  let token = fresh_id t in
+  t.kernel_loans <- (token, pages) :: t.kernel_loans;
+  token
+
+let unregister_kernel_loan t token =
+  t.kernel_loans <- List.filter (fun (id, _) -> id <> token) t.kernel_loans
+
+(* One (holder, frame) claim per outstanding borrowed reference, in the
+   shape Check.check_loans consumes. *)
+let kernel_loan_claims t =
+  List.concat_map
+    (fun (token, pages) ->
+      List.map
+        (fun (p : Physmem.Page.t) ->
+          (Printf.sprintf "kernel-loan#%d" token, p.Physmem.Page.id))
+        pages)
+    t.kernel_loans
 
 let clock t = t.mach.Machine.clock
 let costs t = t.mach.Machine.costs

@@ -74,6 +74,46 @@ module type VM_SYS = sig
   val vslock : sys -> vmspace -> vpn:int -> npages:int -> wired_buffer
   val vsunlock : sys -> vmspace -> wired_buffer -> unit
 
+  (* -- IPC data staging (zero-copy movement, paper §7) ---------------- *)
+
+  type stage
+  (** A kernel-held reference to [npages] of a process' data staged for
+      an IPC transfer without copying: loaned frames ([uvm_loan]) or a
+      kernel-map extraction ([uvm_mexp]).  The BSD baseline has neither
+      mechanism, so its staging constructors always decline and the IPC
+      layer falls back to copying. *)
+
+  val stage_loan : sys -> vmspace -> vpn:int -> npages:int -> stage option
+  (** Loan the pages backing the range to the kernel: frames are wired
+      and write-protected in the owner, preserving COW (the owner's
+      next write faults into a fresh page, leaving the borrower's view
+      intact).  [None] if this VM system cannot loan (BSD VM).
+      @raise Vmtypes.Segv if the range is not readable. *)
+
+  val stage_mexp : sys -> vmspace -> vpn:int -> npages:int -> stage option
+  (** Stage the range by map-entry passing into the kernel map
+      (copy-mode extraction: the sender keeps its view; writes on
+      either side resolve by COW).  [None] if unsupported (BSD VM) or
+      the range is not fully mapped readable — callers then fall back
+      to the copy path so both kernels fail identically on bad
+      ranges. *)
+
+  val stage_read : sys -> stage -> off:int -> len:int -> bytes
+  (** Copy [len] bytes starting at byte offset [off] out of the staged
+      data: the receive-side delivery copy.  May fault staged pages
+      back in (a mexp stage's pages can be paged out mid-transfer). *)
+
+  val stage_map : sys -> vmspace -> stage -> int option
+  (** Deliver the whole stage by donating its map entries into the
+      receiving address space; returns the receiving vpn and consumes
+      the stage.  [None] when the stage cannot be delivered by mapping
+      (loan stages, BSD VM) — the caller then delivers by copy and
+      frees the stage itself. *)
+
+  val stage_free : sys -> stage -> unit
+  (** Drop the staged reference: unwire and unloan loaned frames, or
+      unmap the kernel-map extraction. *)
+
   (* -- memory access ------------------------------------------------- *)
 
   val touch : sys -> vmspace -> vpn:int -> access -> unit

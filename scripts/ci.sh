@@ -75,6 +75,33 @@ else
   echo 'ci: efficacy report produced (python3 unavailable, shape-checked only)'
 fi
 
+# IPC serve smoke (DESIGN.md §11): quick client/server run under every
+# policy on both systems.  The BSD rows must match its copy baseline (it
+# has no zero-copy path to fall back from), and UVM's map-entry passing
+# must beat copying at the largest payload in the sweep.
+dune exec bin/uvm_sim.exe -- serve --quick --out artifacts/serve.json \
+  > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/serve.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "uvm-sim-serve/1", r.get("schema")
+rows = r["rows"]
+assert {x["system"] for x in rows} == {"UVM", "BSD VM"}, rows
+assert {x["policy"] for x in rows} == {"copy", "loan", "mexp"}, rows
+by = {(x["system"], x["policy"], x["payload"]): x["total_us"] for x in rows}
+top = max(x["payload"] for x in rows)
+for policy in ("loan", "mexp"):
+    assert by[("BSD VM", policy, top)] == by[("BSD VM", "copy", top)], policy
+assert by[("UVM", "mexp", top)] < by[("UVM", "copy", top)]
+print("ci: serve results valid (%d rows)" % len(rows))
+EOF
+else
+  grep -q '"uvm-sim-serve/1"' artifacts/serve.json
+  echo 'ci: serve results produced (python3 unavailable, shape-checked only)'
+fi
+
 # Full bench: reproduces every paper table/figure, the ablations and the
 # embedded efficacy report; leaves BENCH_results.json at the repo root so
 # the workflow can start accumulating the bench trajectory.

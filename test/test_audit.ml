@@ -74,5 +74,9 @@ let () =
              disagrees with the ring it sits on. *)
           Alcotest.test_case "queue double insert -> ledger audit" `Quick
             (corruption_case T.Queue_double_insert Check.Ledger);
+          (* A phantom loan_count with no kernel loan or borrowing anon
+             behind it is exactly what the loan census exists to catch. *)
+          Alcotest.test_case "leaked loan -> loan audit" `Quick
+            (corruption_case T.Leak_loan Check.Loan);
         ] );
     ]

@@ -1,0 +1,270 @@
+(* The IPC subsystem (pipes/sockets over mbuf chains, paper §6-§7):
+   policy equivalence across Copy/Loan/Mexp and across kernels, COW on
+   write-after-send, pageout of staged pages mid-transfer, mapped
+   delivery, the vslock'd physio path, and the loan-count census. *)
+
+module Vt = Vmiface.Vmtypes
+module M = Vmiface.Machine
+
+let ps = 4096
+
+(* A deterministic chunked transfer through one pipe, identical for any
+   VM system and policy; returns a transcript of accepted/received
+   counts plus every delivered byte.  Audits after every syscall, so an
+   IPC path that corrupts VM state fails loudly here. *)
+module Stream (V : Vmiface.Vm_sig.VM_SYS) = struct
+  module I = Ipc.Make (V)
+
+  let pattern n = Bytes.init n (fun i -> Char.chr ((i * 7 + 13) land 0xff))
+
+  let run ~policy ?cap_bytes ?(vslocked = false) () =
+    let config = { M.default_config with ram_pages = 512; swap_pages = 1024 } in
+    let sys = V.boot ~config () in
+    let tx = V.new_vmspace sys and rx = V.new_vmspace sys in
+    let src =
+      V.mmap sys tx ~npages:8 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero
+    in
+    let dst =
+      V.mmap sys rx ~npages:8 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero
+    in
+    let src_addr = src * ps and dst_addr = dst * ps in
+    V.write_bytes sys tx ~addr:src_addr (pattern (8 * ps));
+    let ch = I.pipe sys ?cap_bytes () in
+    let out = Buffer.create 1024 in
+    let sends =
+      (* Unaligned, page-aligned and multi-page payloads. *)
+      [ (0, 300); (300, 4096); (4396, 33); (8192, 4096); (12288, 8192); (20480, 1) ]
+    in
+    List.iter
+      (fun (off, len) ->
+        let sent =
+          I.send sys tx ~vslocked ch ~policy ~addr:(src_addr + off) ~len
+        in
+        V.audit sys;
+        let rec drain () =
+          match I.recv sys rx ~vslocked ch ~addr:dst_addr ~len:(8 * ps) with
+          | I.Data 0 -> ()
+          | I.Data n ->
+              Buffer.add_bytes out (V.read_bytes sys rx ~addr:dst_addr ~len:n);
+              drain ()
+          | I.Mapped _ -> assert false
+        in
+        drain ();
+        V.audit sys;
+        Buffer.add_string out (Printf.sprintf "|sent=%d|" sent))
+      sends;
+    I.close sys ch;
+    V.audit sys;
+    Buffer.contents out
+end
+
+module SU = Stream (Uvm.Sys)
+module SB = Stream (Bsdvm.Sys)
+
+let test_policy_equivalence () =
+  let reference = SB.run ~policy:Ipc.Copy () in
+  List.iter
+    (fun policy ->
+      Alcotest.(check string)
+        (Printf.sprintf "UVM %s stream" (Ipc.policy_name policy))
+        reference
+        (SU.run ~policy ());
+      Alcotest.(check string)
+        (Printf.sprintf "BSD %s stream (degrades to copy)"
+           (Ipc.policy_name policy))
+        reference
+        (SB.run ~policy ()))
+    Ipc.all_policies
+
+let test_backpressure_policy_independent () =
+  (* Acceptance is capacity-driven only, so a tiny socket buffer yields
+     the same accepted counts for every policy on every kernel. *)
+  let reference = SB.run ~policy:Ipc.Copy ~cap_bytes:1000 () in
+  List.iter
+    (fun policy ->
+      Alcotest.(check string)
+        (Printf.sprintf "capped UVM %s stream" (Ipc.policy_name policy))
+        reference
+        (SU.run ~policy ~cap_bytes:1000 ()))
+    Ipc.all_policies
+
+let test_vslocked_stream () =
+  let reference = SB.run ~policy:Ipc.Copy () in
+  Alcotest.(check string)
+    "vslock'd UVM loan stream" reference
+    (SU.run ~policy:Ipc.Loan ~vslocked:true ());
+  Alcotest.(check string)
+    "vslock'd BSD copy stream" reference
+    (SB.run ~policy:Ipc.Copy ~vslocked:true ())
+
+(* -- UVM-specific mechanics --------------------------------------------- *)
+
+module S = Uvm.Sys
+module IU = Ipc.Make (Uvm.Sys)
+
+let mk ?(ram_pages = 512) () =
+  let config = { M.default_config with ram_pages; swap_pages = 1024 } in
+  let sys = S.boot ~config () in
+  (sys, S.new_vmspace sys, S.new_vmspace sys)
+
+let stats sys = (S.machine sys).M.stats
+
+let test_vslock_counted () =
+  let sys, tx, rx = mk () in
+  let src = S.mmap sys tx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "physio");
+  let ch = IU.pipe sys () in
+  ignore (IU.send sys tx ~vslocked:true ch ~policy:Ipc.Loan ~addr:(src * ps) ~len:6);
+  ignore (IU.recv sys rx ~vslocked:true ch ~addr:(dst * ps) ~len:6);
+  Alcotest.(check int) "two vslock'd transfers" 2 (stats sys).Sim.Stats.vslock_ios;
+  Alcotest.(check string) "payload" "physio"
+    (Bytes.to_string (S.read_bytes sys rx ~addr:(dst * ps) ~len:6));
+  IU.close sys ch
+
+let test_cow_write_after_send () =
+  let sys, tx, rx = mk () in
+  let src = S.mmap sys tx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "original");
+  let ch = IU.pipe sys () in
+  let sent = IU.send sys tx ch ~policy:Ipc.Loan ~addr:(src * ps) ~len:8 in
+  Alcotest.(check int) "accepted" 8 sent;
+  Alcotest.(check bool) "bytes moved by loan, not copy" true
+    ((stats sys).Sim.Stats.ipc_bytes_loaned = 8);
+  (* The sender scribbles after send: the queued data must be the
+     pre-write snapshot (COW broke the loan). *)
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "SCRIBBLE");
+  S.audit sys;
+  (match IU.recv sys rx ch ~addr:(dst * ps) ~len:8 with
+  | IU.Data 8 -> ()
+  | _ -> Alcotest.fail "expected 8 bytes");
+  Alcotest.(check string) "receiver sees pre-write data" "original"
+    (Bytes.to_string (S.read_bytes sys rx ~addr:(dst * ps) ~len:8));
+  Alcotest.(check string) "sender sees its write" "SCRIBBLE"
+    (Bytes.to_string (S.read_bytes sys tx ~addr:(src * ps) ~len:8));
+  S.audit sys;
+  IU.close sys ch
+
+let test_owner_exit_mid_transfer () =
+  let sys, tx, rx = mk () in
+  let src = S.mmap sys tx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "survive");
+  let ch = IU.pipe sys () in
+  ignore (IU.send sys tx ch ~policy:Ipc.Loan ~addr:(src * ps) ~len:7);
+  (* Sender exits with the loan outstanding: the frame goes to limbo and
+     must still satisfy the receive, and the census must stay clean. *)
+  S.destroy_vmspace sys tx;
+  S.audit sys;
+  (match IU.recv sys rx ch ~addr:(dst * ps) ~len:7 with
+  | IU.Data 7 -> ()
+  | _ -> Alcotest.fail "expected 7 bytes");
+  Alcotest.(check string) "data survives owner exit" "survive"
+    (Bytes.to_string (S.read_bytes sys rx ~addr:(dst * ps) ~len:7));
+  S.audit sys;
+  IU.close sys ch;
+  S.audit sys
+
+let test_mexp_pageout_mid_transfer () =
+  (* A mexp-staged page is neither wired nor loaned, so the pagedaemon
+     may evict it mid-transfer; the receive path must fault it back. *)
+  let sys, tx, rx = mk ~ram_pages:128 () in
+  let src = S.mmap sys tx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:1 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "paged-out");
+  let ch = IU.pipe sys () in
+  let sent = IU.send sys tx ch ~policy:Ipc.Mexp ~addr:(src * ps) ~len:ps in
+  Alcotest.(check int) "whole page accepted" ps sent;
+  Alcotest.(check int) "moved by mapping" ps (stats sys).Sim.Stats.ipc_bytes_mapped;
+  (* Memory pressure: push everything reclaimable out to swap. *)
+  let hog = S.new_vmspace sys in
+  let big = S.mmap sys hog ~npages:300 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  for i = 0 to 299 do
+    S.write_bytes sys hog ~addr:((big + i) * ps) (Bytes.of_string "z")
+  done;
+  Alcotest.(check bool) "pressure caused pageouts" true
+    ((stats sys).Sim.Stats.pageouts > 0);
+  S.audit sys;
+  (match IU.recv sys rx ch ~addr:(dst * ps) ~len:ps with
+  | IU.Data n -> Alcotest.(check int) "full page received" ps n
+  | IU.Mapped _ -> Alcotest.fail "unrequested mapped delivery");
+  Alcotest.(check string) "data faulted back in" "paged-out"
+    (Bytes.to_string (S.read_bytes sys rx ~addr:(dst * ps) ~len:9));
+  S.audit sys;
+  IU.close sys ch
+
+let test_mapped_delivery () =
+  let sys, tx, rx = mk () in
+  let src = S.mmap sys tx ~npages:2 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:2 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.write_bytes sys tx ~addr:(src * ps) (Bytes.of_string "mapped!");
+  let ch = IU.pipe sys () in
+  ignore (IU.send sys tx ch ~policy:Ipc.Mexp ~addr:(src * ps) ~len:(2 * ps));
+  S.audit sys;
+  (match
+     IU.recv sys rx ~accept_mapped:true ch ~addr:(dst * ps) ~len:(2 * ps)
+   with
+  | IU.Mapped { vpn; npages; len } ->
+      Alcotest.(check int) "two pages" 2 npages;
+      Alcotest.(check int) "whole payload" (2 * ps) len;
+      Alcotest.(check string) "zero-copy contents" "mapped!"
+        (Bytes.to_string (S.read_bytes sys rx ~addr:(vpn * ps) ~len:7));
+      (* Receiver writes into the donated mapping: COW must isolate the
+         sender. *)
+      S.write_bytes sys rx ~addr:(vpn * ps) (Bytes.of_string "altered");
+      Alcotest.(check string) "sender isolated from receiver write" "mapped!"
+        (Bytes.to_string (S.read_bytes sys tx ~addr:(src * ps) ~len:7))
+  | IU.Data _ -> Alcotest.fail "expected mapped delivery");
+  S.audit sys;
+  IU.close sys ch;
+  S.audit sys
+
+let test_loan_census_over_chain () =
+  let sys, tx, rx = mk () in
+  let src = S.mmap sys tx ~npages:4 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  let dst = S.mmap sys rx ~npages:4 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero in
+  S.access_range sys tx ~vpn:src ~npages:4 Vt.Write;
+  let ch = IU.pipe sys () in
+  (* Several loans outstanding at once; the census must match at every
+     intermediate state, including after close drops the chain. *)
+  ignore (IU.send sys tx ch ~policy:Ipc.Loan ~addr:(src * ps) ~len:(2 * ps));
+  S.audit sys;
+  ignore (IU.send sys tx ch ~policy:Ipc.Loan ~addr:((src + 2) * ps) ~len:100);
+  S.audit sys;
+  ignore (IU.recv sys rx ch ~addr:(dst * ps) ~len:300);
+  S.audit sys;
+  IU.close sys ch;
+  S.audit sys;
+  (* All loans returned: every frame's loan_count is back to zero. *)
+  Physmem.iter_pages
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "page %d unloaned" p.Physmem.Page.id)
+        0 p.Physmem.Page.loan_count)
+    (Uvm.State.physmem sys.S.usys)
+
+let () =
+  Alcotest.run "ipc"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "policy equivalence" `Quick test_policy_equivalence;
+          Alcotest.test_case "backpressure policy-independent" `Quick
+            test_backpressure_policy_independent;
+          Alcotest.test_case "vslock'd streams" `Quick test_vslocked_stream;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "vslock counted" `Quick test_vslock_counted;
+          Alcotest.test_case "COW write-after-send" `Quick
+            test_cow_write_after_send;
+          Alcotest.test_case "owner exit mid-transfer" `Quick
+            test_owner_exit_mid_transfer;
+          Alcotest.test_case "mexp pageout mid-transfer" `Quick
+            test_mexp_pageout_mid_transfer;
+          Alcotest.test_case "mapped delivery" `Quick test_mapped_delivery;
+          Alcotest.test_case "loan census over chain" `Quick
+            test_loan_census_over_chain;
+        ] );
+    ]
