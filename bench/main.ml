@@ -289,23 +289,20 @@ let reproduce_paper () =
         sl );
     ( "resilience",
       arr
-        (fun (s : Experiments.Resilience.scenario) buf ->
+        (fun (r : Experiments.Resilience.row) buf ->
           obj buf
             [
-              ("scenario", jstr s.scenario_name);
-              ( "cells",
-                arr
-                  (fun (c : Experiments.Resilience.cell) buf ->
-                    obj buf
-                      [
-                        ("sys", jstr c.sys);
-                        ("time_us", jfloat c.time_us);
-                        ("injected", jint c.injected);
-                        ("retries", jint c.retries);
-                        ("recovered", jint c.recovered);
-                        ("badslots", jint c.badslots);
-                      ])
-                  s.cells );
+              ("system", jstr r.rs_system);
+              ("survived", jint (if r.rs_survived then 1 else 0));
+              ("lost_pages", jint r.rs_lost_pages);
+              ("migrations", jint r.rs_migrations);
+              ("failovers", jint r.rs_failovers);
+              ("cache_fills", jint r.rs_cache_fills);
+              ("cache_hits", jint r.rs_cache_hits);
+              ("hit_rate_before", jfloat r.rs_hit_rate_before);
+              ("us_per_page_before", jfloat r.rs_us_per_page_before);
+              ("us_per_page_after", jfloat r.rs_us_per_page_after);
+              ("time_us", jfloat r.rs_time_us);
             ])
         rs );
     ( "ablation_pageout_cluster",

@@ -21,8 +21,6 @@ let experiments =
     ("fig6", "Figure 6: fork+wait overhead", Experiments.Fig6.print);
     ("datamove", "Section 7: loanout/transfer/mexp vs copy", Experiments.Datamove.print);
     ("swapleak", "Section 5.3: swap leak demonstration", Experiments.Swapleak.print);
-    ("resilience", "Failure model: paging under injected disk errors",
-     Experiments.Resilience.print);
   ]
 
 (* -- fault-injection options ----------------------------------------- *)
@@ -169,7 +167,7 @@ let with_faults f =
 (* -- torture ----------------------------------------------------------- *)
 
 let run_torture seed ops audit_every faults shrink artifact_dir corrupt
-    corrupt_at ram_pages swap_pages =
+    corrupt_at ram_pages swap_pages tiers =
   let corrupt =
     match corrupt with
     | None -> None
@@ -179,7 +177,8 @@ let run_torture seed ops audit_every faults shrink artifact_dir corrupt
         | None ->
             Printf.eprintf
               "uvm_sim: unknown --corrupt kind %S (expected leak-swap-slot, \
-               overref-anon, queue-double-insert or leak-loan)\n"
+               overref-anon, queue-double-insert, leak-loan or \
+               leak-swapcache)\n"
               name;
             exit 2)
   in
@@ -195,13 +194,16 @@ let run_torture seed ops audit_every faults shrink artifact_dir corrupt
       corrupt;
       ram_pages;
       swap_pages;
+      tiers;
     }
   in
   Printf.printf
-    "torture: seed=%d ops=%d audit-every=%d faults=%s ram=%d swap=%d\n%!" seed
-    ops audit_every
+    "torture: seed=%d ops=%d audit-every=%d faults=%s ram=%d swap=%d \
+     tiers=%s\n%!"
+    seed ops audit_every
     (if faults then "on" else "off")
-    ram_pages swap_pages;
+    ram_pages swap_pages
+    (if tiers then "fast+slow" else "single");
   let r = Oslayer.Torture.run cfg in
   match r.Oslayer.Torture.r_bug with
   | None ->
@@ -257,8 +259,8 @@ let torture_cmd =
   let corrupt =
     Arg.(value & opt (some string) None & info [ "corrupt" ] ~docv:"KIND"
            ~doc:"Deliberately corrupt kernel state mid-run to exercise the \
-                 auditor: leak-swap-slot, overref-anon, queue-double-insert \
-                 or leak-loan.")
+                 auditor: leak-swap-slot, overref-anon, queue-double-insert, \
+                 leak-loan or leak-swapcache.")
   in
   let corrupt_at =
     Arg.(value & opt int 0 & info [ "corrupt-at" ] ~docv:"N"
@@ -272,13 +274,19 @@ let torture_cmd =
     Arg.(value & opt int 2048 & info [ "swap-pages" ] ~docv:"N"
            ~doc:"Simulated swap size in slots.")
   in
+  let tiers =
+    Arg.(value & flag & info [ "tiers" ]
+           ~doc:"Boot both kernels on a fast+slow swap-tier pair (same \
+                 total slot budget) so the audits cover cross-tier \
+                 accounting and the swapcache.")
+  in
   Cmd.v
     (Cmd.info "torture"
        ~doc:"Differential torture test: one seeded op sequence against both \
              VM systems with periodic invariant audits")
     Term.(
       const run_torture $ seed $ ops $ audit_every $ faults $ shrink
-      $ artifact_dir $ corrupt $ corrupt_at $ ram_pages $ swap_pages)
+      $ artifact_dir $ corrupt $ corrupt_at $ ram_pages $ swap_pages $ tiers)
 
 (* -- report ------------------------------------------------------------ *)
 
@@ -351,9 +359,46 @@ let serve_cmd =
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
       $ fault_seed $ quick $ out)
 
+(* -- resilience -------------------------------------------------------- *)
+
+let run_resilience quick out =
+  let rows = Experiments.Resilience.run ~quick () in
+  Experiments.Resilience.print_result rows;
+  match out with
+  | Some file ->
+      let buf = Buffer.create 4096 in
+      Experiments.Resilience.json buf rows;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "resilience results written to %s\n" file
+  | None -> ()
+
+let resilience_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Smaller tiers and working set (CI smoke test).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-resilience/1 JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Tier failover: stream a file working set through a fast+slow \
+             swap pair, kill the fast device mid-stream, and report \
+             survival, migrations, swapcache hit rate and per-page latency \
+             before/after the death for both VM systems")
+    Term.(
+      const (fun rr wr perm bad seed quick out ->
+          install_faults rr wr perm bad seed;
+          run_resilience quick out)
+      $ read_error_rate $ write_error_rate $ permanent $ bad_slots
+      $ fault_seed $ quick $ out)
+
 (* -- commands --------------------------------------------------------- *)
 
-let run_all () = List.iter (fun (_, _, f) -> f ()) experiments
+let run_all () =
+  List.iter (fun (_, _, f) -> f ()) experiments;
+  Experiments.Resilience.print ()
 let cmd_of (name, doc, f) = Cmd.v (Cmd.info name ~doc) (with_faults f)
 
 let all_cmd =
@@ -369,4 +414,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
-          :: List.map cmd_of experiments)))
+          :: resilience_cmd :: List.map cmd_of experiments)))

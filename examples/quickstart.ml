@@ -14,7 +14,7 @@ let () =
   let vfs = mach.Vmiface.Machine.vfs in
   Printf.printf "booted UVM: %d pages of RAM, %d swap slots\n"
     (Physmem.total_pages mach.Vmiface.Machine.physmem)
-    (Swap.Swapdev.capacity mach.Vmiface.Machine.swap);
+    (Swap.Swaptier.capacity mach.Vmiface.Machine.swap);
 
   (* Create a file and a process address space. *)
   let vn = Vfs.create_file vfs ~name:"/sbin/init" ~size:(8 * 4096) in

@@ -48,10 +48,37 @@ module Sys = struct
     Hashtbl.replace sys.vmspaces vm.vid vm;
     vm
 
+  (* Tier drain: move every swap slot living on an offline device to a
+     healthy tier.  Only anonymous objects hold swap slots in BSD VM, and
+     all of them — shadows included — are in the anon registry. *)
+  let drain_swap bsys =
+    let swap = Bsd_sys.swapdev bsys in
+    List.iter
+      (fun (obj : Vm_object.t) ->
+        let moves =
+          Hashtbl.fold
+            (fun pgno slot acc ->
+              if Swap.Swaptier.slot_needs_drain swap ~slot then
+                (pgno, slot) :: acc
+              else acc)
+            obj.Vm_object.swslots []
+        in
+        List.iter
+          (fun (pgno, slot) ->
+            match Swap.Swaptier.migrate_slot swap ~slot with
+            | Some fresh ->
+                Hashtbl.replace obj.Vm_object.swslots pgno fresh;
+                Swap.Swaptier.free_slots swap ~slot ~n:1
+            | None -> ())
+          moves)
+      (Vm_object.live_anon_objects ~sys_uid:bsys.Bsd_sys.uid)
+
   let boot ?config () =
     let mach = Machine.boot ?config () in
     Machine.set_label mach name;
     let bsys = Bsd_sys.create mach in
+    Swap.Swaptier.set_drain_hook (Bsd_sys.swapdev bsys)
+      (Some (fun () -> drain_swap bsys));
     Vm_pageout.install bsys;
     let cache = Vm_objcache.create bsys in
     let kpmap = Pmap.create (Bsd_sys.pmap_ctx bsys) in
@@ -348,7 +375,11 @@ module Sys = struct
                             Vfs.write_pages (Bsd_sys.vfs bsys) vn
                               ~start_page:p.owner_offset ~srcs:[ p ])
                       with
-                      | Ok () | Error _ -> ())
+                      | Ok () ->
+                          (* Any swapcache copy of this page is stale now. *)
+                          Swap.Swaptier.cache_invalidate (Bsd_sys.swapdev bsys)
+                            ~vid:vn.Vfs.Vnode.vid ~pgno:p.owner_offset
+                      | Error _ -> ())
                   (Vm_object.dirty_pages obj)
             | Vm_object.Anon -> ())
         | None -> ())
@@ -394,7 +425,7 @@ module Sys = struct
   let pmap_free_ptp sys ptp =
     kernel_free_wired sys ~vpn:ptp.ptp_vpn ~npages:ptp.ptp_npages
 
-  let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Bsd_sys.swapdev sys.bsys)
+  let swap_slots_in_use sys = Swap.Swaptier.slots_in_use (Bsd_sys.swapdev sys.bsys)
 
   (* ---- invariant auditor ---------------------------------------------- *)
 

@@ -23,6 +23,50 @@ let clear_needs_copy sys entry =
   entry.objoff <- 0;
   entry.needs_copy <- false
 
+(* mlock wirings are recorded in [entry.wired] and carried by the mapped
+   frame's wire count.  When a fault resolves to a different frame than
+   the one currently mapped (COW copy-up, replacement after reclaim),
+   those wirings must travel with the translation — or a later munlock
+   unwires a frame that no longer carries them.  Same discipline as
+   UVM's fault routine. *)
+let pte_snapshot map ~vpn =
+  match Pmap.lookup map.Vm_map.pmap ~vpn with
+  | Some pte -> Some (pte.Pmap.page, pte.Pmap.wired)
+  | None -> None
+
+(* [entry.wired] also counts the wiring this very fault establishes when
+   it is a wire-fault (mark_wired runs before wire_pages), but that one
+   has not been applied to any frame yet: only previously established
+   wirings move. *)
+let wirings_to_move (entry : Vm_map.entry) ~prev ~page ~wire =
+  match prev with
+  | Some (old_page, true) when old_page != page ->
+      max 0 (entry.Vm_map.wired - if wire then 1 else 0)
+  | Some _ | None -> 0
+
+let unwire_displaced sys ~prev ~transfer =
+  match prev with
+  | Some (old_page, _) ->
+      for _ = 1 to transfer do
+        Physmem.unwire (Bsd_sys.physmem sys) old_page
+      done
+  | None -> ()
+
+(* Install a resolved translation, re-applying moved wirings to the new
+   frame and preserving an existing wired flag on a same-frame re-enter
+   even when the fault itself is not a wiring one. *)
+let enter_resolved map ~vpn ~page ~prot ~wire ~prev ~transfer =
+  let keep =
+    match prev with
+    | Some (old_page, wired) -> wired && old_page == page
+    | None -> false
+  in
+  Pmap.enter map.Vm_map.pmap ~vpn ~page ~prot
+    ~wired:(wire || keep || transfer > 0);
+  for _ = 1 to transfer do
+    Physmem.wire (Bsd_sys.physmem map.Vm_map.sys) page
+  done
+
 let fault map ~vpn ~access ~wire =
   let sys = map.sys in
   let stats = Bsd_sys.stats sys in
@@ -77,6 +121,10 @@ let fault map ~vpn ~access ~wire =
         in
         let off = entry.objoff + (vpn - entry.spage) in
         let physmem = Bsd_sys.physmem sys in
+        (* Taken before resolution: a wired translation survives any
+           pageout the resolution's allocations may trigger, and only
+           wired previous frames matter to the transfer logic. *)
+        let prev = pte_snapshot map ~vpn in
         let resolution =
           (* Both pagein I/O errors and RAM exhaustion surface as typed
              failures, mirroring UVM's fault routine. *)
@@ -88,7 +136,10 @@ let fault map ~vpn ~access ~wire =
                   (* Page already in the top object: ours to use. *)
                   if write then page.Physmem.Page.dirty <- true;
                   Physmem.activate physmem page;
-                  Pmap.enter map.pmap ~vpn ~page ~prot:entry.prot ~wired:wire;
+                  let transfer = wirings_to_move entry ~prev ~page ~wire in
+                  unwire_displaced sys ~prev ~transfer;
+                  enter_resolved map ~vpn ~page ~prot:entry.prot ~wire ~prev
+                    ~transfer;
                   Ok page
                 end
                 else if write then begin
@@ -114,8 +165,12 @@ let fault map ~vpn ~access ~wire =
                   Vm_object.insert_page first_obj ~pgno:off fresh;
                   fresh.Physmem.Page.dirty <- true;
                   Physmem.activate physmem fresh;
-                  Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot
-                    ~wired:wire;
+                  let transfer =
+                    wirings_to_move entry ~prev ~page:fresh ~wire
+                  in
+                  unwire_displaced sys ~prev ~transfer;
+                  enter_resolved map ~vpn ~page:fresh ~prot:entry.prot ~wire
+                    ~prev ~transfer;
                   Vm_object.collapse sys first_obj;
                   ignore owner;
                   Ok fresh
@@ -124,9 +179,11 @@ let fault map ~vpn ~access ~wire =
                   (* Read from an underlying object: map read-only so a later
                      write still faults. *)
                   Physmem.activate physmem page;
-                  Pmap.enter map.pmap ~vpn ~page
+                  let transfer = wirings_to_move entry ~prev ~page ~wire in
+                  unwire_displaced sys ~prev ~transfer;
+                  enter_resolved map ~vpn ~page
                     ~prot:(Pmap.Prot.remove_write entry.prot)
-                    ~wired:wire;
+                    ~wire ~prev ~transfer;
                   Ok page
                 end
             | Ok None ->
@@ -140,8 +197,10 @@ let fault map ~vpn ~access ~wire =
                 Vm_object.insert_page first_obj ~pgno:off fresh;
                 if write then fresh.Physmem.Page.dirty <- true;
                 Physmem.activate physmem fresh;
-                Pmap.enter map.pmap ~vpn ~page:fresh ~prot:entry.prot
-                  ~wired:wire;
+                let transfer = wirings_to_move entry ~prev ~page:fresh ~wire in
+                unwire_displaced sys ~prev ~transfer;
+                enter_resolved map ~vpn ~page:fresh ~prot:entry.prot ~wire
+                  ~prev ~transfer;
                 Ok fresh
           with Physmem.Out_of_pages -> Error Vmtypes.Out_of_memory
         in

@@ -135,14 +135,18 @@ let free_resources sys obj =
     obj.pages;
   Hashtbl.reset obj.pages;
   Hashtbl.iter
-    (fun _ slot -> Swap.Swapdev.free_slots (Bsd_sys.swapdev sys) ~slot ~n:1)
+    (fun _ slot -> Swap.Swaptier.free_slots (Bsd_sys.swapdev sys) ~slot ~n:1)
     obj.swslots;
   Hashtbl.reset obj.swslots;
   (match obj.kind with
-  | Vnode vn when obj.has_vref ->
-      obj.has_vref <- false;
-      Vfs.vrele (Bsd_sys.vfs sys) vn
-  | Vnode _ | Anon -> ());
+  | Vnode vn ->
+      Swap.Swaptier.cache_invalidate_obj (Bsd_sys.swapdev sys)
+        ~vid:vn.Vfs.Vnode.vid;
+      if obj.has_vref then begin
+        obj.has_vref <- false;
+        Vfs.vrele (Bsd_sys.vfs sys) vn
+      end
+  | Anon -> ());
   Hashtbl.remove anon_registry obj.id;
   obj.dead <- true
 
@@ -184,9 +188,17 @@ let rec find_in_chain sys obj ~off ~depth =
             Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
               ~offset:off ()
           in
+          (* The frame allocation may have driven the pagedaemon, whose
+             tier drain can migrate this very slot to a healthy device
+             and free the old one: re-read the binding before the I/O. *)
+          let slot =
+            match Hashtbl.find_opt obj.swslots off with
+            | Some s -> s
+            | None -> slot
+          in
           let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
           let r =
-            Swap.Swapdev.read_resilient (Bsd_sys.swapdev sys)
+            Swap.Swaptier.read_resilient (Bsd_sys.swapdev sys)
               ~retries:sys.Bsd_sys.io_retries
               ~backoff_us:sys.Bsd_sys.io_backoff_us ~slot ~dst:page
           in
@@ -203,26 +215,39 @@ let rec find_in_chain sys obj ~off ~depth =
           match obj.kind with
           | Vnode vn -> (
               (* Bottom of a file chain: read exactly one page (paper §1.1:
-                 BSD VM I/O is one page at a time). *)
+                 BSD VM I/O is one page at a time).  A swapcache copy
+                 spilled at reclaim time serves the re-fault from the fast
+                 swap tier instead. *)
               let page =
                 Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
                   ~offset:off ()
               in
-              let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
-              let r =
-                Bsd_sys.retry_transient sys (fun () ->
-                    Vfs.read_pages (Bsd_sys.vfs sys) vn ~start_page:off
-                      ~dsts:[ page ])
-              in
-              trace_pagein ~t0 ~pager:"vnode" (Result.is_ok r);
-              match r with
-              | Ok () ->
-                  Physmem.note_fault_in (Bsd_sys.physmem sys) page
-                    ~fill:Sim.Lifecycle.Fill_file;
-                  insert_page obj ~pgno:off page;
-                  Physmem.activate (Bsd_sys.physmem sys) page;
-                  Ok (Some (obj, off, page, depth))
-              | Error _ -> fail_pagein page)
+              if
+                Swap.Swaptier.cache_lookup (Bsd_sys.swapdev sys)
+                  ~vid:vn.Vfs.Vnode.vid ~pgno:off ~dst:page
+              then begin
+                Physmem.note_fault_in (Bsd_sys.physmem sys) page
+                  ~fill:Sim.Lifecycle.Fill_pagein;
+                insert_page obj ~pgno:off page;
+                Physmem.activate (Bsd_sys.physmem sys) page;
+                Ok (Some (obj, off, page, depth))
+              end
+              else
+                let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
+                let r =
+                  Bsd_sys.retry_transient sys (fun () ->
+                      Vfs.read_pages (Bsd_sys.vfs sys) vn ~start_page:off
+                        ~dsts:[ page ])
+                in
+                trace_pagein ~t0 ~pager:"vnode" (Result.is_ok r);
+                match r with
+                | Ok () ->
+                    Physmem.note_fault_in (Bsd_sys.physmem sys) page
+                      ~fill:Sim.Lifecycle.Fill_file;
+                    insert_page obj ~pgno:off page;
+                    Physmem.activate (Bsd_sys.physmem sys) page;
+                    Ok (Some (obj, off, page, depth))
+                | Error _ -> fail_pagein page)
           | Anon -> (
               match obj.shadow with
               | Some backing ->
@@ -275,7 +300,7 @@ let rec collapse sys obj =
               && find_page obj ~pgno:our_off = None
               && not (Hashtbl.mem obj.swslots our_off)
             then slot_moves := (our_off, slot) :: !slot_moves
-            else Swap.Swapdev.free_slots (Bsd_sys.swapdev sys) ~slot ~n:1)
+            else Swap.Swaptier.free_slots (Bsd_sys.swapdev sys) ~slot ~n:1)
           backing.swslots;
         Hashtbl.reset backing.swslots;
         List.iter

@@ -44,7 +44,11 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
             Vfs.write_pages (Bsd_sys.vfs sys) vn ~start_page:page.owner_offset
               ~srcs:[ page ])
       with
-      | Ok () -> true
+      | Ok () ->
+          (* The file just changed under any swapcache copy of this page. *)
+          Swap.Swaptier.cache_invalidate (Bsd_sys.swapdev sys)
+            ~vid:vn.Vfs.Vnode.vid ~pgno:page.owner_offset;
+          true
       | Error _ -> false)
   | Vm_object.Anon -> (
       let swapdev = Bsd_sys.swapdev sys in
@@ -54,7 +58,7 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
         match Hashtbl.find_opt obj.Vm_object.swslots pgno with
         | Some slot -> Some slot
         | None ->
-            let fresh = Swap.Swapdev.alloc_slots swapdev ~n:1 in
+            let fresh = Swap.Swaptier.alloc_slots swapdev ~n:1 in
             (match fresh with
             | Some slot -> Hashtbl.replace obj.Vm_object.swslots pgno slot
             | None -> ());
@@ -68,26 +72,29 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
           let assign fresh =
             (match Hashtbl.find_opt obj.Vm_object.swslots pgno with
             | Some old when old <> fresh ->
-                Swap.Swapdev.free_slots swapdev ~slot:old ~n:1;
+                Swap.Swaptier.free_slots swapdev ~slot:old ~n:1;
                 Physmem.note_reassign (Bsd_sys.physmem sys) page
                   ~dist:(abs (fresh - old))
             | Some _ | None -> ());
             Hashtbl.replace obj.Vm_object.swslots pgno fresh
           in
           match
-            Swap.Swapdev.write_resilient swapdev
+            Swap.Swaptier.write_resilient swapdev
               ~retries:sys.Bsd_sys.io_retries
               ~backoff_us:sys.Bsd_sys.io_backoff_us ~slot ~assign
               ~pages:[ page ]
           with
-          | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> true
-          | Swap.Swapdev.No_space _ | Swap.Swapdev.Failed _ -> false)
+          | Swap.Swaptier.Written | Swap.Swaptier.Reassigned _ -> true
+          | Swap.Swaptier.No_space _ | Swap.Swaptier.Failed _ -> false)
       | None ->
           stats.Sim.Stats.swap_full_events <-
             stats.Sim.Stats.swap_full_events + 1;
           false (* swap exhausted *))
 
 let run sys =
+  (* A dying or swapped-off device drains through the pagedaemon: migrate
+     its readable slots to healthy tiers before reclaiming anything new. *)
+  Swap.Swaptier.run_drain (Bsd_sys.swapdev sys);
   let physmem = Bsd_sys.physmem sys in
   let target = Physmem.freetarg physmem in
   let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
@@ -106,7 +113,16 @@ let run sys =
                   (not page.dirty)
                   && Hashtbl.mem obj.Vm_object.swslots page.owner_offset
             in
-            if has_backing_copy then reclaim sys page
+            if has_backing_copy then begin
+              (* Clean vnode page about to be dropped: spill a copy to
+                 the swapcache so a re-fault is a fast-tier read. *)
+              (match obj.Vm_object.kind with
+              | Vm_object.Vnode vn when not page.dirty ->
+                  Swap.Swaptier.cache_put (Bsd_sys.swapdev sys)
+                    ~vid:vn.Vfs.Vnode.vid ~pgno:page.owner_offset ~page
+              | _ -> ());
+              reclaim sys page
+            end
             else if pageout_one sys obj page then reclaim sys page
         | _ -> assert false
   in

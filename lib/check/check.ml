@@ -166,13 +166,37 @@ let check_physmem ~system pm =
 
 let check_swap ~system swap ~claims =
   let fail invariant detail = fail ~system ~subsys:Swap ~invariant detail in
+  (* The swapcache's entries are slot owners too, checked first under
+     their own invariant names so cache corruption is distinguishable
+     from a VM-structure leak, then merged into the general census (a
+     slot charged to both an anon/object and the cache is slot_shared). *)
+  let cache_claims =
+    List.map
+      (fun ((vid, pgno), slot) ->
+        let who = Printf.sprintf "swapcache@%d:%d" vid pgno in
+        if not (Swap.Swaptier.is_allocated_slot swap ~slot) then
+          fail "cache_slot_unallocated"
+            (Printf.sprintf "%s holds slot %d which is not allocated" who slot);
+        if Swap.Swaptier.slot_on_dead_device swap ~slot then
+          fail "cache_dead_device"
+            (Printf.sprintf "%s holds slot %d on a dead device" who slot);
+        (who, slot))
+      (Swap.Swaptier.cache_claims swap)
+  in
+  (* A device that finished draining owns nothing, forever. *)
+  (match Swap.Swaptier.undrained_violation swap with
+  | Some name ->
+      fail "dead_device_owns"
+        (Printf.sprintf "drained device %s owns slots again" name)
+  | None -> ());
+  let claims = claims @ cache_claims in
   let owners : (int, string) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (who, slot) ->
-      if slot < 1 || slot > Swap.Swapdev.capacity swap then
+      if slot < 1 || slot > Swap.Swaptier.capacity swap then
         fail "slot_range"
           (Printf.sprintf "%s claims out-of-range slot %d" who slot);
-      if not (Swap.Swapdev.is_allocated_slot swap ~slot) then
+      if not (Swap.Swaptier.is_allocated_slot swap ~slot) then
         fail "slot_unallocated"
           (Printf.sprintf "%s claims slot %d which is not allocated" who slot);
       (match Hashtbl.find_opt owners slot with
@@ -183,13 +207,13 @@ let check_swap ~system swap ~claims =
       Hashtbl.replace owners slot who)
     claims;
   let claimed = Hashtbl.length owners in
-  let in_use = Swap.Swapdev.slots_in_use swap in
+  let in_use = Swap.Swaptier.slots_in_use swap in
   if claimed <> in_use then begin
     (* Name a leaked slot to make the report actionable. *)
     let leaked = ref None in
-    for slot = Swap.Swapdev.capacity swap downto 1 do
+    for slot = Swap.Swaptier.capacity swap downto 1 do
       if
-        Swap.Swapdev.is_allocated_slot swap ~slot
+        Swap.Swaptier.is_allocated_slot swap ~slot
         && not (Hashtbl.mem owners slot)
       then leaked := Some slot
     done;

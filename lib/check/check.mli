@@ -56,14 +56,19 @@ val check_physmem : system:string -> Physmem.t -> unit
 
 val check_swap :
   system:string ->
-  Swap.Swapdev.t ->
+  Swap.Swaptier.t ->
   claims:(string * int) list ->
   unit
-(** Swap-leak oracle.  [claims] lists every swap slot reachable from a live
-    anon or memory object, with a description of the owner.  Verifies that
-    each claimed slot is really allocated, that no slot is claimed by two
-    owners, and that every allocated slot is claimed — an allocated but
-    unclaimed slot is precisely a swap leak (paper §5.3). *)
+(** Swap-leak oracle, across tiers.  [claims] lists every swap slot
+    reachable from a live anon or memory object, with a description of
+    the owner; the swapcache's entries are appended as owners in their
+    own right.  Verifies that each claimed slot is really allocated, that
+    no slot is claimed by two owners (an anon/object and the cache
+    sharing a slot is [slot_shared]), that every allocated slot is
+    claimed — an allocated but unclaimed slot is precisely a swap leak
+    (paper §5.3) — and, for the tier failure model, that no cache entry
+    sits on an unallocated slot or a dead device and that a fully-drained
+    device never owns slots again. *)
 
 val check_loans :
   system:string ->

@@ -358,13 +358,16 @@ let resolve m op : action option =
           Some (A_munmap { p; vpn = rg.vpn + off; npages = len })
       | _ -> None)
   | Mprotect { p; r; off; len; prot_ix } -> (
+      (* Unlike munmap, mprotect across a wired range is fair game: every
+         prot choice keeps read (so the wired pages stay accessible) and
+         both kernels must preserve the wiring across the permission
+         change — exactly the interaction worth generating. *)
       match region_at m p r with
       | Some rg
         when off >= 0 && len >= 1
              && off + len <= rg.npages
              && prot_ix >= 0
-             && prot_ix < Array.length prots
-             && not (overlaps_wired rg ~off ~len) ->
+             && prot_ix < Array.length prots ->
           Some
             (A_mprotect
                { p; vpn = rg.vpn + off; npages = len; prot = prots.(prot_ix) })
@@ -791,18 +794,21 @@ type corruption =
   | Overref_anon  (** over-count some live anon's reference count *)
   | Queue_double_insert  (** link a frame on two paging queues at once *)
   | Leak_loan  (** bump a live page's loan count with no borrower *)
+  | Leak_swapcache  (** swapcache claims a slot the allocator never gave it *)
 
 let corruption_name = function
   | Leak_swap_slot -> "leak-swap-slot"
   | Overref_anon -> "overref-anon"
   | Queue_double_insert -> "queue-double-insert"
   | Leak_loan -> "leak-loan"
+  | Leak_swapcache -> "leak-swapcache"
 
 let corruption_of_string = function
   | "leak-swap-slot" -> Some Leak_swap_slot
   | "overref-anon" -> Some Overref_anon
   | "queue-double-insert" -> Some Queue_double_insert
   | "leak-loan" -> Some Leak_loan
+  | "leak-swapcache" -> Some Leak_swapcache
   | _ -> None
 
 (* Corruptions target the UVM instance (the machine-level ones could hit
@@ -812,9 +818,13 @@ let apply_corruption (eu : Exec_uvm.t) c : bool =
   let mach = Uvm.Sys.machine eu.Exec_uvm.sys in
   match c with
   | Leak_swap_slot -> (
-      match Swap.Swapdev.alloc_slots mach.Machine.swap ~n:1 with
+      match Swap.Swaptier.alloc_slots mach.Machine.swap ~n:1 with
       | Some _ -> true
       | None -> false)
+  | Leak_swapcache ->
+      (* A cache entry charged against a slot the allocator never handed
+         out — what a forgotten invalidate after a slot free looks like. *)
+      Swap.Swaptier.Testhook.leak_cache_entry mach.Machine.swap
   | Queue_double_insert -> (
       let victim = ref None in
       Physmem.iter_pages
@@ -1023,6 +1033,49 @@ let gen rng m ~faults : op =
   let cand_msync () =
     cand_range (fun p r off len -> Msync { p; r; off; len })
   in
+  let cand_mprotect_wired () =
+    (* Directed: flip permissions across a range that overlaps a wired
+       run, so the wiring <-> protection interaction actually occurs. *)
+    match pick_live_region () with
+    | Some (p, r, rg) when rg.wired <> [] -> (
+        match pick_list rng rg.wired with
+        | Some (woff, wlen) ->
+            let off = max 0 (woff - Sim.Rng.int rng 2) in
+            let len = min (rg.npages - off) (wlen + Sim.Rng.int rng 3) in
+            Some
+              (Mprotect
+                 {
+                   p;
+                   r;
+                   off;
+                   len;
+                   prot_ix = Sim.Rng.int rng (Array.length prots);
+                 })
+        | None -> None)
+    | _ -> None
+  in
+  let cand_mlock_shared () =
+    (* Directed: wire a range of a region whose amap is shared with
+       another process (Inh_shared fork lineage) — mlock meets shared
+       amaps. *)
+    let shared = ref [] in
+    Array.iteri
+      (fun p -> function
+        | Some pr ->
+            Array.iteri
+              (fun r -> function
+                | Some rg when rg.lineage_shared -> shared := (p, r, rg) :: !shared
+                | _ -> ())
+              pr.regions
+        | None -> ())
+      m.procs;
+    match pick_list rng !shared with
+    | Some (p, r, rg) ->
+        let off = Sim.Rng.int rng rg.npages in
+        let len = 1 + Sim.Rng.int rng (min 4 (rg.npages - off)) in
+        Some (Mlock { p; r; off; len })
+    | None -> None
+  in
   let cand_munlock () =
     match pick_live_region () with
     | Some (p, r, rg) -> (
@@ -1129,7 +1182,14 @@ let gen rng m ~faults : op =
     (* Under injected I/O errors wiring faults can fail mid-range, which
        would wedge the two kernels differently: keep wiring out of
        fault-mode traces. *)
-    @ (if faults then [] else [ (5, cand_mlock); (4, cand_munlock) ])
+    @ (if faults then []
+       else
+         [
+           (5, cand_mlock);
+           (4, cand_munlock);
+           (3, cand_mprotect_wired);
+           (3, cand_mlock_shared);
+         ])
   in
   let total = List.fold_left (fun acc (w, _) -> acc + w) 0 cands in
   let draw () =
@@ -1167,6 +1227,7 @@ type cfg = {
   ram_pages : int;
   swap_pages : int;
   trace_buf : int;
+  tiers : bool;  (** boot on a fast+slow tier pair instead of one device *)
 }
 
 let default_cfg =
@@ -1181,23 +1242,33 @@ let default_cfg =
     ram_pages = 256;
     swap_pages = 2048;
     trace_buf = 4096;
+    tiers = false;
   }
 
 let machine_config cfg =
-  {
-    Machine.default_config with
-    ram_pages = cfg.ram_pages;
-    swap_pages = cfg.swap_pages;
-    seed = cfg.seed;
-    trace_buf = Some cfg.trace_buf;
-    fault_plan =
-      (if cfg.faults then
-         Some
-           (fun () ->
-             Sim.Fault_plan.create ~seed:cfg.seed ~read_error_rate:0.005
-               ~write_error_rate:0.005 ())
-       else None);
-  }
+  let base =
+    {
+      Machine.default_config with
+      ram_pages = cfg.ram_pages;
+      swap_pages = cfg.swap_pages;
+      seed = cfg.seed;
+      trace_buf = Some cfg.trace_buf;
+      fault_plan =
+        (if cfg.faults then
+           Some
+             (fun () ->
+               Sim.Fault_plan.create ~seed:cfg.seed ~read_error_rate:0.005
+                 ~write_error_rate:0.005 ())
+         else None);
+    }
+  in
+  if cfg.tiers then
+    (* Same total slot budget, split across a fast and a slow device, so
+       tiered runs see the identical out-of-swap pressure points. *)
+    Machine.tiered ~fast_pages:(cfg.swap_pages / 4)
+      ~slow_pages:(cfg.swap_pages - (cfg.swap_pages / 4))
+      base
+  else base
 
 type drive_source = Fresh of int | Replay of (int * op) list
 

@@ -74,6 +74,7 @@ type corruption =
   | Overref_anon
   | Queue_double_insert
   | Leak_loan
+  | Leak_swapcache
 
 val corruption_name : corruption -> string
 val corruption_of_string : string -> corruption option
@@ -103,6 +104,9 @@ type cfg = {
   ram_pages : int;
   swap_pages : int;
   trace_buf : int;  (** event-ring capacity per machine, for artifacts *)
+  tiers : bool;
+      (** boot both kernels on a fast+slow swap-tier pair (same total
+          slot budget) so audits cover cross-tier accounting *)
 }
 
 val default_cfg : cfg

@@ -58,6 +58,12 @@ type t = {
   mutable ipc_bytes_loaned : int;  (** IPC payload bytes moved by page loanout *)
   mutable ipc_bytes_mapped : int;  (** IPC payload bytes moved by map-entry passing *)
   mutable vslock_ios : int;  (** physio-style transfers over a vslock'd buffer *)
+  mutable swap_devices_dead : int;  (** whole swap devices declared dead *)
+  mutable swap_failovers : int;  (** pageout reassignments that crossed devices *)
+  mutable swap_migrations : int;  (** slots drained from a dying device to a healthy one *)
+  mutable swap_cache_fills : int;  (** clean vnode pages spilled into the swapcache *)
+  mutable swap_cache_hits : int;  (** refaults served from the swapcache *)
+  mutable swap_cache_evictions : int;  (** cache entries shed (pressure, death, invalidation) *)
 }
 
 val create : unit -> t

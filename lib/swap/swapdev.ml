@@ -5,10 +5,13 @@ type t = {
   page_size : int;
   store : (int, bytes) Hashtbl.t;
   stats : Sim.Stats.t;
+  trace_base : int;
+  trace_tier : string option;
   mutable hist : Sim.Hist.t option;
 }
 
-let create ~nslots ~page_size ~clock ~costs ~stats =
+let create ?(trace_base = 0) ?trace_tier ~nslots ~page_size ~clock ~costs
+    ~stats () =
   {
     map = Swapmap.create ~nslots;
     disk = Sim.Disk.create ~clock ~costs ~stats;
@@ -16,6 +19,8 @@ let create ~nslots ~page_size ~clock ~costs ~stats =
     page_size;
     store = Hashtbl.create 256;
     stats;
+    trace_base;
+    trace_tier;
     hist = None;
   }
 
@@ -24,6 +29,11 @@ let set_hist t h = t.hist <- h
 (* Both VM systems drive paging I/O through this device, so recording
    Swap-subsystem events here traces them identically for free.  The
    detail list is only built once we know a history is attached. *)
+let tier_detail t rest =
+  match t.trace_tier with
+  | None -> rest
+  | Some tier -> ("tier", tier) :: rest
+
 let trace_span t ~t0 ~slot ~n ~result name =
   match t.hist with
   | None -> ()
@@ -31,11 +41,12 @@ let trace_span t ~t0 ~slot ~n ~result name =
       Sim.Hist.record h ~subsys:Sim.Hist.Swap ~ts:t0
         ~dur:(Sim.Simclock.now t.clock -. t0)
         ~detail:
-          [
-            ("slot", string_of_int slot);
-            ("pages", string_of_int n);
-            ("result", result);
-          ]
+          (tier_detail t
+             [
+               ("slot", string_of_int (t.trace_base + slot));
+               ("pages", string_of_int n);
+               ("result", result);
+             ])
         name
 
 let trace_instant t ~slot name =
@@ -43,7 +54,7 @@ let trace_instant t ~slot name =
   | None -> ()
   | Some h ->
       Sim.Hist.record h ~subsys:Sim.Hist.Swap ~ts:(Sim.Simclock.now t.clock)
-        ~detail:[ ("slot", string_of_int slot) ]
+        ~detail:(tier_detail t [ ("slot", string_of_int (t.trace_base + slot)) ])
         name
 
 let result_of = function
@@ -154,6 +165,40 @@ let read_cluster t ~slot ~dsts =
         Ok ()
   in
   trace_span t ~t0 ~slot ~n ~result:(result_of r) "swap_read";
+  r
+
+let has_data t ~slot = Hashtbl.mem t.store slot
+
+(* Raw slot transfers for the tier layer: swapcache fills/hits and
+   cross-device drain migration move bytes without touching page state or
+   the pagein/pageout counters — those flows have their own accounting. *)
+let read_raw t ~slot =
+  match Hashtbl.find_opt t.store slot with
+  | None -> invalid_arg "Swapdev.read_raw: slot holds no data"
+  | Some data ->
+      let t0 = Sim.Simclock.now t.clock in
+      let r =
+        match Sim.Disk.read t.disk ~slots:[ slot ] ~npages:1 with
+        | Error e -> Error e
+        | Ok () -> Ok (Bytes.copy data)
+      in
+      trace_span t ~t0 ~slot ~n:1
+        ~result:(result_of (Result.map ignore r))
+        "swap_read";
+      r
+
+let write_raw t ~slot data =
+  if not (Swapmap.is_allocated t.map ~slot) then
+    invalid_arg "Swapdev.write_raw: slot not allocated";
+  let t0 = Sim.Simclock.now t.clock in
+  let r =
+    match Sim.Disk.write t.disk ~slots:[ slot ] ~npages:1 with
+    | Error _ as e -> e
+    | Ok () ->
+        Hashtbl.replace t.store slot (Bytes.copy data);
+        Ok ()
+  in
+  trace_span t ~t0 ~slot ~n:1 ~result:(result_of r) "swap_write";
   r
 
 (* Exponential backoff before retry attempt [attempt] (0-based), charged

@@ -13,12 +13,18 @@
 type t
 
 val create :
+  ?trace_base:int ->
+  ?trace_tier:string ->
   nslots:int ->
   page_size:int ->
   clock:Sim.Simclock.t ->
   costs:Sim.Cost_model.t ->
   stats:Sim.Stats.t ->
+  unit ->
   t
+(** [trace_base] offsets the slot numbers recorded in trace events (the
+    tier layer passes its global-namespace base so multi-device traces
+    stay coherent); [trace_tier] tags every event with the device name. *)
 
 val capacity : t -> int
 val slots_in_use : t -> int
@@ -58,6 +64,20 @@ val read_slot :
 val read_cluster :
   t -> slot:int -> dsts:Physmem.Page.t list -> (unit, Sim.Fault_plan.error) result
 (** Page in consecutive slots in one I/O operation. *)
+
+val has_data : t -> slot:int -> bool
+(** Whether a successful write ever stored bytes in [slot]. *)
+
+val read_raw : t -> slot:int -> (bytes, Sim.Fault_plan.error) result
+(** Read one slot's stored bytes (one charged I/O operation) without
+    touching any page or the pagein counters — the tier layer's
+    swapcache-hit and drain-migration primitive.
+    @raise Invalid_argument if the slot holds no data. *)
+
+val write_raw : t -> slot:int -> bytes -> (unit, Sim.Fault_plan.error) result
+(** Store bytes in an allocated slot (one charged I/O operation) without
+    touching any page or the pageout counters.
+    @raise Invalid_argument if the slot is not allocated. *)
 
 val read_resilient :
   t ->

@@ -54,6 +54,54 @@ module Sys = struct
     Hashtbl.replace sys.vmspaces vm.vid vm;
     vm
 
+  (* Tier drain: move every swap slot living on an offline device to a
+     healthy tier.  Invoked by the pagedaemon through the swap layer's
+     drain hook; walks exactly what the swap audit walks, so a passing
+     audit after a drain means the device really owns nothing. *)
+  let drain_swap sys =
+    let swap = Uvm_sys.swapdev sys.usys in
+    let seen_anon = Hashtbl.create 64 in
+    let seen_obj = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ vm ->
+        Uvm_map.iter_entries
+          (fun e ->
+            (match e.Uvm_map.amap with
+            | Some am ->
+                for i = 0 to Uvm_map.entry_npages e - 1 do
+                  match Uvm_amap.lookup am ~slot:(e.Uvm_map.amapoff + i) with
+                  | Some anon when not (Hashtbl.mem seen_anon anon.Uvm_anon.id)
+                    ->
+                      Hashtbl.replace seen_anon anon.Uvm_anon.id ();
+                      let slot = anon.Uvm_anon.swslot in
+                      if
+                        slot <> 0
+                        && Swap.Swaptier.slot_needs_drain swap ~slot
+                      then (
+                        match Swap.Swaptier.migrate_slot swap ~slot with
+                        | Some fresh ->
+                            (* set_swslot frees the vacated slot. *)
+                            Uvm_anon.set_swslot sys.usys anon fresh
+                        | None -> ())
+                  | _ -> ()
+                done
+            | None -> ());
+            match e.Uvm_map.obj with
+            | Some o when not (Hashtbl.mem seen_obj o.Uvm_object.id) ->
+                Hashtbl.replace seen_obj o.Uvm_object.id ();
+                List.iter
+                  (fun (pgno, slot) ->
+                    if Swap.Swaptier.slot_needs_drain swap ~slot then
+                      match Swap.Swaptier.migrate_slot swap ~slot with
+                      | Some fresh ->
+                          Uvm_aobj.rebind_slot o ~pgno ~slot:fresh;
+                          Swap.Swaptier.free_slots swap ~slot ~n:1
+                      | None -> ())
+                  (Uvm_aobj.swslots o)
+            | _ -> ())
+          vm.map)
+      sys.vmspaces
+
   let boot ?config () =
     let mach = Machine.boot ?config () in
     Machine.set_label mach name;
@@ -70,6 +118,8 @@ module Sys = struct
     in
     let sys = { usys; kernel; vmspaces = Hashtbl.create 32 } in
     Hashtbl.replace sys.vmspaces kernel.vid kernel;
+    Swap.Swaptier.set_drain_hook (Uvm_sys.swapdev usys)
+      (Some (fun () -> drain_swap sys));
     sys
 
   let new_vmspace sys = make_vmspace sys ~kernel:false
@@ -147,10 +197,13 @@ module Sys = struct
     done
 
   (* mlock: the one wiring case whose state has no home other than the map
-     (paper §3.2), so it clips entries under UVM too. *)
+     (paper §3.2), so it clips entries under UVM too.  The faults run
+     before the mark so that, while a wire fault is in flight,
+     [entry.wired] counts exactly the wirings already carried by mapped
+     frames — the set a COW displacement must move to the new frame. *)
   let mlock sys vm ~vpn ~npages =
-    Uvm_map.mark_wired vm.map ~spage:vpn ~npages;
     wire_pages vm ~vpn ~npages;
+    Uvm_map.mark_wired vm.map ~spage:vpn ~npages;
     ignore sys
 
   let munlock sys vm ~vpn ~npages =
@@ -234,14 +287,20 @@ module Sys = struct
 
   (* The extraction raises on unmapped holes; probe first so a bad source
      range declines to the copy path and faults exactly like the
-     baseline kernel would. *)
+     baseline kernel would.  Shared amaps also decline: the COW snapshot
+     marks the source needs-copy, which would detach the sender from an
+     amap its sharers expect to keep seeing writes through. *)
   let mexp_range_ok vm ~vpn ~npages =
     let entries = Uvm_map.entries vm.map in
     let covered v =
       List.exists
         (fun (e : Uvm_map.entry) ->
           e.Uvm_map.spage <= v && v < e.Uvm_map.epage
-          && e.Uvm_map.prot.Pmap.Prot.r)
+          && e.Uvm_map.prot.Pmap.Prot.r
+          &&
+          match e.Uvm_map.amap with
+          | Some am -> not am.Uvm_amap.shared
+          | None -> true)
         entries
     in
     let ok = ref true in
@@ -366,7 +425,7 @@ module Sys = struct
 
   let swapin_ustruct sys ~vpn ~npages = wire_pages sys.kernel ~vpn ~npages
 
-  let swap_slots_in_use sys = Swap.Swapdev.slots_in_use (Uvm_sys.swapdev sys.usys)
+  let swap_slots_in_use sys = Swap.Swaptier.slots_in_use (Uvm_sys.swapdev sys.usys)
 
   (* ---- invariant auditor (DIAGNOSTIC-style, paper §5.3's oracle) ------ *)
 

@@ -30,7 +30,7 @@ let ref_ t = t.refs <- t.refs + 1
 
 let set_swslot sys t slot =
   if t.swslot <> 0 then
-    Swap.Swapdev.free_slots (Uvm_sys.swapdev sys) ~slot:t.swslot ~n:1;
+    Swap.Swaptier.free_slots (Uvm_sys.swapdev sys) ~slot:t.swslot ~n:1;
   t.swslot <- slot
 
 let unref sys t =
@@ -81,7 +81,7 @@ let ensure_resident sys t =
       in
       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
       let r =
-        Swap.Swapdev.read_resilient (Uvm_sys.swapdev sys)
+        Swap.Swaptier.read_resilient (Uvm_sys.swapdev sys)
           ~retries:sys.Uvm_sys.io_retries ~backoff_us:sys.Uvm_sys.io_backoff_us
           ~slot:t.swslot ~dst:page
       in

@@ -9,7 +9,7 @@ let registry : (int, state) Hashtbl.t = Hashtbl.create 16
 
 let free_slots sys st =
   Hashtbl.iter
-    (fun _ slot -> Swap.Swapdev.free_slots (Uvm_sys.swapdev sys) ~slot ~n:1)
+    (fun _ slot -> Swap.Swaptier.free_slots (Uvm_sys.swapdev sys) ~slot ~n:1)
     st.swslots;
   Hashtbl.reset st.swslots
 
@@ -30,7 +30,7 @@ let make_ops sys st obj =
          | Some slot ->
              let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
              let r =
-               Swap.Swapdev.read_resilient swapdev
+               Swap.Swaptier.read_resilient swapdev
                  ~retries:sys.Uvm_sys.io_retries
                  ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~dst:page
              in
@@ -83,7 +83,7 @@ let make_ops sys st obj =
         let pgno = page.owner_offset in
         (match Hashtbl.find_opt st.swslots pgno with
         | Some old when old <> base + i ->
-            Swap.Swapdev.free_slots swapdev ~slot:old ~n:1;
+            Swap.Swaptier.free_slots swapdev ~slot:old ~n:1;
             Physmem.note_reassign physmem page ~dist:(abs (base + i - old))
         | Some _ | None -> ());
         Hashtbl.replace st.swslots pgno (base + i))
@@ -93,13 +93,13 @@ let make_ops sys st obj =
     let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
     let r =
       match
-        Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
+        Swap.Swaptier.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
           ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot:base
           ~assign:(rebind_cluster pages) ~pages
       with
-      | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _ -> Ok ()
-      | Swap.Swapdev.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
-      | Swap.Swapdev.Failed _ -> Error Vmiface.Vmtypes.Pager_error
+      | Swap.Swaptier.Written | Swap.Swaptier.Reassigned _ -> Ok ()
+      | Swap.Swaptier.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
+      | Swap.Swaptier.Failed _ -> Error Vmiface.Vmtypes.Pager_error
     in
     (if Uvm_sys.tracing sys then begin
        let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
@@ -124,7 +124,7 @@ let make_ops sys st obj =
     let slot =
       match Hashtbl.find_opt st.swslots pgno with
       | Some slot -> Some slot
-      | None -> Swap.Swapdev.alloc_slots swapdev ~n:1
+      | None -> Swap.Swaptier.alloc_slots swapdev ~n:1
     in
     match slot with
     | Some slot ->
@@ -145,7 +145,7 @@ let make_ops sys st obj =
         (* Reassign swap locations so the whole batch is one contiguous
            write (paper §6). *)
         let n = List.length pages in
-        match Swap.Swapdev.alloc_slots swapdev ~n with
+        match Swap.Swaptier.alloc_slots swapdev ~n with
         | Some base ->
             Physmem.note_cluster physmem ~pages ~runs:1;
             rebind_cluster pages base;
@@ -179,6 +179,8 @@ let make_ops sys st obj =
     Uvm_object.pgo_name = "aobj";
     pgo_get;
     pgo_put;
+    (* aobj pages already live on swap; nothing to gain from the cache. *)
+    pgo_cache_spill = (fun _ -> ());
     pgo_reference;
     pgo_detach;
   }
@@ -201,3 +203,9 @@ let swslots obj =
   match Hashtbl.find_opt registry obj.Uvm_object.id with
   | Some st -> Hashtbl.fold (fun pgno slot acc -> (pgno, slot) :: acc) st.swslots []
   | None -> []
+
+let rebind_slot obj ~pgno ~slot =
+  match Hashtbl.find_opt registry obj.Uvm_object.id with
+  | Some st when Hashtbl.mem st.swslots pgno ->
+      Hashtbl.replace st.swslots pgno slot
+  | Some _ | None -> invalid_arg "Uvm_aobj.rebind_slot: no such binding"

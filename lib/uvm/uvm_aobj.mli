@@ -16,3 +16,8 @@ val swslot_count : Uvm_object.t -> int
 val swslots : Uvm_object.t -> (int * int) list
 (** The aobj's [(page offset, swap slot)] bindings, unordered — the
     invariant auditor's view of which slots this object claims. *)
+
+val rebind_slot : Uvm_object.t -> pgno:int -> slot:int -> unit
+(** Point an existing [(pgno, slot)] binding at a new slot without
+    touching the old one — tier-drain migration, where the caller frees
+    the vacated slot itself.  Raises on an unknown binding. *)

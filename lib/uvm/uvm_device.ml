@@ -70,6 +70,13 @@ let attach sys dev =
                Just forget the object's page index. *)
             Hashtbl.reset obj.Uvm_object.pages
         in
-        { Uvm_object.pgo_name = "udv"; pgo_get; pgo_put; pgo_reference; pgo_detach })
+        {
+          Uvm_object.pgo_name = "udv";
+          pgo_get;
+          pgo_put;
+          pgo_cache_spill = (fun _ -> ());
+          pgo_reference;
+          pgo_detach;
+        })
   in
   obj

@@ -93,14 +93,14 @@ let pte_snapshot map ~vpn =
    the mapped frame's wire count, so when resolution yields a different
    frame (COW, loan displacement, shared-amap replacement) they travel
    with the translation — or a later munlock would unwire a frame that no
-   longer carries them.  [entry.wired] also counts the wiring this very
-   fault establishes when it is a wire-fault (mark_wired runs before
-   wire_pages), but that one has not been applied to any frame yet: only
-   the previously established wirings move. *)
+   longer carries them.  mlock marks the entry only after its wire faults
+   complete, so during any wire fault [entry.wired] counts exactly the
+   established wirings — the wiring the fault itself is creating is
+   applied to the resolved frame afterwards, never moved. *)
 let wirings_to_move entry ~prev ~page ~wire =
+  ignore wire;
   match prev with
-  | Some (old_page, true) when old_page != page ->
-      max 0 (entry.wired - if wire then 1 else 0)
+  | Some (old_page, true) when old_page != page -> max 0 entry.wired
   | Some _ | None -> 0
 
 (* Detach the moving wirings from the displaced frame.  Must run before
@@ -313,6 +313,26 @@ let fault map ~vpn ~access ~wire =
          later write fault would swap out the wired page for a copy. *)
       let write =
         access = Vmtypes.Write || (wire && entry.prot.Pmap.Prot.w && entry.cow)
+      in
+      (* Same reasoning one layer down: wiring a writable mapping whose
+         anon cannot be written in place (shared with another amap or
+         loaned out) must displace the private copy now — vslock-style
+         wirings live only on the frame, so a later write fault's
+         displacement would strand them on the old frame and vsunlock
+         would unwire a frame that never carried them. *)
+      let write =
+        write
+        || wire
+           && entry.prot.Pmap.Prot.w
+           &&
+           match entry.amap with
+           | Some am -> (
+               match
+                 Uvm_amap.lookup am ~slot:(entry.amapoff + (vpn - entry.spage))
+               with
+               | Some anon -> not (Uvm_anon.writable_in_place anon)
+               | None -> false)
+           | None -> false
       in
       let wanted =
         if write then Pmap.Prot.rw

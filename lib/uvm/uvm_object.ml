@@ -13,6 +13,7 @@ and pager_ops = {
     hi:int ->
     ((int * Physmem.Page.t) list, Vmiface.Vmtypes.fault_error) result;
   pgo_put : Physmem.Page.t list -> (unit, Vmiface.Vmtypes.fault_error) result;
+  pgo_cache_spill : Physmem.Page.t -> unit;
   pgo_reference : unit -> unit;
   pgo_detach : unit -> unit;
 }
@@ -24,6 +25,7 @@ let dummy_ops =
     pgo_name = "uninitialized";
     pgo_get = (fun ~center:_ ~lo:_ ~hi:_ -> assert false);
     pgo_put = (fun _ -> assert false);
+    pgo_cache_spill = (fun _ -> assert false);
     pgo_reference = (fun () -> assert false);
     pgo_detach = (fun () -> assert false);
   }

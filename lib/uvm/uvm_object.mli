@@ -33,6 +33,11 @@ and pager_ops = {
       (** Write the given dirty pages of this object back to backing store,
           clustering as the pager sees fit.  On [Error] the unwritten pages
           stay dirty. *)
+  pgo_cache_spill : Physmem.Page.t -> unit;
+      (** The pagedaemon is about to reclaim this clean page: the pager may
+          spill a copy into the swapcache so a re-fault is served from the
+          fast swap tier instead of backing store.  The vnode pager does;
+          pagers whose store is already swap (aobj) do nothing. *)
   pgo_reference : unit -> unit;  (** add a reference *)
   pgo_detach : unit -> unit;  (** drop a reference *)
 }

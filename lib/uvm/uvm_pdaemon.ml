@@ -32,16 +32,16 @@ let flush_anon_batch sys batch =
       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
       let write_at ~slot ~assign ~pages =
         match
-          Swap.Swapdev.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
+          Swap.Swaptier.write_resilient swapdev ~retries:sys.Uvm_sys.io_retries
             ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~assign ~pages
         with
-        | Swap.Swapdev.Written | Swap.Swapdev.Reassigned _
-        | Swap.Swapdev.No_space _ | Swap.Swapdev.Failed _ ->
+        | Swap.Swaptier.Written | Swap.Swaptier.Reassigned _
+        | Swap.Swaptier.No_space _ | Swap.Swaptier.Failed _ ->
             ()
       in
       let clustered =
         if sys.Uvm_sys.aggressive_clustering then
-          Swap.Swapdev.alloc_slots swapdev ~n
+          Swap.Swaptier.alloc_slots swapdev ~n
         else None
       in
       (match clustered with
@@ -72,7 +72,7 @@ let flush_anon_batch sys batch =
             (fun (anon, page) ->
               let slot =
                 if anon.Uvm_anon.swslot <> 0 then Some anon.Uvm_anon.swslot
-                else Swap.Swapdev.alloc_slots swapdev ~n:1
+                else Swap.Swaptier.alloc_slots swapdev ~n:1
               in
               match slot with
               | Some slot ->
@@ -126,6 +126,9 @@ let flush_object_batches sys batches =
     batches
 
 let run sys =
+  (* A dying or swapped-off device drains through the pagedaemon: migrate
+     its readable slots to healthy tiers before reclaiming anything new. *)
+  Swap.Swaptier.run_drain (Uvm_sys.swapdev sys);
   let physmem = Uvm_sys.physmem sys in
   let target = Physmem.freetarg physmem in
   let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
@@ -168,7 +171,12 @@ let run sys =
               Hashtbl.replace obj_batches obj.Uvm_object.id (obj, page :: prev);
               incr batched
             end
-            else reclaim sys page
+            else begin
+              (* About to drop a clean object page: let the pager spill a
+                 copy to the swapcache so a re-fault is a fast-tier read. *)
+              obj.Uvm_object.pgops.Uvm_object.pgo_cache_spill page;
+              reclaim sys page
+            end
         | _ ->
             (* Unowned pages on the inactive queue should not happen. *)
             assert false

@@ -33,9 +33,9 @@ let runs_of_pages pages =
 let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
   let physmem = Uvm_sys.physmem sys in
   let vfs = Uvm_sys.vfs sys in
-  let pgo_get ~center ~lo ~hi =
-    let status = ref (Ok ()) in
-    (if Uvm_object.find_page obj ~pgno:center = None then begin
+  let swap = Uvm_sys.swapdev sys in
+  let read_from_vnode ~center ~status =
+    begin
        (* Clustered read: the run of non-resident pages starting at the
           center, capped by the io_cluster tunable. *)
        let max_run = max 1 sys.Uvm_sys.io_cluster in
@@ -83,6 +83,27 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
            "pagein";
          Uvm_sys.observe sys "pagein_us" dur
        end
+     end
+  in
+  let pgo_get ~center ~lo ~hi =
+    let status = ref (Ok ()) in
+    (if Uvm_object.find_page obj ~pgno:center = None then begin
+       (* Swapcache first: a clean copy spilled to the fast swap tier at
+          reclaim time serves the re-fault without touching the vnode. *)
+       let page =
+         Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj) ~offset:center
+           ()
+       in
+       if Swap.Swaptier.cache_lookup swap ~vid:vnode.vid ~pgno:center ~dst:page
+       then begin
+         Physmem.note_fault_in physmem page ~fill:Sim.Lifecycle.Fill_pagein;
+         Uvm_object.insert_page sys obj ~pgno:center page;
+         Physmem.activate physmem page
+       end
+       else begin
+         Physmem.free_page physmem page;
+         read_from_vnode ~center ~status
+       end
      end);
     match !status with
     | Error _ as e -> e
@@ -122,12 +143,26 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
                Uvm_sys.observe sys "pageout_cluster_io_us" dur
              end);
             (match r with
-            | Ok () -> acc
+            | Ok () ->
+                (* The file just changed under any swapcache copies of
+                   these pages: they are stale now. *)
+                List.iter
+                  (fun (p : Physmem.Page.t) ->
+                    Swap.Swaptier.cache_invalidate swap ~vid:vnode.vid
+                      ~pgno:p.owner_offset)
+                  run;
+                acc
             | Error _ -> (
                 match acc with
                 | Error _ -> acc
                 | Ok () -> Error Vmiface.Vmtypes.Pager_error)))
       (Ok ()) runs
+  in
+  (* Reclaim-time spill: a clean vnode page copied to the fast swap tier
+     means the next fault on it is a cheap swap read, not a vnode read. *)
+  let pgo_cache_spill (page : Physmem.Page.t) =
+    if not page.Physmem.Page.dirty then
+      Swap.Swaptier.cache_put swap ~vid:vnode.vid ~pgno:page.owner_offset ~page
   in
   let pgo_reference () = obj.Uvm_object.refs <- obj.Uvm_object.refs + 1 in
   let pgo_detach () =
@@ -147,6 +182,7 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
     Uvm_object.pgo_name = "uvn";
     pgo_get;
     pgo_put;
+    pgo_cache_spill;
     pgo_reference;
     pgo_detach;
   }
@@ -192,6 +228,7 @@ let terminate sys (vnode : Vfs.Vnode.t) =
          kernel's vnode flush hits EIO at reclaim time). *)
       (match flush sys uvn.obj with Ok () | Error _ -> ());
       Uvm_object.free_all_pages sys uvn.obj;
+      Swap.Swaptier.cache_invalidate_obj (Uvm_sys.swapdev sys) ~vid:vnode.vid;
       vnode.vm_private <- Vfs.Vnode.No_vm
   | _ -> ()
 

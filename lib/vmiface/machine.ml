@@ -1,6 +1,7 @@
 type config = {
   ram_pages : int;
   swap_pages : int;
+  swap_tiers : Swap.Swaptier.spec list option;
   page_size : int;
   max_vnodes : int;
   costs : Sim.Cost_model.t;
@@ -13,6 +14,7 @@ let default_config =
   {
     ram_pages = 8192 (* 32 MB of 4 KB pages *);
     swap_pages = 32768 (* 128 MB *);
+    swap_tiers = None;
     page_size = 4096;
     max_vnodes = 2048;
     costs = Sim.Cost_model.default;
@@ -45,6 +47,32 @@ let config_mb ?(ram_mb = 32) ?(swap_mb = 128) () =
     swap_pages = swap_mb * 1024 * 1024 / default_config.page_size;
   }
 
+(* Two-tier swap on top of any config: a fast/small NVMe-like device
+   (priority 0, 100x disk speed) in front of a slow/large disk-like one.
+   [swap_pages] is kept at the combined capacity so size-based reasoning
+   about the config stays valid. *)
+let tiered ~fast_pages ~slow_pages config =
+  {
+    config with
+    swap_pages = fast_pages + slow_pages;
+    swap_tiers =
+      Some
+        [
+          {
+            Swap.Swaptier.tier_name = "fast";
+            tier_pages = fast_pages;
+            tier_priority = 0;
+            tier_costs = Some (Sim.Cost_model.fast_disk config.costs);
+          };
+          {
+            Swap.Swaptier.tier_name = "slow";
+            tier_pages = slow_pages;
+            tier_priority = 1;
+            tier_costs = None;
+          };
+        ];
+  }
+
 type t = {
   config : config;
   clock : Sim.Simclock.t;
@@ -53,7 +81,7 @@ type t = {
   rng : Sim.Rng.t;
   physmem : Physmem.t;
   pmap_ctx : Pmap.ctx;
-  swap : Swap.Swapdev.t;
+  swap : Swap.Swaptier.t;
   vfs : Vfs.t;
   hist : Sim.Hist.t;
   latencies : Sim.Histogram.set;
@@ -90,8 +118,21 @@ let boot ?(config = default_config) () =
           ~npages:config.ram_pages ~clock ~costs ~stats ();
       pmap_ctx = Pmap.create_ctx ~lifecycle ~clock ~costs ~stats ();
       swap =
-        Swap.Swapdev.create ~nslots:config.swap_pages
-          ~page_size:config.page_size ~clock ~costs ~stats;
+        (let specs =
+           match config.swap_tiers with
+           | Some specs -> specs
+           | None ->
+               [
+                 {
+                   Swap.Swaptier.tier_name = "swap0";
+                   tier_pages = config.swap_pages;
+                   tier_priority = 0;
+                   tier_costs = None;
+                 };
+               ]
+         in
+         Swap.Swaptier.create ~specs ~page_size:config.page_size ~clock ~costs
+           ~stats);
       vfs =
         Vfs.create ~max_vnodes:config.max_vnodes ~page_size:config.page_size
           ~clock ~costs ~stats ();
@@ -102,7 +143,7 @@ let boot ?(config = default_config) () =
     }
   in
   if Sim.Hist.enabled hist then begin
-    Swap.Swapdev.set_hist t.swap (Some hist);
+    Swap.Swaptier.set_hist t.swap (Some hist);
     traced_sources := trace_source :: !traced_sources
   end;
   (match
@@ -112,10 +153,12 @@ let boot ?(config = default_config) () =
    with
   | None -> ()
   | Some factory ->
-      (* One plan shared by both disks: its RNG stream and scripted rules
+      (* One plan shared by every disk: its RNG stream and scripted rules
          see the machine's I/O in global order, like a shared controller. *)
       let plan = Some (factory ()) in
-      Sim.Disk.set_fault_plan (Swap.Swapdev.disk t.swap) plan;
+      List.iter
+        (fun disk -> Sim.Disk.set_fault_plan disk plan)
+        (Swap.Swaptier.disks t.swap);
       Sim.Disk.set_fault_plan (Vfs.disk t.vfs) plan);
   t
 

@@ -7,6 +7,9 @@
 type config = {
   ram_pages : int;  (** physical memory size in pages *)
   swap_pages : int;  (** swap partition size in pages *)
+  swap_tiers : Swap.Swaptier.spec list option;
+      (** explicit swap device tiers; [None] boots one default-priority
+          device of [swap_pages] slots (the classic single-device setup) *)
   page_size : int;  (** bytes per page *)
   max_vnodes : int;  (** in-core vnode limit *)
   costs : Sim.Cost_model.t;
@@ -45,6 +48,11 @@ val reset_traced : unit -> unit
 val config_mb : ?ram_mb:int -> ?swap_mb:int -> unit -> config
 (** Convenience: sizes in megabytes on top of {!default_config}. *)
 
+val tiered : fast_pages:int -> slow_pages:int -> config -> config
+(** Two-tier swap on top of [config]: a fast/small NVMe-like device
+    ("fast", priority 0, 100x disk speed) in front of a slow/large
+    disk-like one ("slow", priority 1, the machine's cost model). *)
+
 type t = {
   config : config;
   clock : Sim.Simclock.t;
@@ -53,7 +61,7 @@ type t = {
   rng : Sim.Rng.t;
   physmem : Physmem.t;
   pmap_ctx : Pmap.ctx;
-  swap : Swap.Swapdev.t;
+  swap : Swap.Swaptier.t;
   vfs : Vfs.t;
   hist : Sim.Hist.t;  (** per-machine event history (disabled by default) *)
   latencies : Sim.Histogram.set;  (** per-machine latency histograms *)

@@ -102,6 +102,33 @@ else
   echo 'ci: serve results produced (python3 unavailable, shape-checked only)'
 fi
 
+# Tier-failover resilience smoke: stream a working set through a
+# fast+slow swap pair, kill the fast device mid-stream, and require both
+# kernels to survive with zero lost pages and a warm swapcache before
+# the death.
+dune exec bin/uvm_sim.exe -- resilience --quick \
+  --out artifacts/resilience.json > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/resilience.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "uvm-sim-resilience/1", r.get("schema")
+rows = r["rows"]
+assert {x["system"] for x in rows} == {"UVM", "BSD VM"}, rows
+for x in rows:
+    assert x["survived"], x["system"]
+    assert x["lost_pages"] == 0, (x["system"], x["lost_pages"])
+    assert x["devices_dead"] == 1, x["system"]
+    assert x["migrations"] + x["failovers"] > 0, x["system"]
+    assert x["hit_rate_before"] > 0, x["system"]
+print("ci: resilience valid (%d rows, no lost pages)" % len(rows))
+EOF
+else
+  grep -q '"uvm-sim-resilience/1"' artifacts/resilience.json
+  echo 'ci: resilience produced (python3 unavailable, shape-checked only)'
+fi
+
 # Full bench: reproduces every paper table/figure, the ablations and the
 # embedded efficacy report; leaves BENCH_results.json at the repo root so
 # the workflow can start accumulating the bench trajectory.

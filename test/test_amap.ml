@@ -30,9 +30,9 @@ let test_anon_swap_roundtrip () =
   let anon = Uvm.Anon.alloc sys ~zero:false in
   let page = Option.get anon.Uvm.Anon.page in
   Bytes.fill page.Physmem.Page.data 0 4096 'q';
-  let slot = Option.get (Swap.Swapdev.alloc_slots (Uvm.State.swapdev sys) ~n:1) in
+  let slot = Option.get (Swap.Swaptier.alloc_slots (Uvm.State.swapdev sys) ~n:1) in
   Uvm.Anon.set_swslot sys anon slot;
-  (match Swap.Swapdev.write_cluster (Uvm.State.swapdev sys) ~slot ~pages:[ page ] with
+  (match Swap.Swaptier.write_cluster (Uvm.State.swapdev sys) ~slot ~pages:[ page ] with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "unexpected swap write error");
   (* Simulate pageout completion. *)
@@ -54,14 +54,14 @@ let test_anon_swslot_replacement_frees () =
   let sys = mk () in
   let dev = Uvm.State.swapdev sys in
   let anon = Uvm.Anon.alloc sys ~zero:true in
-  let s1 = Option.get (Swap.Swapdev.alloc_slots dev ~n:1) in
+  let s1 = Option.get (Swap.Swaptier.alloc_slots dev ~n:1) in
   Uvm.Anon.set_swslot sys anon s1;
-  let used = Swap.Swapdev.slots_in_use dev in
-  let s2 = Option.get (Swap.Swapdev.alloc_slots dev ~n:1) in
+  let used = Swap.Swaptier.slots_in_use dev in
+  let s2 = Option.get (Swap.Swaptier.alloc_slots dev ~n:1) in
   Uvm.Anon.set_swslot sys anon s2;
-  Alcotest.(check int) "old slot released" used (Swap.Swapdev.slots_in_use dev);
+  Alcotest.(check int) "old slot released" used (Swap.Swaptier.slots_in_use dev);
   Uvm.Anon.unref sys anon;
-  Alcotest.(check int) "all swap released" 0 (Swap.Swapdev.slots_in_use dev)
+  Alcotest.(check int) "all swap released" 0 (Swap.Swaptier.slots_in_use dev)
 
 let check_ok = function
   | Ok () -> ()

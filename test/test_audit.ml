@@ -22,6 +22,15 @@ let test_fixed_seed_clean_under_faults () =
   | Some b ->
       Alcotest.failf "unexpected bug under faults: %s" (T.string_of_bug b)
 
+(* Same oracle over a fast+slow tier pair: the cross-tier slot-ownership
+   audit (device bases, swapcache claims) stays clean, and the wired
+   mprotect / shared-amap mlock candidates run against live tiers. *)
+let test_fixed_seed_clean_tiered () =
+  let c = { (cfg ~seed:13 ~nops:2000 ~audit_every:25) with T.tiers = true } in
+  match (T.run c).T.r_bug with
+  | None -> ()
+  | Some b -> Alcotest.failf "unexpected bug with tiers: %s" (T.string_of_bug b)
+
 (* The differential oracle itself is deterministic: the same seed yields
    the identical op trace on every run. *)
 let test_trace_reproducible () =
@@ -29,12 +38,13 @@ let test_trace_reproducible () =
   let r2 = T.run (cfg ~seed:11 ~nops:500 ~audit_every:50) in
   Alcotest.(check bool) "same trace" true (r1.T.r_trace = r2.T.r_trace)
 
-let corruption_case kind subsys () =
+let corruption_case ?(tiers = false) kind subsys () =
   let c =
     {
       (cfg ~seed:42 ~nops:2000 ~audit_every:5) with
       T.corrupt = Some (500, kind);
       shrink = true;
+      tiers;
     }
   in
   let r = T.run c in
@@ -60,6 +70,8 @@ let () =
           Alcotest.test_case "fixed seed clean" `Quick test_fixed_seed_clean;
           Alcotest.test_case "clean under I/O faults" `Quick
             test_fixed_seed_clean_under_faults;
+          Alcotest.test_case "clean with tiers" `Quick
+            test_fixed_seed_clean_tiered;
           Alcotest.test_case "trace reproducible" `Quick
             test_trace_reproducible;
         ] );
@@ -78,5 +90,10 @@ let () =
              behind it is exactly what the loan census exists to catch. *)
           Alcotest.test_case "leaked loan -> loan audit" `Quick
             (corruption_case T.Leak_loan Check.Loan);
+          (* A swapcache entry whose slot was freed underneath it: the
+             cache claims media it no longer owns, and the cross-tier
+             slot-ownership walk attributes it to the swap subsystem. *)
+          Alcotest.test_case "leaked swapcache entry -> swap audit" `Quick
+            (corruption_case ~tiers:true T.Leak_swapcache Check.Swap);
         ] );
     ]

@@ -188,16 +188,16 @@ module Resilience (V : Vmiface.Vm_sig.VM_SYS) = struct
     let dev = swapdev sys in
     Alcotest.(check bool) "error injected" true (st.Sim.Stats.io_errors_injected >= 1);
     Alcotest.(check int) "slot 1 blacklisted" 1 st.Sim.Stats.bad_slots;
-    Alcotest.(check bool) "device agrees" true (Swap.Swapdev.is_bad_slot dev ~slot:1);
+    Alcotest.(check bool) "device agrees" true (Swap.Swaptier.is_bad_slot dev ~slot:1);
     Alcotest.(check int) "usable pool shrank by one"
-      (Swap.Swapdev.capacity dev - 1)
-      (Swap.Swapdev.slots_usable dev);
+      (Swap.Swaptier.capacity dev - 1)
+      (Swap.Swaptier.slots_usable dev);
     Alcotest.(check bool) "pageout recovered via reassignment" true
       (st.Sim.Stats.pageouts_recovered >= 1);
     V.destroy_vmspace sys vm;
     Alcotest.(check int) "swap released" 0 (V.swap_slots_in_use sys);
     Alcotest.(check bool) "bad slot stays retired" true
-      (Swap.Swapdev.is_bad_slot dev ~slot:1)
+      (Swap.Swaptier.is_bad_slot dev ~slot:1)
 
   (* Swap exhaustion with clean pages available: the pagedaemon degrades
      to reclaiming clean (file-backed) pages, counts the event, and the
@@ -230,6 +230,41 @@ module Resilience (V : Vmiface.Vm_sig.VM_SYS) = struct
     V.destroy_vmspace sys vm;
     Alcotest.(check int) "no swap leaked" 0 (V.swap_slots_in_use sys)
 
+  (* Every swap write fails permanently: write_resilient's reassignment
+     chews through the healthy pool slot by slot until nothing is left
+     (the No_space rung), the kernel degrades to clean-page reclaim, and
+     the anonymous data survives pinned in core. *)
+  let test_dying_media_exhausts_pool () =
+    let plan = Fp.create () in
+    Fp.fail_op plan Fp.Write Fp.Permanent;
+    let sys = boot_with_plan ~ram_pages:128 ~swap_pages:32 plan in
+    let vm = V.new_vmspace sys in
+    let vfs = (V.machine sys).Vmiface.Machine.vfs in
+    let vn = Vfs.create_file vfs ~name:"/bulk" ~size:(128 * 4096) in
+    let anon =
+      V.mmap sys vm ~npages:24 ~prot:Pmap.Prot.rw ~share:Vt.Private Vt.Zero
+    in
+    fill sys vm ~vpn:anon ~npages:24;
+    let file =
+      V.mmap sys vm ~npages:128 ~prot:Pmap.Prot.read ~share:Vt.Shared
+        (Vt.File (vn, 0))
+    in
+    for _ = 1 to 2 do
+      for i = 0 to 127 do
+        ignore (V.read_bytes sys vm ~addr:((file + i) * 4096) ~len:1)
+      done
+    done;
+    let st = stats sys in
+    Alcotest.(check bool) "write errors injected" true
+      (st.Sim.Stats.io_errors_injected >= 1);
+    Alcotest.(check bool) "blacklist ate the pool" true
+      (st.Sim.Stats.bad_slots >= 1);
+    Alcotest.(check bool) "No_space degradation counted" true
+      (st.Sim.Stats.swap_full_events >= 1);
+    verify sys vm ~vpn:anon ~npages:24;
+    V.destroy_vmspace sys vm;
+    Alcotest.(check int) "no swap charged" 0 (V.swap_slots_in_use sys)
+
   let cases =
     let tc = Alcotest.test_case in
     ( V.name,
@@ -239,6 +274,7 @@ module Resilience (V : Vmiface.Vm_sig.VM_SYS) = struct
         tc "permanent slot reassigned" `Quick
           test_permanent_slot_blacklisted_and_reassigned;
         tc "out of swap degrades" `Quick test_out_of_swap_degrades;
+        tc "dying media exhausts pool" `Quick test_dying_media_exhausts_pool;
       ] )
 end
 

@@ -50,11 +50,22 @@ let test_to_rows_complete () =
     "row names are unique"
     (List.length names)
     (List.length (List.sort_uniq compare names));
-  (* The ledger-backed fault-ahead outcome counters must be reported. *)
+  (* The ledger-backed fault-ahead outcome counters and the swap-tier /
+     swapcache counters must be reported (and stay immediate ints, per
+     the field-layout test above). *)
   List.iter
     (fun n ->
       Alcotest.(check bool) (n ^ " reported") true (List.mem n names))
-    [ "fault_ahead_used"; "fault_ahead_wasted" ]
+    [
+      "fault_ahead_used";
+      "fault_ahead_wasted";
+      "swap_devices_dead";
+      "swap_failovers";
+      "swap_migrations";
+      "swap_cache_fills";
+      "swap_cache_hits";
+      "swap_cache_evictions";
+    ]
 
 let test_snapshot_independent () =
   let t = Sim.Stats.create () in

@@ -419,6 +419,65 @@ let test_snapshot_export () =
         (jnum_exn (member "recorded" (member "trace" s)) > 0.0))
     systems
 
+(* Tier events (device_dead, migrate, drain_complete, cache_fill, …) go
+   through the same ring and exporter as everything else: drive a tiered
+   boot through death-and-drain and round-trip the Chrome JSON. *)
+let test_tier_event_export () =
+  Vmiface.Machine.reset_traced ();
+  let config =
+    Vmiface.Machine.tiered ~fast_pages:64 ~slow_pages:256
+      {
+        Vmiface.Machine.default_config with
+        ram_pages = 32;
+        trace_buf = Some 4096;
+      }
+  in
+  let sys = Uvm.Sys.boot ~config () in
+  let mach = Uvm.Sys.machine sys in
+  let vm = Uvm.Sys.new_vmspace sys in
+  let vpn =
+    Uvm.Sys.mmap sys vm ~npages:48 ~prot:Pmap.Prot.rw ~share:Vmtypes.Private
+      Vmtypes.Zero
+  in
+  for i = 0 to 47 do
+    Uvm.Sys.write_bytes sys vm ~addr:((vpn + i) * 4096) (Bytes.make 1 'x')
+  done;
+  Swap.Swaptier.kill_device mach.Vmiface.Machine.swap ~name:"fast";
+  (* Touching the set drives the pagedaemon, whose drain migrates the
+     dead tier's surviving slots to the slow device. *)
+  for i = 0 to 47 do
+    ignore (Uvm.Sys.read_bytes sys vm ~addr:((vpn + i) * 4096) ~len:1)
+  done;
+  let src = mach.Vmiface.Machine.trace_source in
+  Vmiface.Machine.reset_traced ();
+  let buf = Buffer.create 4096 in
+  Sim.Trace_export.chrome_json buf [ src ];
+  let root = parse_json (Buffer.contents buf) in
+  let events = jarr_exn (member "traceEvents" root) in
+  let named name = List.filter (fun e -> member "name" e = Jstr name) events in
+  (match named "device_dead" with
+  | [ e ] ->
+      Alcotest.(check string)
+        "death names the device" "fast"
+        (jstr_exn (member "device" (member "args" e)))
+  | l -> Alcotest.failf "expected 1 device_dead event, got %d" (List.length l));
+  let migrations = named "migrate" in
+  Alcotest.(check bool) "drain migrations exported" true (migrations <> []);
+  List.iter
+    (fun e ->
+      let args = member "args" e in
+      Alcotest.(check string) "migrate from the dead tier" "fast"
+        (jstr_exn (member "from" args));
+      Alcotest.(check string) "migrate to the healthy tier" "slow"
+        (jstr_exn (member "to" args)))
+    migrations;
+  Alcotest.(check int)
+    "exported migrations match the counter"
+    mach.Vmiface.Machine.stats.Sim.Stats.swap_migrations
+    (List.length migrations);
+  Alcotest.(check bool) "drain completion exported" true
+    (named "drain_complete" <> [])
+
 let test_untraced_boot_is_silent () =
   Vmiface.Machine.reset_traced ();
   let sys = Uvm.Sys.boot () in
@@ -467,6 +526,8 @@ let () =
           Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_export;
           Alcotest.test_case "stats snapshot round-trip" `Quick
             test_snapshot_export;
+          Alcotest.test_case "tier event round-trip" `Quick
+            test_tier_event_export;
           Alcotest.test_case "untraced boot is silent" `Quick
             test_untraced_boot_is_silent;
         ] );
