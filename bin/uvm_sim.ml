@@ -115,17 +115,32 @@ let report_out =
              $(docv)." in
   Arg.(value & opt (some string) None & info [ "report-out" ] ~docv:"FILE" ~doc)
 
+let spans_out =
+  let doc = "Write the causal span trees (schema uvm-sim-spans/1: every \
+             finished span with its trace/parent ids, plus any still-open \
+             stack) of every traced machine to $(docv).  Implies event \
+             collection." in
+  Arg.(value & opt (some string) None & info [ "spans-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc = "Write the vmstat-style time-series (schema uvm-sim-metrics/1: \
+             periodic gauge/counter samples and watchdog warnings) of every \
+             traced machine to $(docv).  Implies event collection." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let with_file name f =
   let oc = open_out name in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let run_with_observability trace_out trace_buf stats stats_out report_out f =
+let run_with_observability trace_out trace_buf stats stats_out report_out
+    spans_out metrics_out f =
   if trace_buf < 1 then begin
     Printf.eprintf "uvm_sim: --trace-buf must be >= 1 (got %d)\n" trace_buf;
     exit 2
   end;
   let observing =
-    trace_out <> None || stats_out <> None || report_out <> None || stats
+    trace_out <> None || stats_out <> None || report_out <> None
+    || spans_out <> None || metrics_out <> None || stats
   in
   if observing then Vmiface.Machine.set_default_trace (Some trace_buf);
   f ();
@@ -153,16 +168,29 @@ let run_with_observability trace_out trace_buf stats stats_out report_out f =
         Sim.Trace_export.report_json buf sources;
         with_file file (fun oc -> Buffer.output_buffer oc buf)
     | None -> ());
+    (match spans_out with
+    | Some file ->
+        let buf = Buffer.create 16384 in
+        Sim.Trace_export.spans_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf)
+    | None -> ());
+    (match metrics_out with
+    | Some file ->
+        let buf = Buffer.create 16384 in
+        Sim.Trace_export.metrics_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf)
+    | None -> ());
     Vmiface.Machine.reset_traced ()
   end
 
 let with_faults f =
   Term.(
-    const (fun rr wr perm bad seed tout tbuf st stout rout () ->
+    const (fun rr wr perm bad seed tout tbuf st stout rout spout mout () ->
         install_faults rr wr perm bad seed;
-        run_with_observability tout tbuf st stout rout f)
+        run_with_observability tout tbuf st stout rout spout mout f)
     $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
-    $ trace_out $ trace_buf $ stats_flag $ stats_out $ report_out $ const ())
+    $ trace_out $ trace_buf $ stats_flag $ stats_out $ report_out $ spans_out
+    $ metrics_out $ const ())
 
 (* -- torture ----------------------------------------------------------- *)
 
@@ -359,6 +387,50 @@ let serve_cmd =
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
       $ fault_seed $ quick $ out)
 
+(* -- vmstat ------------------------------------------------------------ *)
+
+let run_vmstat quick metrics_out spans_out =
+  (* vmstat IS the sampler's output, so event collection is always on
+     here — no flag needed to make the table non-empty. *)
+  Vmiface.Machine.set_default_trace (Some 4096);
+  Experiments.Vmstat.run ~quick ();
+  let sources = Vmiface.Machine.traced () in
+  Experiments.Vmstat.print_sources sources;
+  (match metrics_out with
+  | Some file ->
+      let buf = Buffer.create 16384 in
+      Sim.Trace_export.metrics_json buf sources;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "metrics written to %s\n" file
+  | None -> ());
+  (match spans_out with
+  | Some file ->
+      let buf = Buffer.create 16384 in
+      Sim.Trace_export.spans_json buf sources;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "spans written to %s\n" file
+  | None -> ());
+  Vmiface.Machine.reset_traced ()
+
+let vmstat_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Smaller working set and fewer sweeps (CI smoke test).")
+  in
+  Cmd.v
+    (Cmd.info "vmstat"
+       ~doc:"Run an over-committed anonymous working set on both VM systems \
+             and print the periodic sampler's view of it: free/active/\
+             inactive pool levels, swap and swapcache occupancy, and \
+             fault/pagein/pageout/migration rates over simulated time, plus \
+             any watchdog warnings (pagedaemon thrash, stalled drain)")
+    Term.(
+      const (fun rr wr perm bad seed quick mout spout ->
+          install_faults rr wr perm bad seed;
+          run_vmstat quick mout spout)
+      $ read_error_rate $ write_error_rate $ permanent $ bad_slots
+      $ fault_seed $ quick $ metrics_out $ spans_out)
+
 (* -- resilience -------------------------------------------------------- *)
 
 let run_resilience quick out =
@@ -414,4 +486,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
-          :: resilience_cmd :: List.map cmd_of experiments)))
+          :: resilience_cmd :: vmstat_cmd :: List.map cmd_of experiments)))

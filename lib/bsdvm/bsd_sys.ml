@@ -64,6 +64,14 @@ let observe t name v =
   if tracing t then
     Sim.Histogram.observe (Sim.Histogram.get (latencies t) name) v
 
+let spans t = t.mach.Machine.spans
+
+let span_start t ~subsys name =
+  Sim.Span.start (spans t) ~subsys ~ts:(Sim.Simclock.now (clock t)) name
+
+let span_finish t sp ?detail () =
+  Sim.Span.finish (spans t) sp ~ts:(Sim.Simclock.now (clock t)) ?detail ()
+
 (* Same transient-retry policy as UVM's, so the error handling stays
    apples-to-apples between the two systems under a shared fault plan. *)
 let retry_transient t f =

@@ -35,6 +35,7 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
+  mutable lock_span : Sim.Span.span option;
 }
 
 let create sys ~cache ~pmap ~lo ~hi ~kernel =
@@ -49,6 +50,7 @@ let create sys ~cache ~pmap ~lo ~hi ~kernel =
     nentries = 0;
     hint = None;
     locked_since = None;
+    lock_span = None;
   }
 
 let stats t = Bsd_sys.stats t.sys
@@ -61,6 +63,7 @@ let lock t =
   charge t (costs t).Sim.Cost_model.lock_acquire;
   (stats t).Sim.Stats.lock_acquisitions <-
     (stats t).Sim.Stats.lock_acquisitions + 1;
+  t.lock_span <- Some (Bsd_sys.span_start t.sys ~subsys:"map" "map_lock");
   t.locked_since <- Some (Sim.Simclock.now (Bsd_sys.clock t.sys))
 
 let unlock t =
@@ -71,6 +74,13 @@ let unlock t =
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
       t.locked_since <- None;
+      (match t.lock_span with
+      | Some sp ->
+          t.lock_span <- None;
+          Bsd_sys.span_finish t.sys sp
+            ~detail:[ ("kernel", string_of_bool t.kernel) ]
+            ()
+      | None -> ());
       if Bsd_sys.tracing t.sys then begin
         Bsd_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
           ~detail:[ ("kernel", string_of_bool t.kernel) ]

@@ -21,8 +21,13 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
   (* Every BSD pageout is a singleton cluster — the ledger records the
      size-1 distribution Figure 5 contrasts with UVM's. *)
   Physmem.note_cluster (Bsd_sys.physmem sys) ~pages:[ page ] ~runs:1;
+  let span = Bsd_sys.span_start sys ~subsys:"pdaemon" "pageout" in
   let t0 = Sim.Simclock.now (Bsd_sys.clock sys) in
   let trace_pageout cleaned =
+    Bsd_sys.span_finish sys span
+      ~detail:
+        [ ("pages", "1"); ("result", if cleaned then "ok" else "error") ]
+      ();
     if Bsd_sys.tracing sys then begin
       let dur = Sim.Simclock.now (Bsd_sys.clock sys) -. t0 in
       (* Always one page per I/O here — the contrast with UVM's clustered
@@ -92,6 +97,9 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
           false (* swap exhausted *))
 
 let run sys =
+  (* The scan span opens before the drain pass so device-death migration
+     shows up as time attributed to the pagedaemon on the critical path. *)
+  let scan_span = Bsd_sys.span_start sys ~subsys:"pdaemon" "scan" in
   (* A dying or swapped-off device drains through the pagedaemon: migrate
      its readable slots to healthy tiers before reclaiming anything new. *)
   Swap.Swaptier.run_drain (Bsd_sys.swapdev sys);
@@ -147,6 +155,13 @@ let run sys =
         end)
       (Physmem.active_pages physmem)
   end;
+  Bsd_sys.span_finish sys scan_span
+    ~detail:
+      [
+        ("free_before", string_of_int free0);
+        ("free_after", string_of_int (Physmem.free_count physmem));
+      ]
+    ();
   if Bsd_sys.tracing sys then
     Bsd_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0
       ~dur:(Sim.Simclock.now (Bsd_sys.clock sys) -. t0)

@@ -30,6 +30,9 @@ type row = {
   sv_p50_us : float;  (** request round-trip latency percentiles *)
   sv_p95_us : float;
   sv_p99_us : float;
+  sv_p99_breakdown : (string * float) list;
+      (** critical-path self time per subsystem for the p99 request;
+          sums to [sv_p99_us] (the request's root span duration) *)
 }
 
 type cfg = {
@@ -63,10 +66,11 @@ let quick_cfg =
 
 let request_bytes = 128
 
+let rank n q = min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+  if n = 0 then 0.0 else sorted.(rank n q)
 
 module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
   module Ps = Oslayer.Procsim.Make (V)
@@ -82,6 +86,10 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
     let sys = V.boot ~config () in
     Ps.boot_kernel sys;
     let m = V.machine sys in
+    (* Spans stay off for the setup phase (hog touch, mmaps) and on for
+       the request loop: each request is a root span whose tree holds
+       every fault, pagein, pageout and tier I/O it caused. *)
+    let spans = m.Machine.spans in
     let ps = Machine.page_size m in
     let pl_pages = max 1 ((payload + ps - 1) / ps) in
     let server = Ps.spawn sys Oslayer.Programs.inetd in
@@ -125,11 +133,17 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
     in
     let response = Bytes.make payload 'r' in
     let latencies = ref [] in
+    Sim.Span.set_enabled spans true;
     let t_start = Machine.now m in
     for _ = 1 to cfg.per_client do
       List.iter
         (fun (c, c_end, s_end, buf) ->
-          let t0 = Machine.now m in
+          (* Clearing per request keeps the whole tree in the ring even
+             for requests that fault hundreds of pages in. *)
+          Sim.Span.clear spans;
+          let root =
+            Sim.Span.start spans ~subsys:"serve" ~ts:(Machine.now m) "request"
+          in
           let sent =
             Ps.send sys c c_end.Ps.I.tx ~policy:Ipc.Copy ~addr:(buf * ps)
               ~len:request_bytes
@@ -152,13 +166,24 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
           | Ps.I.Mapped { vpn; npages; len } ->
               assert (len = payload);
               V.munmap sys c.Ps.vm ~vpn ~npages);
-          latencies := (Machine.now m -. t0) :: !latencies)
+          Sim.Span.finish spans root ~ts:(Machine.now m) ();
+          (* The root span's duration IS the request latency, and its
+             trace decomposes it — so the breakdown of the p99 request
+             sums to the reported p99 by construction. *)
+          let tree = Sim.Span.take_trace spans ~trace:root.Sim.Span.strace in
+          latencies := (root.Sim.Span.sdur, Sim.Span.self_times tree)
+                       :: !latencies)
         links
     done;
+    Sim.Span.set_enabled spans false;
     let total_us = Machine.now m -. t_start in
     let requests = cfg.clients * cfg.per_client in
     let lat = Array.of_list !latencies in
-    Array.sort compare lat;
+    Array.sort (fun (a, _) (b, _) -> compare a b) lat;
+    let lat_only = Array.map fst lat in
+    let p99_breakdown =
+      if Array.length lat = 0 then [] else snd lat.(rank (Array.length lat) 0.99)
+    in
     {
       sv_system = V.name;
       sv_policy = Ipc.policy_name policy;
@@ -166,9 +191,10 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
       sv_requests = requests;
       sv_total_us = total_us;
       sv_mb_s = float_of_int (payload * requests) /. total_us;
-      sv_p50_us = percentile lat 0.50;
-      sv_p95_us = percentile lat 0.95;
-      sv_p99_us = percentile lat 0.99;
+      sv_p50_us = percentile lat_only 0.50;
+      sv_p95_us = percentile lat_only 0.95;
+      sv_p99_us = percentile lat_only 0.99;
+      sv_p99_breakdown = p99_breakdown;
     }
 
   let run cfg =
@@ -203,6 +229,17 @@ let gain rows r =
         Printf.sprintf "%+.0f%%" (100.0 *. (1.0 -. (r.sv_total_us /. c.sv_total_us)))
     | Some _ | None -> "-"
 
+(* "fault 61% | swap:slow 22% | map 9%" — the p99 request's critical
+   path, largest contributors first. *)
+let breakdown_string r =
+  if r.sv_p99_us <= 0.0 then "-"
+  else
+    List.sort (fun (_, a) (_, b) -> compare b a) r.sv_p99_breakdown
+    |> List.filter (fun (_, self) -> self > 0.0)
+    |> List.map (fun (subsys, self) ->
+           Printf.sprintf "%s %.0f%%" subsys (100.0 *. self /. r.sv_p99_us))
+    |> String.concat " | "
+
 let print_result rows =
   Report.title
     "Serve: N clients / 1 server under memory pressure (vs same-system copy)";
@@ -217,7 +254,8 @@ let print_result rows =
         (Report.micros r.sv_p50_us)
         (Report.micros r.sv_p95_us)
         (Report.micros r.sv_p99_us)
-        (gain rows r))
+        (gain rows r);
+      Printf.printf "%17s p99 = %s\n" "" (breakdown_string r))
     rows
 
 let json buf rows =
@@ -232,9 +270,17 @@ let json buf rows =
       js buf r.sv_policy;
       Buffer.add_string buf
         (Printf.sprintf
-           ",\"payload\":%d,\"requests\":%d,\"total_us\":%.3f,\"mb_s\":%.3f,\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f}"
+           ",\"payload\":%d,\"requests\":%d,\"total_us\":%.3f,\"mb_s\":%.3f,\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f,\"p99_breakdown\":["
            r.sv_payload r.sv_requests r.sv_total_us r.sv_mb_s r.sv_p50_us
-           r.sv_p95_us r.sv_p99_us))
+           r.sv_p95_us r.sv_p99_us);
+      List.iteri
+        (fun j (subsys, self) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf "{\"subsys\":";
+          js buf subsys;
+          Buffer.add_string buf (Printf.sprintf ",\"self_us\":%.3f}" self))
+        r.sv_p99_breakdown;
+      Buffer.add_string buf "]}")
     rows;
   Buffer.add_string buf "]}"
 

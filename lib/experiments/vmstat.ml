@@ -1,0 +1,143 @@
+(** vmstat: the machine's paging state as a time-series table.
+
+    A deliberately simple workload — an anonymous working set roughly
+    twice RAM, swept sequentially several times — run on both kernels
+    with the periodic sampler on, then rendered the way vmstat(8)
+    renders /proc: gauge columns as levels, counter columns as
+    per-second rates between the displayed rows.  The point is the
+    *shape* over time (free pool sawtooth as the pagedaemon fires, swap
+    filling monotonically, pagein rate once the sweep wraps), which no
+    end-of-run counter table shows. *)
+
+module Vmtypes = Vmiface.Vmtypes
+module Machine = Vmiface.Machine
+
+type cfg = {
+  ram_pages : int;
+  swap_pages : int;
+  working_pages : int;  (** anonymous working set; > RAM forces paging *)
+  sweeps : int;  (** sequential passes over the working set *)
+}
+
+let full_cfg =
+  { ram_pages = 256; swap_pages = 2048; working_pages = 512; sweeps = 4 }
+
+let quick_cfg =
+  { ram_pages = 192; swap_pages = 1024; working_pages = 320; sweeps = 2 }
+
+module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
+  let run cfg =
+    let config =
+      {
+        Machine.default_config with
+        Machine.ram_pages = cfg.ram_pages;
+        swap_pages = cfg.swap_pages;
+      }
+    in
+    let sys = V.boot ~config () in
+    let vm = V.new_vmspace sys in
+    let vpn =
+      V.mmap sys vm ~npages:cfg.working_pages ~prot:Pmap.Prot.rw
+        ~share:Vmtypes.Private Vmtypes.Zero
+    in
+    for _ = 1 to cfg.sweeps do
+      V.access_range sys vm ~vpn ~npages:cfg.working_pages Vmtypes.Write
+    done;
+    (* One last capture so the table's final row is the end state. *)
+    let m = V.machine sys in
+    Sim.Timeseries.sample_now m.Machine.series ~ts:(Machine.now m);
+    V.destroy_vmspace sys vm
+end
+
+module Uvm_run = Run (Uvm.Sys)
+module Bsd_run = Run (Bsdvm.Sys)
+
+let run ?(quick = false) () =
+  let cfg = if quick then quick_cfg else full_cfg in
+  Uvm_run.run cfg;
+  Bsd_run.run cfg
+
+(* -- rendering --------------------------------------------------------- *)
+
+let max_rows = 24
+
+(* Gauges print as levels; these counters print as per-second rates
+   between consecutive displayed rows. *)
+let gauge_cols =
+  [
+    ("free_pages", "free");
+    ("active_pages", "act");
+    ("inactive_pages", "inact");
+    ("swap_slots_used", "swpd");
+    ("swapcache_pages", "scache");
+  ]
+
+let rate_cols =
+  [
+    ("faults", "flt/s");
+    ("pageins", "pi/s");
+    ("pageouts", "po/s");
+    ("swap_migrations", "mig/s");
+  ]
+
+let print_source (src : Sim.Trace_export.source) =
+  let series = src.Sim.Trace_export.series in
+  let samples = Array.of_list (Sim.Timeseries.samples series) in
+  let n = Array.length samples in
+  Printf.printf "\n== %s: %d samples (%d captured)\n" src.label n
+    (Sim.Timeseries.recorded series);
+  if n >= 2 then begin
+    let idx name =
+      match Sim.Timeseries.col_index series name with
+      | Some i -> i
+      | None -> invalid_arg ("vmstat: missing column " ^ name)
+    in
+    let gauges = List.map (fun (c, h) -> (idx c, h)) gauge_cols in
+    let rates = List.map (fun (c, h) -> (idx c, h)) rate_cols in
+    Printf.printf "%10s" "time_ms";
+    List.iter (fun (_, h) -> Printf.printf " %8s" h) gauges;
+    List.iter (fun (_, h) -> Printf.printf " %8s" h) rates;
+    print_newline ();
+    (* Decimate to at most [max_rows] evenly spaced rows, always ending
+       on the newest sample; rates span the gap between displayed rows. *)
+    let step = max 1 ((n + max_rows - 1) / max_rows) in
+    let prev = ref samples.(0) in
+    let row i =
+      let s = samples.(i) in
+      Printf.printf "%10.1f" (s.Sim.Timeseries.s_ts /. 1000.0);
+      List.iter
+        (fun (c, _) ->
+          Printf.printf " %8.0f" s.Sim.Timeseries.s_values.(c))
+        gauges;
+      List.iter
+        (fun (c, _) ->
+          Printf.printf " %8.0f" (Sim.Timeseries.rate ~col:c !prev s))
+        rates;
+      print_newline ();
+      prev := s
+    in
+    row 0;
+    let i = ref step in
+    while !i < n - 1 do
+      row !i;
+      i := !i + step
+    done;
+    row (n - 1)
+  end;
+  match Sim.Timeseries.warnings series with
+  | [] -> ()
+  | warns ->
+      List.iter
+        (fun (w : Sim.Timeseries.warning) ->
+          Printf.printf "warning @%.1fms %s:%s\n"
+            (w.Sim.Timeseries.w_ts /. 1000.0)
+            w.Sim.Timeseries.w_rule
+            (String.concat ""
+               (List.map
+                  (fun (k, v) -> Printf.sprintf " %s=%s" k v)
+                  w.Sim.Timeseries.w_detail)))
+        warns
+
+let print_sources sources =
+  Report.title "vmstat: periodic paging state over simulated time";
+  List.iter print_source sources

@@ -115,6 +115,14 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
       *. float_of_int n
       /. float_of_int (Machine.page_size m))
 
+  let span_start sys name =
+    let m = V.machine sys in
+    Sim.Span.start m.Machine.spans ~subsys:"ipc" ~ts:(Machine.now m) name
+
+  let span_finish sys sp ~detail =
+    let m = V.machine sys in
+    Sim.Span.finish m.Machine.spans sp ~ts:(Machine.now m) ~detail ()
+
   let record sys ~ts name ~how ~bytes ~chan =
     let m = V.machine sys in
     if Sim.Hist.enabled m.Machine.hist then begin
@@ -190,6 +198,7 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     if ch.closed then invalid_arg "Ipc.send: channel is closed";
     if len < 0 then invalid_arg "Ipc.send: negative length";
     let m = V.machine sys in
+    let span = span_start sys "send" in
     let t0 = Machine.now m in
     charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
     (* Acceptance is policy- and kernel-independent: capacity alone
@@ -207,6 +216,9 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
       m.Machine.stats.Sim.Stats.ipc_sends <-
         m.Machine.stats.Sim.Stats.ipc_sends + 1
     end;
+    span_finish sys span
+      ~detail:
+        [ ("how", policy_name policy); ("bytes", string_of_int n) ];
     record sys ~ts:t0 "send" ~how:(policy_name policy) ~bytes:n ~chan:ch.id;
     n
 
@@ -230,6 +242,7 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
 
   let recv sys vm ?(vslocked = false) ?(accept_mapped = false) ch ~addr ~len =
     let m = V.machine sys in
+    let span = span_start sys "recv" in
     let t0 = Machine.now m in
     charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
     let mapped =
@@ -278,6 +291,14 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     | Data _ | Mapped _ ->
         m.Machine.stats.Sim.Stats.ipc_recvs <-
           m.Machine.stats.Sim.Stats.ipc_recvs + 1);
+    span_finish sys span
+      ~detail:
+        [
+          ("how", match result with Data _ -> "data" | Mapped _ -> "mapped");
+          ( "bytes",
+            string_of_int (match result with Data n -> n | Mapped d -> d.len)
+          );
+        ];
     record sys ~ts:t0 "recv"
       ~how:(match result with Data _ -> "data" | Mapped _ -> "mapped")
       ~bytes:(match result with Data n -> n | Mapped d -> d.len)

@@ -277,6 +277,26 @@ type action =
       vsl : bool;
     }
 
+let action_name = function
+  | A_spawn _ -> "spawn"
+  | A_exit _ -> "exit"
+  | A_fork _ -> "fork"
+  | A_mmap _ -> "mmap"
+  | A_munmap _ -> "munmap"
+  | A_mprotect _ -> "mprotect"
+  | A_minherit _ -> "minherit"
+  | A_madvise _ -> "madvise"
+  | A_read _ -> "read"
+  | A_write _ -> "write"
+  | A_mlock _ -> "mlock"
+  | A_munlock _ -> "munlock"
+  | A_msync _ -> "msync"
+  | A_pressure _ -> "pressure"
+  | A_pipe_open _ -> "pipe_open"
+  | A_pipe_close _ -> "pipe_close"
+  | A_pipe_write _ -> "pipe_write"
+  | A_pipe_read _ -> "pipe_read"
+
 (* Validate [op] against the model and compute absolute addresses.  Pure:
    generation probes candidates with it, and replay of a shrunken trace
    uses it to skip ops whose preconditions no longer hold.  The hazard
@@ -674,7 +694,7 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
     | Out_of_memory | Out_of_swap -> Oom
     | e -> Fault (string_of_fault_error e)
 
-  let exec t (a : action) : outcome =
+  let exec_action t (a : action) : outcome =
     match a with
     | A_spawn { p } ->
         t.procs.(p) <- Some (V.new_vmspace t.sys);
@@ -782,6 +802,23 @@ module Exec (V : Vmiface.Vm_sig.VM_SYS) = struct
         with
         | Segv { error; _ } -> fault_outcome error
         | Physmem.Out_of_pages -> Oom)
+
+  (* Each op runs under a root span, so everything the kernel did for it
+     hangs off one tree.  A crash deliberately does NOT finish the span:
+     the open stack at that instant is the active causal tree, and the
+     artifact writer dumps it as-is. *)
+  let exec t (a : action) : outcome =
+    let m = V.machine t.sys in
+    let spans = m.Machine.spans in
+    let sp =
+      Sim.Span.start spans ~subsys:"torture" ~ts:(Machine.now m)
+        (action_name a)
+    in
+    let o = exec_action t a in
+    Sim.Span.finish spans sp ~ts:(Machine.now m)
+      ~detail:[ ("outcome", outcome_to_string o) ]
+      ();
+    o
 end
 
 module Exec_uvm = Exec (Uvm.Sys)
@@ -1493,6 +1530,15 @@ let write_artifacts ~dir ~cfg ~bug ~trace ~minimal ~sources =
   let stats = Buffer.create 4096 in
   Sim.Trace_export.snapshot_json stats sources;
   with_file (path "stats.json") (fun oc -> Buffer.output_buffer oc stats);
+  (* The causal view of the crash: finished span trees plus the span
+     stack that was open when the op died, and the last stretch of
+     periodic samples leading up to it. *)
+  let spans = Buffer.create 16384 in
+  Sim.Trace_export.spans_json spans sources;
+  with_file (path "spans.json") (fun oc -> Buffer.output_buffer oc spans);
+  let metrics = Buffer.create 16384 in
+  Sim.Trace_export.metrics_json metrics sources;
+  with_file (path "metrics.json") (fun oc -> Buffer.output_buffer oc metrics);
   with_file (path "events.txt") (fun oc ->
       let fmt = Format.formatter_of_out_channel oc in
       Sim.Trace_export.pp_dump fmt sources;

@@ -17,6 +17,11 @@ val advance : t -> float -> unit
 (** [advance t us] moves the clock forward by [us] microseconds.
     @raise Invalid_argument if [us] is negative or not finite. *)
 
+val set_on_advance : t -> (unit -> unit) -> unit
+(** Install a hook run after every {!advance} (replacing any previous
+    one).  Used by {!Timeseries.attach} to sample on time passing; the
+    hook must not advance the clock itself. *)
+
 val elapsed_since : t -> float -> float
 (** [elapsed_since t t0] is [now t -. t0]. *)
 

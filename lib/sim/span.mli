@@ -1,0 +1,67 @@
+(** Causal spans: request-scoped trace trees over simulated time.
+
+    Where {!Hist} answers "what happened", spans answer "why was this
+    request slow": every span records which open span caused it, and all
+    spans triggered by one root share a trace id.  The simulator is
+    sequential, so activation is strictly LIFO and the collector needs
+    only a stack — kernels call [start]/[finish] at the same places they
+    record Hist events, with no context threading.
+
+    Like {!Hist}, a disabled collector costs one boolean check per
+    [start] and allocates nothing (a shared dummy span is returned and
+    [finish] ignores it). *)
+
+type span = {
+  sid : int;  (** unique span id, > 0 ([0] only on the dummy) *)
+  strace : int;  (** trace (root request) id shared by the tree *)
+  sparent : int;  (** parent span id; [0] marks a root *)
+  sname : string;
+  ssubsys : string;  (** attribution key for {!self_times} *)
+  sts : float;  (** simulated microseconds at [start] *)
+  mutable sdur : float;  (** duration; [-1.0] while still open *)
+  mutable sdetail : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] bounds the ring of finished spans (default 4096).
+    Disabled collectors ([enabled:false], the default) record nothing. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val start : t -> subsys:string -> ts:float -> string -> span
+(** Open a span as a child of the innermost open span, or as the root
+    of a fresh trace when none is open.  Returns a shared dummy when
+    the collector is disabled. *)
+
+val finish : t -> span -> ts:float -> ?detail:(string * string) list -> unit -> unit
+(** Close [span] and append it to the finished ring.  If inner spans
+    were left open (an exception skipped their [finish]), they are
+    closed at the same timestamp first so the tree stays well-formed.
+    A no-op on the dummy span or an already-finished span. *)
+
+val spans : t -> span list
+(** Finished spans, oldest first (bounded by [capacity]). *)
+
+val open_spans : t -> span list
+(** Currently open spans, outermost first — the active causal tree,
+    dumped into crash artifacts. *)
+
+val take_trace : t -> trace:int -> span list
+(** Finished spans belonging to one trace, oldest first. *)
+
+val recorded : t -> int
+(** Finished spans ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Finished spans lost to ring wraparound. *)
+
+val clear : t -> unit
+
+val self_times : span list -> (string * float) list
+(** Critical-path decomposition: per-subsystem self time (duration
+    minus time covered by direct children), in first-seen order.  For a
+    complete single-root trace the values sum to exactly the root span's
+    duration. *)

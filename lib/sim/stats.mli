@@ -64,6 +64,11 @@ type t = {
   mutable swap_cache_fills : int;  (** clean vnode pages spilled into the swapcache *)
   mutable swap_cache_hits : int;  (** refaults served from the swapcache *)
   mutable swap_cache_evictions : int;  (** cache entries shed (pressure, death, invalidation) *)
+  mutable free_pages : int;  (** gauge: free-list depth at last sync *)
+  mutable active_pages : int;  (** gauge: active-queue depth at last sync *)
+  mutable inactive_pages : int;  (** gauge: inactive-queue depth at last sync *)
+  mutable swap_slots_used : int;  (** gauge: slots in use across all tiers *)
+  mutable swapcache_pages : int;  (** gauge: swapcache entries held *)
 }
 
 val create : unit -> t

@@ -1,0 +1,136 @@
+(* vmstat-style periodic sampler over simulated time.
+
+   A probe closure captures the machine's gauges and counters into a
+   float array once per [interval] of simulated microseconds, driven by
+   the clock's on-advance hook — no workload cooperation needed.
+   Threshold rules watch a sliding window of samples and surface
+   structured warnings (pagedaemon thrash, drain stall) once per
+   episode. *)
+
+type sample = { s_ts : float; s_values : float array }
+
+type warning = {
+  w_ts : float;
+  w_rule : string;
+  w_detail : (string * string) list;
+}
+
+type rule = {
+  r_name : string;
+  r_window : int;
+  r_check : sample array -> (string * string) list option;
+  mutable r_firing : bool;  (* suppress repeats until the condition clears *)
+}
+
+type t = {
+  interval : float;
+  mutable columns : string array;
+  mutable probe : (unit -> float array) option;
+  buf : sample option array;  (* ring, newest at (next-1) *)
+  mutable next : int;
+  mutable count : int;
+  mutable total : int;
+  mutable next_due : float;
+  mutable rules : rule list;
+  mutable warns : warning list;  (* newest first *)
+}
+
+let create ~interval ?(capacity = 1024) () =
+  if not (Float.is_finite interval) || interval <= 0.0 then
+    invalid_arg "Timeseries.create: interval must be positive";
+  if capacity < 2 then invalid_arg "Timeseries.create: capacity must be >= 2";
+  {
+    interval;
+    columns = [||];
+    probe = None;
+    buf = Array.make capacity None;
+    next = 0;
+    count = 0;
+    total = 0;
+    next_due = 0.0;
+    rules = [];
+    warns = [];
+  }
+
+let set_probe t ~columns probe =
+  t.columns <- Array.of_list columns;
+  t.probe <- Some probe
+
+let columns t = Array.to_list t.columns
+
+let col_index t name =
+  let rec find i =
+    if i >= Array.length t.columns then None
+    else if t.columns.(i) = name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let add_rule t ~name ~window check =
+  if window < 1 then invalid_arg "Timeseries.add_rule: window must be >= 1";
+  t.rules <-
+    t.rules @ [ { r_name = name; r_window = window; r_check = check; r_firing = false } ]
+
+(* Newest [n] samples, oldest first. *)
+let last t n =
+  let n = min n t.count in
+  let cap = Array.length t.buf in
+  let first = (t.next - n + cap) mod cap in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some s -> s
+      | None -> assert false)
+
+let samples t = last t t.count
+let recorded t = t.total
+let warnings t = List.rev t.warns
+
+let run_rules t ts =
+  List.iter
+    (fun r ->
+      if t.count >= r.r_window then begin
+        let window = Array.of_list (last t r.r_window) in
+        match r.r_check window with
+        | Some detail when not r.r_firing ->
+            r.r_firing <- true;
+            t.warns <- { w_ts = ts; w_rule = r.r_name; w_detail = detail } :: t.warns
+        | Some _ -> ()  (* still in the same episode *)
+        | None -> r.r_firing <- false
+      end)
+    t.rules
+
+let record_sample t ts values =
+  let cap = Array.length t.buf in
+  t.buf.(t.next) <- Some { s_ts = ts; s_values = values };
+  t.next <- (t.next + 1) mod cap;
+  if t.count < cap then t.count <- t.count + 1;
+  t.total <- t.total + 1;
+  run_rules t ts
+
+let sample_now t ~ts =
+  match t.probe with
+  | None -> ()
+  | Some probe -> record_sample t ts (probe ())
+
+(* Clock hook: sample when a due time has been crossed.  One sample per
+   crossing — a single huge advance (e.g. a long disk wait) yields one
+   sample at the current time, not a backfilled burst, and the next due
+   time restarts from now.  Timestamps are therefore strictly
+   increasing and at least [interval] apart. *)
+let tick t clock =
+  let now = Simclock.now clock in
+  if now >= t.next_due && t.probe <> None then begin
+    sample_now t ~ts:now;
+    t.next_due <- now +. t.interval
+  end
+
+let attach t clock =
+  t.next_due <- Simclock.now clock +. t.interval;
+  (* Baseline sample at attach time so rate math has a left endpoint. *)
+  sample_now t ~ts:(Simclock.now clock);
+  Simclock.set_on_advance clock (fun () -> tick t clock)
+
+(* Per-simulated-second rate of column [col] between two samples. *)
+let rate ~col a b =
+  let dt_s = (b.s_ts -. a.s_ts) /. 1e6 in
+  if dt_s <= 0.0 then 0.0 else (b.s_values.(col) -. a.s_values.(col)) /. dt_s

@@ -1,0 +1,69 @@
+(** vmstat-style periodic sampler over simulated time.
+
+    A probe closure captures a machine's gauges and counters into a
+    float array once per [interval] of simulated microseconds, driven
+    from {!Simclock.set_on_advance} — workloads never cooperate, the
+    clock itself triggers sampling.  Consumers derive rates between
+    samples ({!rate}) and threshold rules watch a sliding window,
+    surfacing structured warnings once per episode. *)
+
+type sample = {
+  s_ts : float;  (** simulated microseconds at capture *)
+  s_values : float array;  (** one slot per column, in column order *)
+}
+
+type warning = {
+  w_ts : float;
+  w_rule : string;
+  w_detail : (string * string) list;
+}
+
+type t
+
+val create : interval:float -> ?capacity:int -> unit -> t
+(** Sampler with a period of [interval] simulated microseconds keeping
+    the newest [capacity] samples (default 1024).  Inert until
+    {!set_probe} and {!attach}. *)
+
+val set_probe : t -> columns:string list -> (unit -> float array) -> unit
+(** Install the capture closure; it must return one value per column.
+    Separate from {!create} so the sampler can be handed out (e.g. on a
+    trace source) before the machine it probes is fully built. *)
+
+val attach : t -> Simclock.t -> unit
+(** Record a baseline sample now and hook the clock so future advances
+    sample automatically.  Replaces any previous on-advance hook. *)
+
+val add_rule :
+  t ->
+  name:string ->
+  window:int ->
+  (sample array -> (string * string) list option) ->
+  unit
+(** [check] sees the newest [window] samples (oldest first) after each
+    capture, once at least [window] exist.  Returning [Some detail]
+    raises a warning; the rule then stays silent until it returns
+    [None] once (re-arming), so one episode yields one warning. *)
+
+val columns : t -> string list
+val col_index : t -> string -> int option
+
+val samples : t -> sample list
+(** Retained samples, oldest first. *)
+
+val last : t -> int -> sample list
+(** Newest [n] samples, oldest first. *)
+
+val recorded : t -> int
+(** Samples ever captured, including ones lost to the ring. *)
+
+val warnings : t -> warning list
+(** Warnings in the order raised. *)
+
+val sample_now : t -> ts:float -> unit
+(** Force an immediate capture (used for a final sample at report
+    time).  No-op before {!set_probe}. *)
+
+val rate : col:int -> sample -> sample -> float
+(** Per-simulated-second rate of one column between two samples
+    ([0.] if they coincide). *)

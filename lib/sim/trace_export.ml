@@ -23,6 +23,11 @@ type source = {
   stats : Stats.t;
   latencies : Histogram.set;
   lifecycle : Lifecycle.t;
+  spans : Span.t;
+  series : Timeseries.t;
+  mutable sync : unit -> unit;
+      (* refresh the gauge fields of [stats] from the live machine;
+         installed by Machine.boot, called before any counter export *)
 }
 
 (* -- JSON primitives --------------------------------------------------- *)
@@ -94,6 +99,75 @@ let chrome_metadata buf ~pid ~tid ~name ~value =
   json_string buf value;
   Buffer.add_string buf "}}"
 
+(* Spans land on their own tracks, one per span subsystem, numbered
+   from 100 to stay clear of the Hist subsystem tids.  Flow arrows
+   ("s"/"f" pairs keyed by the child's span id) link each child back to
+   its parent so Perfetto draws the causal tree across tracks. *)
+let chrome_flow buf ~pid ~tid ~id ~ts ~ph =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"cause\",\"cat\":\"span\",\"ph\":\"%s\"%s" ph
+       (if ph = "f" then ",\"bp\":\"e\"" else ""));
+  Buffer.add_string buf (Printf.sprintf ",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":" id pid tid);
+  json_float buf ts;
+  Buffer.add_string buf ",\"args\":{}}"
+
+let chrome_spans buf ~pid ~first spans =
+  let tracks =
+    List.fold_left
+      (fun acc (sp : Span.span) ->
+        if List.mem sp.ssubsys acc then acc else acc @ [ sp.ssubsys ])
+      [] spans
+  in
+  let track_tid s =
+    let rec idx i = function
+      | [] -> 100
+      | x :: _ when x = s -> i
+      | _ :: tl -> idx (i + 1) tl
+    in
+    idx 100 tracks
+  in
+  List.iter
+    (fun s ->
+      json_sep buf first;
+      chrome_metadata buf ~pid ~tid:(track_tid s) ~name:"thread_name"
+        ~value:("span:" ^ s))
+    tracks;
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (sp : Span.span) -> Hashtbl.replace by_id sp.sid sp) spans;
+  List.iter
+    (fun (sp : Span.span) ->
+      json_sep buf first;
+      Buffer.add_string buf "{\"name\":";
+      json_string buf sp.sname;
+      Buffer.add_string buf ",\"cat\":\"span\"";
+      Buffer.add_string buf
+        (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"ts\":" pid
+           (track_tid sp.ssubsys));
+      json_float buf sp.sts;
+      Buffer.add_string buf ",\"ph\":\"X\",\"dur\":";
+      json_float buf (Float.max sp.sdur 0.0);
+      Buffer.add_string buf
+        (Printf.sprintf ",\"args\":{\"trace\":%d,\"span\":%d,\"parent\":%d"
+           sp.strace sp.sid sp.sparent);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ',';
+          json_string buf k;
+          Buffer.add_char buf ':';
+          json_string buf v)
+        sp.sdetail;
+      Buffer.add_string buf "}}";
+      match Hashtbl.find_opt by_id sp.sparent with
+      | None -> ()  (* root, or the parent was overwritten in the ring *)
+      | Some parent ->
+          json_sep buf first;
+          chrome_flow buf ~pid ~tid:(track_tid parent.ssubsys) ~id:sp.sid
+            ~ts:sp.sts ~ph:"s";
+          json_sep buf first;
+          chrome_flow buf ~pid ~tid:(track_tid sp.ssubsys) ~id:sp.sid
+            ~ts:sp.sts ~ph:"f")
+    spans
+
 let chrome_json buf sources =
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -112,7 +186,8 @@ let chrome_json buf sources =
         (fun e ->
           json_sep buf first;
           chrome_event buf ~pid e)
-        (Hist.events src.hist))
+        (Hist.events src.hist);
+      chrome_spans buf ~pid ~first (Span.spans src.spans))
     sources;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n"
 
@@ -130,6 +205,7 @@ type agg = {
 }
 
 let aggregate sources =
+  List.iter (fun s -> s.sync ()) sources;
   let labels =
     List.fold_left
       (fun acc s -> if List.mem s.label acc then acc else acc @ [ s.label ])
@@ -215,6 +291,123 @@ let snapshot_json buf sources =
         (Printf.sprintf "},\"trace\":{\"recorded\":%d,\"dropped\":%d}}"
            a.agg_recorded a.agg_dropped))
     (aggregate sources);
+  Buffer.add_string buf "]}\n"
+
+(* -- span export -------------------------------------------------------- *)
+
+let json_span buf (sp : Span.span) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"span\":%d,\"trace\":%d,\"parent\":%d,\"name\":" sp.sid
+       sp.strace sp.sparent);
+  json_string buf sp.sname;
+  Buffer.add_string buf ",\"subsys\":";
+  json_string buf sp.ssubsys;
+  Buffer.add_string buf ",\"ts\":";
+  json_float buf sp.sts;
+  if sp.sdur >= 0.0 then begin
+    Buffer.add_string buf ",\"dur\":";
+    json_float buf sp.sdur
+  end;
+  Buffer.add_string buf ",\"detail\":{";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      json_sep buf first;
+      json_string buf k;
+      Buffer.add_char buf ':';
+      json_string buf v)
+    sp.sdetail;
+  Buffer.add_string buf "}}"
+
+(* Spans are exported per source, not folded per label: span and trace
+   ids are only unique within one collector, so merging sweeps under a
+   label would alias unrelated trees. *)
+let spans_json buf sources =
+  Buffer.add_string buf "{\"schema\":\"uvm-sim-spans/1\",\"systems\":[";
+  let first_sys = ref true in
+  List.iter
+    (fun src ->
+      json_sep buf first_sys;
+      Buffer.add_string buf "{\"label\":";
+      json_string buf src.label;
+      Buffer.add_string buf ",\"spans\":[";
+      let first = ref true in
+      List.iter
+        (fun sp ->
+          json_sep buf first;
+          json_span buf sp)
+        (Span.spans src.spans);
+      (* Spans still open at export time: the active causal tree,
+         outermost first (what a crash artifact wants). *)
+      Buffer.add_string buf "],\"open\":[";
+      let first = ref true in
+      List.iter
+        (fun sp ->
+          json_sep buf first;
+          json_span buf sp)
+        (Span.open_spans src.spans);
+      Buffer.add_string buf
+        (Printf.sprintf "],\"recorded\":%d,\"dropped\":%d}"
+           (Span.recorded src.spans) (Span.dropped src.spans)))
+    sources;
+  Buffer.add_string buf "]}\n"
+
+(* -- time-series export ------------------------------------------------- *)
+
+let metrics_json buf sources =
+  List.iter (fun s -> s.sync ()) sources;
+  Buffer.add_string buf "{\"schema\":\"uvm-sim-metrics/1\",\"systems\":[";
+  let first_sys = ref true in
+  List.iter
+    (fun src ->
+      json_sep buf first_sys;
+      Buffer.add_string buf "{\"label\":";
+      json_string buf src.label;
+      Buffer.add_string buf ",\"columns\":[";
+      let first = ref true in
+      List.iter
+        (fun c ->
+          json_sep buf first;
+          json_string buf c)
+        (Timeseries.columns src.series);
+      Buffer.add_string buf "],\"samples\":[";
+      let first = ref true in
+      List.iter
+        (fun (s : Timeseries.sample) ->
+          json_sep buf first;
+          Buffer.add_string buf "{\"ts\":";
+          json_float buf s.s_ts;
+          Buffer.add_string buf ",\"values\":[";
+          let fv = ref true in
+          Array.iter
+            (fun v ->
+              json_sep buf fv;
+              json_float buf v)
+            s.s_values;
+          Buffer.add_string buf "]}")
+        (Timeseries.samples src.series);
+      Buffer.add_string buf "],\"warnings\":[";
+      let first = ref true in
+      List.iter
+        (fun (w : Timeseries.warning) ->
+          json_sep buf first;
+          Buffer.add_string buf "{\"ts\":";
+          json_float buf w.w_ts;
+          Buffer.add_string buf ",\"rule\":";
+          json_string buf w.w_rule;
+          Buffer.add_string buf ",\"detail\":{";
+          let fd = ref true in
+          List.iter
+            (fun (k, v) ->
+              json_sep buf fd;
+              json_string buf k;
+              Buffer.add_char buf ':';
+              json_string buf v)
+            w.w_detail;
+          Buffer.add_string buf "}}")
+        (Timeseries.warnings src.series);
+      Buffer.add_string buf "]}")
+    sources;
   Buffer.add_string buf "]}\n"
 
 (* -- human-readable ----------------------------------------------------- *)

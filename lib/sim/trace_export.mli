@@ -16,6 +16,11 @@ type source = {
   stats : Stats.t;
   latencies : Histogram.set;
   lifecycle : Lifecycle.t;  (** ledger-derived efficacy analytics *)
+  spans : Span.t;  (** causal span collector *)
+  series : Timeseries.t;  (** vmstat-style periodic samples *)
+  mutable sync : unit -> unit;
+      (** refresh the gauge fields of [stats] from the live machine;
+          installed by the machine, called before any counter export *)
 }
 
 val json_string : Buffer.t -> string -> unit
@@ -27,8 +32,21 @@ val json_float : Buffer.t -> float -> unit
 
 val chrome_json : Buffer.t -> source list -> unit
 (** Chrome trace-event JSON, loadable in Perfetto or [chrome://tracing].
-    Each source becomes a process, each subsystem a thread; spans are
-    complete ("X") events, instants are "i". *)
+    Each source becomes a process, each Hist subsystem a thread; timed
+    events are complete ("X") events, instants are "i".  Causal spans
+    get their own per-subsystem tracks (tids from 100, named
+    ["span:<subsys>"]) with flow arrows ("s"/"f" pairs keyed by the
+    child's span id) linking each child span to its parent. *)
+
+val spans_json : Buffer.t -> source list -> unit
+(** Causal span trees (schema ["uvm-sim-spans/1"]): per source (not
+    label-folded — span ids are collector-local), the finished spans
+    oldest first, the still-open span stack, and ring accounting. *)
+
+val metrics_json : Buffer.t -> source list -> unit
+(** Time-series telemetry (schema ["uvm-sim-metrics/1"]): per source,
+    the sampler's column names, retained samples and watchdog
+    warnings. *)
 
 val snapshot_json : Buffer.t -> source list -> unit
 (** Counters + histogram summaries, machine-readable

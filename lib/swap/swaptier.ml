@@ -34,6 +34,7 @@ type t = {
   mutable rr : int;  (** striping rotation within a priority band *)
   mutable drain_hook : (unit -> unit) option;
   mutable hist : Sim.Hist.t option;
+  mutable spans : Sim.Span.t option;
 }
 
 (* Slots a cache fill must leave free on its device, so the cache never
@@ -104,11 +105,31 @@ let create ~specs ~page_size ~clock ~costs ~stats =
     rr = 0;
     drain_hook = None;
     hist = None;
+    spans = None;
   }
 
 let set_hist t h =
   t.hist <- h;
   Array.iter (fun d -> Swapdev.set_hist d.dev h) t.devices
+
+let set_spans t s = t.spans <- s
+
+(* Device I/O spans carry the tier in the subsystem key ("swap:slow"),
+   so the critical-path breakdown attributes tail latency to the tier
+   that caused it, not just "swap". *)
+let span_start t ~subsys name =
+  match t.spans with
+  | Some c when Sim.Span.enabled c ->
+      Some (Sim.Span.start c ~subsys ~ts:(Sim.Simclock.now t.clock) name)
+  | _ -> None
+
+let span_finish t sp ?(detail = []) () =
+  match (t.spans, sp) with
+  | Some c, Some sp ->
+      Sim.Span.finish c sp ~ts:(Sim.Simclock.now t.clock) ~detail ()
+  | _ -> ()
+
+let result_str = function Ok () -> "ok" | Error _ -> "error"
 
 let trace_instant t ?(detail = []) name =
   match t.hist with
@@ -253,30 +274,55 @@ let dead_write_error slot =
 
 let write_cluster t ~slot ~pages =
   let d = device_of t ~slot in
-  if not d.alive then Error (dead_write_error slot)
-  else begin
-    let r = Swapdev.write_cluster d.dev ~slot:(slot - d.base) ~pages in
-    (match r with
-    | Ok () -> d.d_pageouts <- d.d_pageouts + List.length pages
-    | Error _ -> ());
-    r
-  end
+  let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "write" in
+  let r =
+    if not d.alive then Error (dead_write_error slot)
+    else begin
+      let r = Swapdev.write_cluster d.dev ~slot:(slot - d.base) ~pages in
+      (match r with
+      | Ok () -> d.d_pageouts <- d.d_pageouts + List.length pages
+      | Error _ -> ());
+      r
+    end
+  in
+  span_finish t sp
+    ~detail:
+      [
+        ("slot", string_of_int slot);
+        ("pages", string_of_int (List.length pages));
+        ("result", result_str r);
+      ]
+    ();
+  r
 
 (* Reads are still served from a dead device: the failure model is dying
    media that rejects writes — that readability window is exactly what
    lets the pagedaemon drain survivors to healthy tiers. *)
 let read_slot t ~slot ~dst =
   let d = device_of t ~slot in
+  let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "read" in
   let r = Swapdev.read_slot d.dev ~slot:(slot - d.base) ~dst in
   (match r with Ok () -> d.d_pageins <- d.d_pageins + 1 | Error _ -> ());
+  span_finish t sp
+    ~detail:[ ("slot", string_of_int slot); ("result", result_str r) ]
+    ();
   r
 
 let read_cluster t ~slot ~dsts =
   let d = device_of t ~slot in
+  let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "read" in
   let r = Swapdev.read_cluster d.dev ~slot:(slot - d.base) ~dsts in
   (match r with
   | Ok () -> d.d_pageins <- d.d_pageins + List.length dsts
   | Error _ -> ());
+  span_finish t sp
+    ~detail:
+      [
+        ("slot", string_of_int slot);
+        ("pages", string_of_int (List.length dsts));
+        ("result", result_str r);
+      ]
+    ();
   r
 
 let backoff_delay ~backoff_us attempt =
@@ -396,6 +442,7 @@ let set_drain_hook t hook = t.drain_hook <- hook
 
 let run_drain t =
   if drain_pending t then begin
+    let sp = span_start t ~subsys:"swap" "drain" in
     (match t.drain_hook with Some f -> f () | None -> ());
     Array.iter
       (fun d ->
@@ -405,7 +452,8 @@ let run_drain t =
             ~detail:[ ("device", d.spec.tier_name) ]
             "drain_complete"
         end)
-      t.devices
+      t.devices;
+    span_finish t sp ()
   end
 
 let swapoff t ~name =
@@ -424,10 +472,7 @@ let slot_needs_drain t ~slot =
    slot; the caller rebinds its bookkeeping and frees the old slot.  None
    when the slot has no stored bytes (owner will rewrite it), the read
    failed, or no healthy device has room even after shedding cache. *)
-let migrate_slot t ~slot =
-  let src = device_of t ~slot in
-  if not (Swapdev.has_data src.dev ~slot:(slot - src.base)) then None
-  else
+let migrate_data t ~slot ~src =
     match Swapdev.read_raw src.dev ~slot:(slot - src.base) with
     | Error _ -> None
     | Ok data -> (
@@ -454,6 +499,22 @@ let migrate_slot t ~slot =
                     ]
                   "migrate";
                 Some g))
+
+let migrate_slot t ~slot =
+  let src = device_of t ~slot in
+  if not (Swapdev.has_data src.dev ~slot:(slot - src.base)) then None
+  else begin
+    let sp = span_start t ~subsys:"swap" "migrate" in
+    let r = migrate_data t ~slot ~src in
+    span_finish t sp
+      ~detail:
+        [
+          ("slot", string_of_int slot);
+          ("result", match r with Some g -> string_of_int g | None -> "none");
+        ]
+      ();
+    r
+  end
 
 (* -- swapcache ------------------------------------------------------- *)
 

@@ -127,6 +127,11 @@ val disks : t -> Sim.Disk.t list
 
 val set_hist : t -> Sim.Hist.t option -> unit
 
+val set_spans : t -> Sim.Span.t option -> unit
+(** Causal span collector for device I/O, drain and migration.  Device
+    reads/writes open spans under ["swap:<tier>"] so critical-path
+    breakdowns attribute tail latency to the tier that caused it. *)
+
 (* -- device death, swapoff, drain ------------------------------------ *)
 
 val kill_device : t -> name:string -> unit

@@ -28,12 +28,20 @@ let make_ops sys st obj =
        let filled =
          match Hashtbl.find_opt st.swslots center with
          | Some slot ->
+             let span = Uvm_sys.span_start sys ~subsys:"pager" "pagein" in
              let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
              let r =
                Swap.Swaptier.read_resilient swapdev
                  ~retries:sys.Uvm_sys.io_retries
                  ~backoff_us:sys.Uvm_sys.io_backoff_us ~slot ~dst:page
              in
+             Uvm_sys.span_finish sys span
+               ~detail:
+                 [
+                   ("pager", "aobj");
+                   ("result", match r with Ok () -> "ok" | Error _ -> "error");
+                 ]
+               ();
              (if Uvm_sys.tracing sys then begin
                 let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
                 Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
@@ -90,6 +98,7 @@ let make_ops sys st obj =
       pages
   in
   let write_batch_at pages base =
+    let span = Uvm_sys.span_start sys ~subsys:"pager" "pageout" in
     let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
     let r =
       match
@@ -101,6 +110,13 @@ let make_ops sys st obj =
       | Swap.Swaptier.No_space _ -> Error Vmiface.Vmtypes.Out_of_swap
       | Swap.Swaptier.Failed _ -> Error Vmiface.Vmtypes.Pager_error
     in
+    Uvm_sys.span_finish sys span
+      ~detail:
+        [
+          ("pager", "aobj");
+          ("result", match r with Ok () -> "ok" | Error _ -> "error");
+        ]
+      ();
     (if Uvm_sys.tracing sys then begin
        let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
        Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur

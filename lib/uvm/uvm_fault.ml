@@ -282,11 +282,20 @@ let fault map ~vpn ~access ~wire =
   let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
   Uvm_sys.charge sys costs.Sim.Cost_model.fault_entry;
   stats.Sim.Stats.faults <- stats.Sim.Stats.faults + 1;
+  let span = Uvm_sys.span_start sys ~subsys:"fault" "fault" in
   Uvm_map.lock map;
   (* Every exit goes through [finish], which is therefore the one place
      the fault-path span and latency are recorded. *)
   let finish r =
     Uvm_map.unlock map;
+    let result =
+      match r with
+      | Ok () -> "ok"
+      | Error e -> Vmtypes.string_of_fault_error e
+    in
+    Uvm_sys.span_finish sys span
+      ~detail:[ ("vpn", string_of_int vpn); ("result", result) ]
+      ();
     if Uvm_sys.tracing sys then begin
       let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
       Uvm_sys.trace sys ~subsys:Sim.Hist.Fault ~ts:t0 ~dur
@@ -296,10 +305,7 @@ let fault map ~vpn ~access ~wire =
             ( "access",
               match access with Vmtypes.Read -> "read" | Vmtypes.Write -> "write"
             );
-            ( "result",
-              match r with
-              | Ok () -> "ok"
-              | Error e -> Vmtypes.string_of_fault_error e );
+            ("result", result);
           ]
         "fault";
       Uvm_sys.observe sys "fault_us" dur

@@ -28,6 +28,7 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
+  mutable lock_span : Sim.Span.span option;
 }
 
 let create sys ~pmap ~lo ~hi ~kernel =
@@ -42,6 +43,7 @@ let create sys ~pmap ~lo ~hi ~kernel =
     nentries = 0;
     hint = None;
     locked_since = None;
+    lock_span = None;
   }
 
 let stats t = Uvm_sys.stats t.sys
@@ -54,6 +56,7 @@ let lock t =
   charge t (costs t).Sim.Cost_model.lock_acquire;
   (stats t).Sim.Stats.lock_acquisitions <-
     (stats t).Sim.Stats.lock_acquisitions + 1;
+  t.lock_span <- Some (Uvm_sys.span_start t.sys ~subsys:"map" "map_lock");
   t.locked_since <- Some (Sim.Simclock.now (Uvm_sys.clock t.sys))
 
 let unlock t =
@@ -64,6 +67,13 @@ let unlock t =
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
       t.locked_since <- None;
+      (match t.lock_span with
+      | Some sp ->
+          t.lock_span <- None;
+          Uvm_sys.span_finish t.sys sp
+            ~detail:[ ("kernel", string_of_bool t.kernel) ]
+            ()
+      | None -> ());
       if Uvm_sys.tracing t.sys then begin
         Uvm_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
           ~detail:[ ("kernel", string_of_bool t.kernel) ]

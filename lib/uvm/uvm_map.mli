@@ -45,6 +45,7 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
+  mutable lock_span : Sim.Span.span option;
 }
 
 val create : Uvm_sys.t -> pmap:Pmap.t -> lo:int -> hi:int -> kernel:bool -> t

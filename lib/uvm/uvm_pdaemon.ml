@@ -29,6 +29,7 @@ let flush_anon_batch sys batch =
       let stats = Uvm_sys.stats sys in
       let physmem = Uvm_sys.physmem sys in
       let n = List.length batch in
+      let span = Uvm_sys.span_start sys ~subsys:"pdaemon" "pageout" in
       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
       let write_at ~slot ~assign ~pages =
         match
@@ -91,6 +92,13 @@ let flush_anon_batch sys batch =
                   stats.Sim.Stats.swap_full_events <-
                     stats.Sim.Stats.swap_full_events + 1)
             batch);
+      Uvm_sys.span_finish sys span
+        ~detail:
+          [
+            ("pages", string_of_int n);
+            ("clustered", string_of_bool (clustered <> None));
+          ]
+        ();
       (if Uvm_sys.tracing sys then begin
          let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
          Uvm_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0 ~dur
@@ -126,6 +134,9 @@ let flush_object_batches sys batches =
     batches
 
 let run sys =
+  (* The scan span opens before the drain pass so device-death migration
+     shows up as time attributed to the pagedaemon on the critical path. *)
+  let scan_span = Uvm_sys.span_start sys ~subsys:"pdaemon" "scan" in
   (* A dying or swapped-off device drains through the pagedaemon: migrate
      its readable slots to healthy tiers before reclaiming anything new. *)
   Swap.Swaptier.run_drain (Uvm_sys.swapdev sys);
@@ -208,6 +219,13 @@ let run sys =
         end)
       (Physmem.active_pages physmem)
   end;
+  Uvm_sys.span_finish sys scan_span
+    ~detail:
+      [
+        ("free_before", string_of_int free0);
+        ("free_after", string_of_int (Physmem.free_count physmem));
+      ]
+    ();
   if Uvm_sys.tracing sys then
     Uvm_sys.trace sys ~subsys:Sim.Hist.Pdaemon ~ts:t0
       ~dur:(Sim.Simclock.now (Uvm_sys.clock sys) -. t0)

@@ -98,6 +98,14 @@ let observe t name v =
   if tracing t then
     Sim.Histogram.observe (Sim.Histogram.get (latencies t) name) v
 
+let spans t = t.mach.Machine.spans
+
+let span_start t ~subsys name =
+  Sim.Span.start (spans t) ~subsys ~ts:(Sim.Simclock.now (clock t)) name
+
+let span_finish t sp ?detail () =
+  Sim.Span.finish (spans t) sp ~ts:(Sim.Simclock.now (clock t)) ?detail ()
+
 (* Run a fallible I/O action under the system's retry policy: transient
    errors are retried up to [io_retries] times with exponential backoff
    charged to the simulated clock; permanent errors (and exhaustion of the

@@ -50,6 +50,7 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
              Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj)
                ~offset:(center + i) ())
        in
+       let span = Uvm_sys.span_start sys ~subsys:"pager" "pagein" in
        let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
        (match
           Uvm_sys.retry_transient sys (fun () ->
@@ -71,6 +72,13 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
            let stats = Uvm_sys.stats sys in
            stats.Sim.Stats.pageins_failed <- stats.Sim.Stats.pageins_failed + 1;
            status := Error Vmiface.Vmtypes.Pager_error);
+       Uvm_sys.span_finish sys span
+         ~detail:
+           [
+             ("pager", "vnode");
+             ("result", match !status with Ok () -> "ok" | Error _ -> "error");
+           ]
+         ();
        if Uvm_sys.tracing sys then begin
          let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
          Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur
@@ -124,12 +132,20 @@ let make_ops sys (vnode : Vfs.Vnode.t) (uvn_ref : uvn option ref) obj =
         match run with
         | [] -> acc
         | (first : Physmem.Page.t) :: _ ->
+            let span = Uvm_sys.span_start sys ~subsys:"pager" "pageout" in
             let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in
             let r =
               Uvm_sys.retry_transient sys (fun () ->
                   Vfs.write_pages vfs vnode ~start_page:first.owner_offset
                     ~srcs:run)
             in
+            Uvm_sys.span_finish sys span
+              ~detail:
+                [
+                  ("pager", "vnode");
+                  ("result", match r with Ok () -> "ok" | Error _ -> "error");
+                ]
+              ();
             (if Uvm_sys.tracing sys then begin
                let dur = Sim.Simclock.now (Uvm_sys.clock sys) -. t0 in
                Uvm_sys.trace sys ~subsys:Sim.Hist.Pager ~ts:t0 ~dur

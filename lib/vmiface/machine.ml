@@ -86,8 +86,15 @@ type t = {
   hist : Sim.Hist.t;
   latencies : Sim.Histogram.set;
   lifecycle : Sim.Lifecycle.t;
+  spans : Sim.Span.t;
+  series : Sim.Timeseries.t;
   trace_source : Sim.Trace_export.source;
 }
+
+(* Sampling period of the vmstat-style time series, in simulated
+   microseconds.  1 ms gives ~1000 samples per simulated second, well
+   within the sampler's ring. *)
+let sample_interval_us = 1_000.0
 
 let boot ?(config = default_config) () =
   let clock = Sim.Simclock.create () in
@@ -103,8 +110,23 @@ let boot ?(config = default_config) () =
     | None -> Sim.Hist.create ~enabled:false ()
   in
   let latencies = Sim.Histogram.create_set () in
+  let spans =
+    match trace_buf with
+    | Some capacity -> Sim.Span.create ~capacity ~enabled:true ()
+    | None -> Sim.Span.create ~enabled:false ()
+  in
+  let series = Sim.Timeseries.create ~interval:sample_interval_us () in
   let trace_source =
-    { Sim.Trace_export.label = "vm"; hist; stats; latencies; lifecycle }
+    {
+      Sim.Trace_export.label = "vm";
+      hist;
+      stats;
+      latencies;
+      lifecycle;
+      spans;
+      series;
+      sync = (fun () -> ());
+    }
   in
   let t =
     {
@@ -139,11 +161,112 @@ let boot ?(config = default_config) () =
       hist;
       latencies;
       lifecycle;
+      spans;
+      series;
       trace_source;
     }
   in
+  (* Span, gauge-sync and sampler wiring is installed unconditionally:
+     the collector itself is disabled unless tracing is on, but an
+     experiment (serve) can flip it on per machine and get the full
+     causal tree, swap tiers included.  Only the clock hook and the
+     traced-source registration stay gated on tracing. *)
+  Swap.Swaptier.set_spans t.swap (Some spans);
+  (* One source of truth for the instantaneous gauges: both the stats
+     export and the sampler read them through this closure. *)
+  (let sync () =
+      stats.Sim.Stats.free_pages <- Physmem.free_count t.physmem;
+      stats.Sim.Stats.active_pages <- Physmem.active_count t.physmem;
+      stats.Sim.Stats.inactive_pages <- Physmem.inactive_count t.physmem;
+      stats.Sim.Stats.swap_slots_used <- Swap.Swaptier.slots_in_use t.swap;
+      stats.Sim.Stats.swapcache_pages <- Swap.Swaptier.cache_slots t.swap
+    in
+    trace_source.Sim.Trace_export.sync <- sync;
+    let tier_names =
+      List.map (fun ti -> ti.Swap.Swaptier.ti_name) (Swap.Swaptier.tiers t.swap)
+    in
+    let columns =
+      [
+        "free_pages";
+        "active_pages";
+        "inactive_pages";
+        "swap_slots_used";
+        "swapcache_pages";
+        "drain_pending";
+        "faults";
+        "pageins";
+        "pageouts";
+        "disk_pages_read";
+        "disk_pages_written";
+        "swap_migrations";
+      ]
+      @ List.map (fun n -> "tier:" ^ n) tier_names
+    in
+    let probe () =
+      sync ();
+      let fixed =
+        [
+          float_of_int stats.Sim.Stats.free_pages;
+          float_of_int stats.Sim.Stats.active_pages;
+          float_of_int stats.Sim.Stats.inactive_pages;
+          float_of_int stats.Sim.Stats.swap_slots_used;
+          float_of_int stats.Sim.Stats.swapcache_pages;
+          (if Swap.Swaptier.drain_pending t.swap then 1.0 else 0.0);
+          float_of_int stats.Sim.Stats.faults;
+          float_of_int stats.Sim.Stats.pageins;
+          float_of_int stats.Sim.Stats.pageouts;
+          float_of_int stats.Sim.Stats.disk_pages_read;
+          float_of_int stats.Sim.Stats.disk_pages_written;
+          float_of_int stats.Sim.Stats.swap_migrations;
+        ]
+      in
+      let tiers =
+        List.map
+          (fun ti -> float_of_int ti.Swap.Swaptier.ti_in_use)
+          (Swap.Swaptier.tiers t.swap)
+      in
+      Array.of_list (fixed @ tiers)
+    in
+    Sim.Timeseries.set_probe series ~columns probe;
+    (* Watchdogs over a 4-sample window.  Column indexes match the
+       [columns] list above. *)
+    let c_free = 0 and c_drain = 5 and c_pageouts = 8 and c_migrations = 11 in
+    let delta (w : Sim.Timeseries.sample array) col =
+      let n = Array.length w in
+      w.(n - 1).Sim.Timeseries.s_values.(col)
+      -. w.(0).Sim.Timeseries.s_values.(col)
+    in
+    Sim.Timeseries.add_rule series ~name:"pdaemon_thrash" ~window:4 (fun w ->
+        let freemin = float_of_int (Physmem.freemin t.physmem) in
+        let starved =
+          Array.for_all
+            (fun (s : Sim.Timeseries.sample) -> s.s_values.(c_free) < freemin)
+            w
+        in
+        let pageouts = delta w c_pageouts in
+        if starved && pageouts > 0.0 then
+          Some
+            [
+              ( "free_pages",
+                Printf.sprintf "%.0f"
+                  w.(Array.length w - 1).Sim.Timeseries.s_values.(c_free) );
+              ("freemin", Printf.sprintf "%.0f" freemin);
+              ("pageouts_in_window", Printf.sprintf "%.0f" pageouts);
+            ]
+        else None);
+    Sim.Timeseries.add_rule series ~name:"drain_stall" ~window:4 (fun w ->
+        let draining =
+          Array.for_all
+            (fun (s : Sim.Timeseries.sample) -> s.s_values.(c_drain) > 0.0)
+            w
+        in
+        if draining && delta w c_migrations <= 0.0 then
+          Some
+            [ ("drain_pending", "true"); ("migrations_in_window", "0") ]
+        else None));
   if Sim.Hist.enabled hist then begin
     Swap.Swaptier.set_hist t.swap (Some hist);
+    Sim.Timeseries.attach series clock;
     traced_sources := trace_source :: !traced_sources
   end;
   (match

@@ -67,6 +67,10 @@ type t = {
   latencies : Sim.Histogram.set;  (** per-machine latency histograms *)
   lifecycle : Sim.Lifecycle.t;
       (** ledger-derived efficacy analytics, shared by physmem and pmap *)
+  spans : Sim.Span.t;
+      (** causal span collector (enabled together with [hist]) *)
+  series : Sim.Timeseries.t;
+      (** vmstat-style sampler, clock-driven while tracing is on *)
   trace_source : Sim.Trace_export.source;
 }
 

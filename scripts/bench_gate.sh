@@ -1,0 +1,117 @@
+#!/bin/sh
+# Bench regression gate (DESIGN.md §13).
+#
+# Compares a fresh BENCH_results.json against the committed
+# BENCH_baseline.json and fails if any simulated-time metric regressed
+# beyond tolerance.  Only deterministic simulated measurements are
+# gated:
+#
+#   - numeric leaves whose key ends in "_us"  fail when  new > old * (1 + TOL)
+#   - numeric leaves whose key ends in "mb_s" fail when  new < old * (1 - TOL)
+#
+# The "microbench_ns_per_run" section is wall-clock (Bechamel) and is
+# excluded: it measures the host machine, not the simulated one.
+#
+# Usage: scripts/bench_gate.sh [baseline] [results]
+# Env:   BENCH_GATE_TOLERANCE  fractional tolerance (default 0.15)
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline=${1:-BENCH_baseline.json}
+results=${2:-BENCH_results.json}
+tol=${BENCH_GATE_TOLERANCE:-0.15}
+
+test -s "$baseline" || { echo "bench_gate: missing $baseline" >&2; exit 1; }
+test -s "$results" || { echo "bench_gate: missing $results" >&2; exit 1; }
+
+if ! command -v python3 > /dev/null 2>&1; then
+  # Without python3 the numeric comparison is impossible; require at
+  # least that the artifact parses as the right schema by shape.
+  grep -q '"uvm-bench/1"' "$results"
+  echo 'bench_gate: python3 unavailable, shape-checked only'
+  exit 0
+fi
+
+python3 - "$baseline" "$results" "$tol" <<'EOF'
+import json, sys
+
+baseline_path, results_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(results_path) as f:
+    new = json.load(f)
+
+for artifact, name in ((base, baseline_path), (new, results_path)):
+    if artifact.get("schema") != "uvm-bench/1":
+        sys.exit("bench_gate: %s: bad schema %r" % (name, artifact.get("schema")))
+
+failures = []
+checked = [0]
+worst = [0.0, None]  # (relative slowdown, path)
+
+
+def gate(path, old, cur):
+    """Gate one numeric leaf; returns None or a failure line."""
+    key = path.rsplit(".", 1)[-1]
+    lower_is_better = key.endswith("_us")
+    higher_is_better = key.endswith("mb_s")
+    if not (lower_is_better or higher_is_better):
+        return
+    if not isinstance(old, (int, float)) or not isinstance(cur, (int, float)):
+        return
+    checked[0] += 1
+    if old == 0:
+        return  # no baseline signal; nothing to scale a tolerance from
+    if lower_is_better:
+        rel = (cur - old) / old
+        bad = cur > old * (1.0 + tol)
+    else:
+        rel = (old - cur) / old
+        bad = cur < old * (1.0 - tol)
+    if rel > worst[0]:
+        worst[0], worst[1] = rel, path
+    if bad:
+        failures.append(
+            "  %-60s %12.3f -> %12.3f  (%+.1f%%)" % (path, old, cur, 100.0 * rel)
+        )
+
+
+def walk(path, old, cur):
+    if isinstance(old, dict) and isinstance(cur, dict):
+        missing = sorted(set(old) - set(cur))
+        if missing:
+            failures.append("  %s: keys dropped from results: %s" % (path, missing))
+        for k in old:
+            if k in cur:
+                walk("%s.%s" % (path, k) if path else k, old[k], cur[k])
+    elif isinstance(old, list) and isinstance(cur, list):
+        if len(old) != len(cur):
+            failures.append(
+                "  %s: row count changed %d -> %d" % (path, len(old), len(cur))
+            )
+        for i, (o, c) in enumerate(zip(old, cur)):
+            walk("%s[%d]" % (path, i), o, c)
+    else:
+        gate(path, old, cur)
+
+
+# Gate only the deterministic simulated-time experiments; Bechamel
+# wall-clock numbers vary with the host and are reported, not gated.
+walk("experiments", base.get("experiments", {}), new.get("experiments", {}))
+
+if not checked[0]:
+    sys.exit("bench_gate: no gateable metrics found; baseline malformed?")
+
+if failures:
+    print("bench_gate: FAIL (%d of %d metrics beyond %.0f%% tolerance)"
+          % (len(failures), checked[0], 100.0 * tol))
+    for line in failures:
+        print(line)
+    sys.exit(1)
+
+if worst[1] is None:
+    print("bench_gate: OK (%d metrics, none slower than baseline)" % checked[0])
+else:
+    print("bench_gate: OK (%d metrics within %.0f%%; worst %+.1f%% at %s)"
+          % (checked[0], 100.0 * tol, 100.0 * worst[0], worst[1]))
+EOF

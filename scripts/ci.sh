@@ -95,11 +95,69 @@ top = max(x["payload"] for x in rows)
 for policy in ("loan", "mexp"):
     assert by[("BSD VM", policy, top)] == by[("BSD VM", "copy", top)], policy
 assert by[("UVM", "mexp", top)] < by[("UVM", "copy", top)]
-print("ci: serve results valid (%d rows)" % len(rows))
+# Causal attribution (DESIGN.md §13): every row's per-subsystem p99
+# breakdown must sum back to the measured p99 within 1%.
+for x in rows:
+    total = sum(part["self_us"] for part in x["p99_breakdown"])
+    assert abs(total - x["p99_us"]) <= 0.01 * x["p99_us"], \
+        (x["system"], x["policy"], x["payload"], total, x["p99_us"])
+print("ci: serve results valid (%d rows, p99 breakdowns sum)" % len(rows))
 EOF
 else
   grep -q '"uvm-sim-serve/1"' artifacts/serve.json
   echo 'ci: serve results produced (python3 unavailable, shape-checked only)'
+fi
+
+# Observability smoke (DESIGN.md §13): a quick vmstat run must emit
+# valid uvm-sim-metrics/1 and uvm-sim-spans/1 artifacts for both VM
+# systems, with well-formed span trees (every non-root's parent exists
+# in the same trace) and strictly increasing sample timestamps.
+dune exec bin/uvm_sim.exe -- vmstat --quick \
+  --metrics-out artifacts/metrics.json --spans-out artifacts/spans.json \
+  > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/metrics.json artifacts/spans.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+assert m["schema"] == "uvm-sim-metrics/1", m.get("schema")
+systems = {s["label"]: s for s in m["systems"]}
+assert set(systems) >= {"UVM", "BSD VM"}, set(systems)
+for label, s in systems.items():
+    cols = s["columns"]
+    assert {"free_pages", "faults", "swap_slots_used"} <= set(cols), label
+    ts = [row["ts"] for row in s["samples"]]
+    assert len(ts) >= 2, label
+    assert all(a < b for a, b in zip(ts, ts[1:])), label
+    assert all(len(row["values"]) == len(cols) for row in s["samples"]), label
+with open(sys.argv[2]) as f:
+    sp = json.load(f)
+assert sp["schema"] == "uvm-sim-spans/1", sp.get("schema")
+spsys = {s["label"]: s for s in sp["systems"]}
+assert set(spsys) >= {"UVM", "BSD VM"}, set(spsys)
+nspans = 0
+for label, s in spsys.items():
+    spans = s["spans"]
+    assert spans, label
+    by_id = {(x["trace"], x["span"]): x for x in spans}
+    roots = 0
+    for x in spans:
+        assert x["dur"] >= 0, (label, x)
+        if x["parent"] == 0:
+            roots += 1
+        else:
+            parent = by_id.get((x["trace"], x["parent"]))
+            assert parent is not None, (label, x)
+            assert parent["ts"] <= x["ts"] + 1e-9, (label, x)
+    assert roots > 0, label
+    assert {x["subsys"] for x in spans} >= {"fault", "pager"}, label
+    nspans += len(spans)
+print("ci: observability artifacts valid (%d spans)" % nspans)
+EOF
+else
+  grep -q '"uvm-sim-metrics/1"' artifacts/metrics.json
+  grep -q '"uvm-sim-spans/1"' artifacts/spans.json
+  echo 'ci: observability artifacts produced (python3 unavailable, shape-checked only)'
 fi
 
 # Tier-failover resilience smoke: stream a working set through a
@@ -134,5 +192,9 @@ fi
 # the workflow can start accumulating the bench trajectory.
 dune exec bench/main.exe > /dev/null
 test -s BENCH_results.json
+
+# Regression gate: fail if any simulated-time metric in the fresh bench
+# run regressed more than 15% against the committed baseline.
+sh scripts/bench_gate.sh BENCH_baseline.json BENCH_results.json
 
 echo 'ci: build clean, all tests passed'

@@ -50,9 +50,9 @@ let test_to_rows_complete () =
     "row names are unique"
     (List.length names)
     (List.length (List.sort_uniq compare names));
-  (* The ledger-backed fault-ahead outcome counters and the swap-tier /
-     swapcache counters must be reported (and stay immediate ints, per
-     the field-layout test above). *)
+  (* The ledger-backed fault-ahead outcome counters, the swap-tier /
+     swapcache counters and the sampler-facing gauges must be reported
+     (and stay immediate ints, per the field-layout test above). *)
   List.iter
     (fun n ->
       Alcotest.(check bool) (n ^ " reported") true (List.mem n names))
@@ -65,6 +65,11 @@ let test_to_rows_complete () =
       "swap_cache_fills";
       "swap_cache_hits";
       "swap_cache_evictions";
+      "free_pages";
+      "active_pages";
+      "inactive_pages";
+      "swap_slots_used";
+      "swapcache_pages";
     ]
 
 let test_snapshot_independent () =

@@ -380,7 +380,7 @@ let test_chrome_export () =
         true
         (events_for label "pagein"))
     [ "UVM"; "BSD VM" ];
-  (* Spans are well-formed complete events. *)
+  (* Spans are well-formed complete events; flow arrows carry ids. *)
   List.iter
     (fun e ->
       match member "ph" e with
@@ -389,9 +389,159 @@ let test_chrome_export () =
             (jnum_exn (member "dur" e) >= 0.0);
           Alcotest.(check bool) "span has ts >= 0" true
             (jnum_exn (member "ts" e) >= 0.0)
+      | Jstr ("s" | "f") ->
+          Alcotest.(check bool) "flow event has an id" true
+            (member "id" e <> Jnull)
       | Jstr ("i" | "M") -> ()
       | _ -> Alcotest.fail "unexpected event phase")
     events
+
+(* Causal spans ride the same Chrome export as dedicated tracks with
+   parent->child flow arrows: every flow id must pair one "s" with one
+   "f", and land on a span track (tid >= 100, cat "span"). *)
+let test_flow_event_round_trip () =
+  let srcs = run_both () in
+  let buf = Buffer.create 4096 in
+  Sim.Trace_export.chrome_json buf srcs;
+  let root = parse_json (Buffer.contents buf) in
+  let events = jarr_exn (member "traceEvents" root) in
+  let span_events =
+    List.filter (fun e -> member "cat" e = Jstr "span") events
+  in
+  Alcotest.(check bool) "span tracks exported" true
+    (List.exists (fun e -> member "ph" e = Jstr "X") span_events);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "span events live on tids >= 100" true
+        (jnum_exn (member "tid" e) >= 100.0))
+    span_events;
+  let flows ph =
+    List.filter_map
+      (fun e ->
+        if member "ph" e = Jstr ph && member "cat" e = Jstr "span" then
+          Some
+            ( int_of_float (jnum_exn (member "pid" e)),
+              int_of_float (jnum_exn (member "id" e)) )
+        else None)
+      events
+  in
+  let starts = flows "s" and finishes = flows "f" in
+  Alcotest.(check bool) "parented spans produce flows" true (starts <> []);
+  Alcotest.(check int) "every flow start has a finish" (List.length starts)
+    (List.length finishes);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "flow pairs share the id" true
+        (List.mem id finishes))
+    starts;
+  (* Binding-point "e" is what makes Perfetto attach the arrow to the
+     enclosing slice rather than the next one. *)
+  List.iter
+    (fun e ->
+      if member "ph" e = Jstr "f" then
+        Alcotest.(check string) "finish binds enclosing" "e"
+          (jstr_exn (member "bp" e)))
+    events
+
+(* -- the periodic sampler ----------------------------------------------- *)
+
+let test_sampler_monotonic_and_rates () =
+  let clock = Sim.Simclock.create () in
+  let t = Sim.Timeseries.create ~interval:10.0 () in
+  let v = ref 0.0 in
+  Sim.Timeseries.set_probe t ~columns:[ "v" ] (fun () -> [| !v |]);
+  Sim.Timeseries.attach t clock;
+  (* The counter climbs 1 per simulated microsecond while the clock
+     advances in ragged steps — so every derived rate must be 1e6/s. *)
+  for _ = 1 to 40 do
+    v := !v +. 3.7;
+    Sim.Simclock.advance clock 3.7
+  done;
+  let ss = Array.of_list (Sim.Timeseries.samples t) in
+  Alcotest.(check bool) "clock advances produced samples" true
+    (Array.length ss >= 5);
+  let col =
+    match Sim.Timeseries.col_index t "v" with
+    | Some i -> i
+    | None -> Alcotest.fail "missing column"
+  in
+  for i = 1 to Array.length ss - 1 do
+    Alcotest.(check bool) "timestamps strictly increase" true
+      (ss.(i).Sim.Timeseries.s_ts > ss.(i - 1).Sim.Timeseries.s_ts);
+    Alcotest.(check (float 1e-3))
+      "rate = dvalue / dt" 1_000_000.0
+      (Sim.Timeseries.rate ~col ss.(i - 1) ss.(i))
+  done;
+  Alcotest.(check (float 1e-9))
+    "degenerate rate is 0" 0.0
+    (Sim.Timeseries.rate ~col ss.(0) ss.(0));
+  Alcotest.(check int) "recorded matches retained here" (Array.length ss)
+    (Sim.Timeseries.recorded t)
+
+let test_watchdog_fires_once_per_episode () =
+  let clock = Sim.Simclock.create () in
+  let t = Sim.Timeseries.create ~interval:1.0 () in
+  let level = ref 0.0 in
+  Sim.Timeseries.set_probe t ~columns:[ "level" ] (fun () -> [| !level |]);
+  Sim.Timeseries.attach t clock;
+  Sim.Timeseries.add_rule t ~name:"high" ~window:3 (fun w ->
+      if Array.for_all (fun s -> s.Sim.Timeseries.s_values.(0) > 10.0) w then
+        Some [ ("level", "high") ]
+      else None);
+  let run n set =
+    for _ = 1 to n do
+      level := set;
+      Sim.Simclock.advance clock 2.0
+    done
+  in
+  run 10 20.0;
+  (* condition holds for many windows -> still one warning *)
+  Alcotest.(check int) "one warning per episode" 1
+    (List.length (Sim.Timeseries.warnings t));
+  run 3 5.0;
+  (* re-armed *)
+  run 5 20.0;
+  let warns = Sim.Timeseries.warnings t in
+  Alcotest.(check int) "second episode, second warning" 2 (List.length warns);
+  List.iter
+    (fun (w : Sim.Timeseries.warning) ->
+      Alcotest.(check string) "rule name" "high" w.Sim.Timeseries.w_rule;
+      Alcotest.(check (list (pair string string)))
+        "structured detail"
+        [ ("level", "high") ]
+        w.Sim.Timeseries.w_detail)
+    warns
+
+let test_metrics_export_round_trip () =
+  (* The machine-level probe: boot traced, do paging work, and check the
+     uvm-sim-metrics/1 JSON carries monotonic samples of real gauges. *)
+  let srcs = run_both () in
+  let buf = Buffer.create 4096 in
+  Sim.Trace_export.metrics_json buf srcs;
+  let root = parse_json (Buffer.contents buf) in
+  Alcotest.(check string)
+    "schema tag" "uvm-sim-metrics/1"
+    (jstr_exn (member "schema" root));
+  List.iter
+    (fun s ->
+      let columns = List.map jstr_exn (jarr_exn (member "columns" s)) in
+      Alcotest.(check bool) "free_pages column" true
+        (List.mem "free_pages" columns);
+      Alcotest.(check bool) "faults column" true (List.mem "faults" columns);
+      let samples = jarr_exn (member "samples" s) in
+      Alcotest.(check bool) "samples captured" true (List.length samples >= 2);
+      let ncols = List.length columns in
+      let last_ts = ref (-1.0) in
+      List.iter
+        (fun smp ->
+          let ts = jnum_exn (member "ts" smp) in
+          Alcotest.(check bool) "sample timestamps strictly increase" true
+            (ts > !last_ts);
+          last_ts := ts;
+          Alcotest.(check int) "one value per column" ncols
+            (List.length (jarr_exn (member "values" smp))))
+        samples)
+    (jarr_exn (member "systems" root))
 
 let test_snapshot_export () =
   let srcs = run_both () in
@@ -454,7 +604,14 @@ let test_tier_event_export () =
   Sim.Trace_export.chrome_json buf [ src ];
   let root = parse_json (Buffer.contents buf) in
   let events = jarr_exn (member "traceEvents" root) in
-  let named name = List.filter (fun e -> member "name" e = Jstr name) events in
+  (* Hist events only: causal spans share names ("migrate", "drain") but
+     live on their own cat:"span" tracks with different args. *)
+  let named name =
+    List.filter
+      (fun e ->
+        member "name" e = Jstr name && member "cat" e <> Jstr "span")
+      events
+  in
   (match named "device_dead" with
   | [ e ] ->
       Alcotest.(check string)
@@ -524,11 +681,22 @@ let () =
           Alcotest.test_case "live tracing both systems" `Quick
             test_live_tracing;
           Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_export;
+          Alcotest.test_case "flow event round-trip" `Quick
+            test_flow_event_round_trip;
           Alcotest.test_case "stats snapshot round-trip" `Quick
             test_snapshot_export;
           Alcotest.test_case "tier event round-trip" `Quick
             test_tier_event_export;
           Alcotest.test_case "untraced boot is silent" `Quick
             test_untraced_boot_is_silent;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "sampler monotonic + rate math" `Quick
+            test_sampler_monotonic_and_rates;
+          Alcotest.test_case "watchdog fires once per episode" `Quick
+            test_watchdog_fires_once_per_episode;
+          Alcotest.test_case "metrics export round-trip" `Quick
+            test_metrics_export_round_trip;
         ] );
     ]
