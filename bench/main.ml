@@ -222,6 +222,10 @@ let reproduce_paper () =
   Experiments.Resilience.print_result rs;
   let sv = Experiments.Serve.run () in
   Experiments.Serve.print_result sv;
+  (* Quick profile: the full soak is a CI gate of its own (uvm_sim soak);
+     the bench row tracks the overload counters and p99 across commits. *)
+  let sk = Experiments.Soak.run ~quick:true () in
+  Experiments.Soak.print_result sk;
   let ab_cluster = ablation_pageout_cluster () in
   let ab_ahead = ablation_fault_ahead () in
   let ab_rate = ablation_fault_rate () in
@@ -305,6 +309,25 @@ let reproduce_paper () =
               ("time_us", jfloat r.rs_time_us);
             ])
         rs );
+    ( "soak",
+      arr
+        (fun (s : Experiments.Soak.row) buf ->
+          obj buf
+            [
+              ("system", jstr s.Experiments.Soak.so_system);
+              ("passed", jint (if s.so_passed then 1 else 0));
+              ("epochs", jint s.so_epochs);
+              ("time_us", jfloat s.so_time_us);
+              ("audit_failures", jint s.so_audit_failures);
+              ("lost_pages", jint s.so_lost_pages);
+              ("p99_fault_us", jfloat s.so_p99_fault_us);
+              ("oom_kills", jint s.so_oom_kills);
+              ("rlimit_denials", jint s.so_rlimit_denials);
+              ("proc_swapouts", jint s.so_proc_swapouts);
+              ("proc_swapins", jint s.so_proc_swapins);
+              ("reserve_grabs", jint s.so_reserve_grabs);
+            ])
+        sk.Experiments.Soak.rows );
     ( "ablation_pageout_cluster",
       arr
         (fun (cluster, dt, writes) buf ->

@@ -466,6 +466,44 @@ let resilience_cmd =
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
       $ fault_seed $ quick $ out)
 
+(* -- soak -------------------------------------------------------------- *)
+
+let run_soak seed quick out =
+  let r = Experiments.Soak.run ~quick ~seed () in
+  Experiments.Soak.print_result r;
+  (match out with
+  | Some file ->
+      let buf = Buffer.create 4096 in
+      Experiments.Soak.json buf r;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "soak results written to %s\n" file
+  | None -> ());
+  if List.exists (fun s -> not s.Experiments.Soak.so_passed) r.rows then
+    exit 1
+
+let soak_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Chaos scenario seed (phase magnitudes jitter with it).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Shorter simulated span (CI smoke test).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-soak/1 JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Chaos soak: run both kernels through a seeded scenario \
+             composing fork/exit churn, an I/O error storm, a memory \
+             pressure spike, a swap device death and an rlimit squeeze, \
+             auditing every epoch.  Gated on SLOs: zero audit failures, \
+             zero lost pages, bounded p99 fault latency, every OOM kill \
+             attributed to a scenario phase.  Exits nonzero on breach.")
+    Term.(const run_soak $ seed $ quick $ out)
+
 (* -- commands --------------------------------------------------------- *)
 
 let run_all () =
@@ -486,4 +524,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
-          :: resilience_cmd :: vmstat_cmd :: List.map cmd_of experiments)))
+          :: resilience_cmd :: soak_cmd :: vmstat_cmd
+          :: List.map cmd_of experiments)))

@@ -202,6 +202,62 @@ module Sys = struct
   let map_entry_count vm = Vm_map.entry_count vm.map
   let resident_pages vm = Pmap.resident_count vm.pmap
 
+  (* Overload-policy census of one address space: resident/wired counts
+     from the pmap; swap slots by walking every shadow chain this space's
+     entries reach (all anonymous swap lives in object swslots tables).
+     Shared chains count toward every sharer — the badness score wants
+     the footprint a kill could free, and shared backing's best estimate
+     is its full size. *)
+  let vmspace_usage sys vm =
+    let resident = Pmap.resident_count vm.pmap in
+    let wired =
+      List.fold_left
+        (fun acc (_, pte) -> if pte.Pmap.wired then acc + 1 else acc)
+        0
+        (Pmap.translations vm.pmap)
+    in
+    let swap = ref 0 in
+    let seen = Hashtbl.create 16 in
+    let rec chain (obj : Vm_object.t) =
+      if not (Hashtbl.mem seen obj.Vm_object.id) then begin
+        Hashtbl.replace seen obj.Vm_object.id ();
+        swap := !swap + Hashtbl.length obj.Vm_object.swslots;
+        match obj.Vm_object.shadow with
+        | Some backing -> chain backing
+        | None -> ()
+      end
+    in
+    Vm_map.iter_entries
+      (fun e -> match e.Vm_map.obj with Some o -> chain o | None -> ())
+      vm.map;
+    ignore sys;
+    { u_resident = resident; u_swap = !swap; u_wired = wired }
+
+  (* Whole-process swapout, eviction half: push every reclaimable resident
+     page onto the inactive queue with its translations gone, so the next
+     pageout pass swaps the dirty ones out and frees the rest. *)
+  let kernel_map_locked sys = Vm_map.is_locked sys.kernel.map
+
+  let deactivate_resident sys vm =
+    let physmem = Bsd_sys.physmem sys.bsys in
+    let ctx = Bsd_sys.pmap_ctx sys.bsys in
+    let count = ref 0 in
+    List.iter
+      (fun (_, (pte : Pmap.pte)) ->
+        let page = pte.Pmap.page in
+        if
+          (not pte.Pmap.wired)
+          && (not page.Physmem.Page.busy)
+          && page.Physmem.Page.wire_count = 0
+          && page.Physmem.Page.loan_count = 0
+        then begin
+          Pmap.page_remove_all ctx page;
+          Physmem.deactivate physmem page;
+          incr count
+        end)
+      (Pmap.translations vm.pmap);
+    !count
+
   (* The historical two-step mapping: establish with default attributes
      (read-write!), then relock and adjust each non-default attribute.
      Between the steps a read-only mapping is briefly writable — the

@@ -66,6 +66,8 @@ let lock t =
   t.lock_span <- Some (Bsd_sys.span_start t.sys ~subsys:"map" "map_lock");
   t.locked_since <- Some (Sim.Simclock.now (Bsd_sys.clock t.sys))
 
+let is_locked t = t.locked_since <> None
+
 let unlock t =
   match t.locked_since with
   | None -> invalid_arg "Vm_map.unlock: not locked"

@@ -187,9 +187,11 @@ let rec find_in_chain sys obj ~off ~depth =
   | None -> (
       match Hashtbl.find_opt obj.swslots off with
       | Some slot -> (
+          (* Swap pagein may draw on the kernel reserve: it is the path
+             that turns swap slots back into reclaimable frames. *)
           let page =
-            Physmem.alloc (Bsd_sys.physmem sys) ~owner:(Obj_page obj)
-              ~offset:off ()
+            Physmem.alloc (Bsd_sys.physmem sys) ~privileged:true
+              ~owner:(Obj_page obj) ~offset:off ()
           in
           (* The frame allocation may have driven the pagedaemon, whose
              tier drain can migrate this very slot to a healthy device

@@ -132,6 +132,11 @@ let run sys =
               reclaim sys page
             end
             else if pageout_one sys obj page then reclaim sys page
+            else
+              (* Could not be cleaned (swap full, dead media): back to the
+                 active queue so the inactive queue's depth keeps meaning
+                 "reclaimable" to the deactivation heuristic. *)
+              Physmem.activate physmem page
         | _ -> assert false
   in
   List.iter scan (Physmem.inactive_pages physmem);

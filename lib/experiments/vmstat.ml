@@ -78,6 +78,9 @@ let rate_cols =
     ("pageins", "pi/s");
     ("pageouts", "po/s");
     ("swap_migrations", "mig/s");
+    ("oom_kills", "oom/s");
+    ("proc_swapouts", "so/s");
+    ("proc_swapins", "si/s");
   ]
 
 let print_source (src : Sim.Trace_export.source) =

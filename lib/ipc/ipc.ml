@@ -41,6 +41,21 @@ let policy_of_string = function
 
 let all_policies = [ Copy; Loan; Mexp ]
 
+(** Receiver liveness as the channel sees it, maintained by the process
+    layer: sends keep their historical semantics while the receiver is
+    [Rx_alive], gain deadline semantics when it is [Rx_swapped] (a
+    swapped-out process drains its queue only after swapin) and fail fast
+    once it is [Rx_dead] (reaped by the OOM policy, or exited). *)
+type rx_state = Rx_alive | Rx_swapped | Rx_dead
+
+(** Why a checked send moved no bytes (overload backpressure, §4.4BSD
+    process swapping composed with bounded queues). *)
+type send_error = Timed_out | Peer_dead
+
+let send_error_name = function
+  | Timed_out -> "timed_out"
+  | Peer_dead -> "peer_dead"
+
 module Machine = Vmiface.Machine
 
 module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
@@ -65,6 +80,7 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     q : segment Queue.t;
     mutable q_len : int;  (* queued payload bytes *)
     mutable closed : bool;
+    mutable rx_state : rx_state;  (* receiver liveness, set by the OS layer *)
   }
 
   type endpoint = { tx : chan; rx : chan }
@@ -80,7 +96,14 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     in
     if cap < 1 then invalid_arg "Ipc.pipe: capacity must be positive";
     incr chan_ids;
-    { id = !chan_ids; cap; q = Queue.create (); q_len = 0; closed = false }
+    {
+      id = !chan_ids;
+      cap;
+      q = Queue.create ();
+      q_len = 0;
+      closed = false;
+      rx_state = Rx_alive;
+    }
 
   let socketpair sys ?cap_bytes () =
     let a = pipe sys ?cap_bytes () and b = pipe sys ?cap_bytes () in
@@ -89,6 +112,8 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
   let capacity ch = ch.cap
   let queued_bytes ch = ch.q_len
   let closed ch = ch.closed
+  let set_rx_state ch st = ch.rx_state <- st
+  let rx_state ch = ch.rx_state
 
   let free_seg sys = function
     | S_bytes _ -> ()
@@ -221,6 +246,27 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
         [ ("how", policy_name policy); ("bytes", string_of_int n) ];
     record sys ~ts:t0 "send" ~how:(policy_name policy) ~bytes:n ~chan:ch.id;
     n
+
+  (* Deadline semantics for overloaded receivers.  [send] keeps its
+     historical partial-write behaviour (the torture oracle depends on it
+     being capacity-only); [send_checked] layers receiver liveness on
+     top.  A reaped peer fails every send immediately; a swapped-out peer
+     whose queue is full cannot drain before the deadline, so the caller
+     is charged the deadline wait and told so, instead of blocking on a
+     receiver the swap policy already parked. *)
+  let deadline_wait_us = 1_000.0
+
+  let send_checked sys vm ?vslocked ch ~policy ~addr ~len =
+    match ch.rx_state with
+    | Rx_dead -> Error Peer_dead
+    | Rx_swapped when len > 0 && ch.cap - ch.q_len <= 0 ->
+        charge sys deadline_wait_us;
+        record sys
+          ~ts:(Machine.now (V.machine sys))
+          "send" ~how:"timed_out" ~bytes:0 ~chan:ch.id;
+        Error Timed_out
+    | Rx_alive | Rx_swapped ->
+        Ok (send sys vm ?vslocked ch ~policy ~addr ~len)
 
   (* -- recv -------------------------------------------------------------- *)
 

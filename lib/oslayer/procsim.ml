@@ -28,6 +28,13 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     lib_segs : (Programs.shared_lib * segment * segment * segment) list;
         (** text, data, bss per shared library *)
     mutable dead : bool;
+    mutable limits : Overload.rlimits;
+    mutable swapped : bool;  (** whole process swapped out (4.4BSD-style) *)
+    mutable pending_kill : bool;
+        (** the OOM policy chose us while we were running: die at the
+            next syscall boundary (signal-style delivery) *)
+    born : int;  (** spawn sequence number, for the badness age bonus *)
+    mutable owned_chans : I.chan list;  (** channels this proc receives on *)
   }
 
   let pid_counter = ref 0
@@ -146,6 +153,11 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
       heap;
       lib_segs;
       dead = false;
+      limits = Overload.unlimited;
+      swapped = false;
+      pending_kill = false;
+      born = !pid_counter;
+      owned_chans = [];
     }
 
   (* Swap a process out/in: its user structure is unwired while it cannot
@@ -184,6 +196,274 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     I.recv sys proc.vm ?vslocked ?accept_mapped ch ~addr ~len
 
   let close_chan sys ch = I.close sys ch
+
+  (* -- overload manager: rlimits, OOM victim policy, process swapout --
+
+     The lifeboat above the pagedaemon.  Registered processes get their
+     resource limits enforced at allocation points; when paging cannot
+     meet demand the physmem OOM hook lands here and escalates through
+     the 4.4BSD ladder: swap an idle process out entirely, then reap the
+     worst-badness victim, then (only when the victim is the running
+     process itself) deliver a signal-style kill at the next syscall
+     boundary. *)
+
+  type mgr = {
+    msys : V.sys;
+    mutable procs : proc list;  (* registration order *)
+    mutable current : proc option;  (* proc running a syscall right now *)
+    chan_owner : (int, proc) Hashtbl.t;  (* chan id -> receiving proc *)
+    mutable on_kill : (proc -> badness:int -> unit) option;
+    mutable in_policy : bool;  (* the OOM hook must not recurse *)
+  }
+
+  let mstats mgr = (V.machine mgr.msys).Vmiface.Machine.stats
+
+  let new_mgr sys =
+    {
+      msys = sys;
+      procs = [];
+      current = None;
+      chan_owner = Hashtbl.create 16;
+      on_kill = None;
+      in_policy = false;
+    }
+
+  let set_on_kill mgr f = mgr.on_kill <- Some f
+  let register mgr proc = mgr.procs <- mgr.procs @ [ proc ]
+  let live mgr = List.filter (fun p -> not p.dead) mgr.procs
+  let usage mgr proc = V.vmspace_usage mgr.msys proc.vm
+
+  let proc_badness mgr proc =
+    Overload.badness ~usage:(usage mgr proc) ~age:(!pid_counter - proc.born)
+
+  let deny mgr proc limit =
+    (mstats mgr).Sim.Stats.rlimit_denials <-
+      (mstats mgr).Sim.Stats.rlimit_denials + 1;
+    raise (Overload.Rlimit_exceeded { pid = proc.pid; limit })
+
+  (* Cheap per-touch check: resident_count is a counter, no walk. *)
+  let check_resident mgr proc ~extra =
+    if V.resident_pages proc.vm + extra > proc.limits.Overload.rl_resident
+    then deny mgr proc "resident"
+
+  (* Walking checks, used at the rarer wire/map/epoch points. *)
+  let check_wired mgr proc ~extra =
+    if (usage mgr proc).Vmtypes.u_wired + extra > proc.limits.Overload.rl_wired
+    then deny mgr proc "wired"
+
+  let check_swap mgr proc =
+    if (usage mgr proc).Vmtypes.u_swap > proc.limits.Overload.rl_swap then
+      deny mgr proc "swap"
+
+  let chan_backlog proc =
+    List.fold_left
+      (fun acc ch -> acc + I.queued_bytes ch)
+      0 proc.owned_chans
+
+  let set_chans proc st =
+    List.iter (fun ch -> I.set_rx_state ch st) proc.owned_chans
+
+  (* Whole-process swapout (paper-era 4.4BSD mechanism): evict the whole
+     resident set to the inactive queue and unwire the user structure.
+     Contents survive — the pagedaemon pages the dirty half out and the
+     process' first fault after swapin brings pages back on demand. *)
+  let swapout_whole mgr proc =
+    let evicted = V.deactivate_resident mgr.msys proc.vm in
+    swapout_proc mgr.msys proc;
+    proc.swapped <- true;
+    set_chans proc Ipc.Rx_swapped;
+    (mstats mgr).Sim.Stats.proc_swapouts <-
+      (mstats mgr).Sim.Stats.proc_swapouts + 1;
+    evicted
+
+  let swapin_whole mgr proc =
+    if proc.swapped then begin
+      swapin_proc mgr.msys proc;
+      proc.swapped <- false;
+      set_chans proc Ipc.Rx_alive;
+      (mstats mgr).Sim.Stats.proc_swapins <-
+        (mstats mgr).Sim.Stats.proc_swapins + 1
+    end
+
+  (* OOM teardown through the ordinary exit machinery — the audit must
+     stay clean across a reap, so nothing here bypasses the map/amap/
+     object paths.  A swapped-out victim gets its user structure rewired
+     first so teardown unwinds the same way a normal exit does. *)
+  let reap mgr ?badness proc =
+    let b =
+      match badness with Some b -> b | None -> proc_badness mgr proc
+    in
+    if proc.swapped then begin
+      swapin_proc mgr.msys proc;
+      proc.swapped <- false
+    end;
+    set_chans proc Ipc.Rx_dead;
+    exit_proc mgr.msys proc;
+    (mstats mgr).Sim.Stats.oom_kills <- (mstats mgr).Sim.Stats.oom_kills + 1;
+    match mgr.on_kill with Some f -> f proc ~badness:b | None -> ()
+
+  let deliver_kill mgr proc =
+    proc.pending_kill <- false;
+    if not proc.dead then reap mgr proc;
+    raise (Overload.Killed { pid = proc.pid })
+
+  (* The physmem last-resort hook.  Returns true iff it freed something
+     worth retrying the failing allocation for. *)
+  let oom_policy mgr () =
+    (* Defer when the failing allocation holds the kernel map lock:
+       victim teardown re-enters the kernel map (ustruct unwire, wired
+       frees), so the only safe answer is to let the allocation fail and
+       surface [Out_of_pages] to a caller that can cope. *)
+    if mgr.in_policy || V.kernel_map_locked mgr.msys then false
+    else begin
+      mgr.in_policy <- true;
+      Fun.protect
+        ~finally:(fun () -> mgr.in_policy <- false)
+        (fun () ->
+          let is_current p =
+            match mgr.current with Some c -> c == p | None -> false
+          in
+          let idle =
+            List.filter
+              (fun p -> (not (is_current p)) && not p.swapped)
+              (live mgr)
+          in
+          (* Stage 1: swap an idle process out whole, biggest resident
+             set first (most relief per swapout), lowest pid on ties.
+             Worth trying even with swap nearly full — clean file-backed
+             pages reclaim without a slot — and the ladder escalates by
+             itself: each round parks one more idle process, and once
+             none are left stage 2 takes over. *)
+          let swapout_candidate =
+            List.fold_left
+              (fun best p ->
+                (* Even a fully paged-out process is worth swapping: it
+                   still releases the wired user structure, which is
+                   exactly the relief 4.4BSD's swapout rung buys when
+                   paging alone has run out of road. *)
+                let r = V.resident_pages p.vm in
+                match best with
+                | Some (_, br) when br >= r -> best
+                | _ -> Some (p, r))
+              None idle
+          in
+          match swapout_candidate with
+          | Some (p, _) ->
+              (* Progress either way: deactivated resident pages and/or
+                 an unwired u-area for the next daemon pass to reclaim.
+                 Escalation still happens — each round parks one more
+                 idle process, and once none are left stage 2 reaps. *)
+              ignore (swapout_whole mgr p : int);
+              true
+          | None -> (
+              (* Stage 2: reap the worst-badness victim.  Swapped-out
+                 processes are candidates too; the running process only
+                 as a last resort, by deferred signal-style delivery. *)
+              let victims =
+                List.filter (fun p -> not (is_current p)) (live mgr)
+              in
+              let pick ps =
+                List.fold_left
+                  (fun best p ->
+                    let b = proc_badness mgr p in
+                    match best with
+                    | Some (_, bb) when bb > b -> best
+                    | Some (bp, bb) when bb = b && bp.pid > p.pid -> best
+                    | _ -> Some (p, b))
+                  None ps
+              in
+              match pick victims with
+              | Some (p, b) ->
+                  reap mgr ~badness:b p;
+                  true
+              | None -> (
+                  match mgr.current with
+                  | Some p ->
+                      p.pending_kill <- true;
+                      false
+                  | None -> false)))
+    end
+
+  let install mgr =
+    Physmem.set_oom_hook
+      (V.machine mgr.msys).Vmiface.Machine.physmem
+      (Some (fun () -> oom_policy mgr ()))
+
+  let uninstall mgr =
+    Physmem.set_oom_hook (V.machine mgr.msys).Vmiface.Machine.physmem None
+
+  (* Syscall boundary: swap the process back in if it was parked
+     (runnable transition), run the work with it marked current, and on
+     any unwind with a pending kill die cleanly via {!Overload.Killed}. *)
+  let run_as mgr proc f =
+    if proc.dead then invalid_arg "Procsim.run_as: process is dead";
+    if proc.pending_kill then deliver_kill mgr proc;
+    if proc.swapped then swapin_whole mgr proc;
+    let prev = mgr.current in
+    mgr.current <- Some proc;
+    let restore () = mgr.current <- prev in
+    match f () with
+    | v ->
+        restore ();
+        v
+    | exception e ->
+        restore ();
+        if proc.pending_kill && not proc.dead then deliver_kill mgr proc
+        else raise e
+
+  (* Rlimit-enforcing syscall wrappers (the soak workload runs through
+     these; experiments that predate the lifeboat keep the raw paths). *)
+  let touch_r mgr proc ~vpn access =
+    run_as mgr proc (fun () ->
+        check_resident mgr proc ~extra:1;
+        V.touch mgr.msys proc.vm ~vpn access)
+
+  let mmap_r mgr proc ?fixed_at ~npages ~prot ~share source =
+    run_as mgr proc (fun () ->
+        check_resident mgr proc ~extra:0;
+        check_swap mgr proc;
+        V.mmap mgr.msys proc.vm ?fixed_at ~npages ~prot ~share source)
+
+  let vslock_r mgr proc ~vpn ~npages =
+    run_as mgr proc (fun () ->
+        check_wired mgr proc ~extra:npages;
+        V.vslock mgr.msys proc.vm ~vpn ~npages)
+
+  let mlock_r mgr proc ~vpn ~npages =
+    run_as mgr proc (fun () ->
+        check_wired mgr proc ~extra:npages;
+        V.mlock mgr.msys proc.vm ~vpn ~npages)
+
+  (* Channel ownership: the receiving process' liveness drives the
+     channel's backpressure state, and its backlog rlimit bounds what
+     senders may queue on it. *)
+  let own_chan mgr proc ch =
+    proc.owned_chans <- ch :: proc.owned_chans;
+    Hashtbl.replace mgr.chan_owner (I.(ch.id)) proc;
+    I.set_rx_state ch
+      (if proc.dead then Ipc.Rx_dead
+       else if proc.swapped then Ipc.Rx_swapped
+       else Ipc.Rx_alive)
+
+  let pipe_owned mgr ~owner ?cap_bytes () =
+    let ch = I.pipe mgr.msys ?cap_bytes () in
+    own_chan mgr owner ch;
+    ch
+
+  let send_r mgr sender ?vslocked ch ~policy ~addr ~len =
+    run_as mgr sender (fun () ->
+        (match Hashtbl.find_opt mgr.chan_owner I.(ch.id) with
+        | Some owner
+          when (not owner.dead)
+               && chan_backlog owner + len
+                  > owner.limits.Overload.rl_backlog ->
+            deny mgr owner "backlog"
+        | Some _ | None -> ());
+        I.send_checked mgr.msys sender.vm ?vslocked ch ~policy ~addr ~len)
+
+  let recv_r mgr proc ?vslocked ?accept_mapped ch ~addr ~len =
+    run_as mgr proc (fun () ->
+        I.recv mgr.msys proc.vm ?vslocked ?accept_mapped ch ~addr ~len)
 
   (* Replay an access trace (from {!Trace}) against a process. *)
   let replay sys proc trace =

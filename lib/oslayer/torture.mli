@@ -51,12 +51,26 @@ type op =
       vsl : bool;  (** wire the user buffer around the transfer *)
     }
   | Pipe_read of { k : int; p : int; r : int; off : int; len : int; vsl : bool }
+  | Kwire of { k : int; npages : int }
+      (** wired kernel allocation into global slot [k] — the §3.2 kernel
+          wiring cases (user structures, page-table pages) as first-class
+          trace ops *)
+  | Kunwire of { k : int }
+  | Vsl_grab of { p : int; r : int; off : int; len : int }
+      (** vslock a page range and hold it across later ops (a long physio
+          buffer); at most one held buffer per process, dropped implicitly
+          on [Exit] *)
+  | Vsl_drop of { p : int }
 
 val op_to_string : op -> string
 
 (** Observable result of one operation, compared across the two systems.
-    [Oom] is a wildcard: page-reclamation timing may legitimately differ
-    between the kernels, so an out-of-memory outcome matches anything. *)
+    [Oom] is a {e conditional} wildcard: page-reclamation timing may
+    legitimately differ between the kernels, so an out-of-memory outcome
+    matches anything — but only while memory is plausibly short (within a
+    window after a [Pressure]/[Kwire]/[Vsl_grab] op, or while either
+    kernel's free-page or swap-slot count is measurably low).  An Oom
+    divergence on a calm machine is reported as a {!Mismatch}. *)
 type outcome =
   | Done
   | Byte of int

@@ -27,8 +27,12 @@ type t = {
   mutable free_count : int;
   freemin : int;
   freetarg : int;
+  reserve : int;  (** frames only privileged (daemon/drain) allocs may take *)
   mutable pagedaemon : (unit -> unit) option;
   mutable daemon_running : bool;
+  mutable oom_hook : (unit -> bool) option;
+      (** last-resort reclaim: swap a process out or reap a victim; returns
+          true if it freed anything worth retrying the allocation for *)
   mutable violations : violation list;  (** first few illegal transitions *)
   mutable last_fill : float;  (** time of the last fault-in, -1 if none *)
 }
@@ -131,8 +135,10 @@ let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
       free_count = 0;
       freemin = max 8 (npages / 32);
       freetarg = max 16 (npages / 16);
+      reserve = max 4 (npages / 64);
       pagedaemon = None;
       daemon_running = false;
+      oom_hook = None;
       violations = [];
       last_fill = -1.0;
     }
@@ -151,7 +157,9 @@ let active_count t = Sim.Dlist.length t.active
 let inactive_count t = Sim.Dlist.length t.inactive
 let freemin t = t.freemin
 let freetarg t = t.freetarg
+let reserve t = t.reserve
 let set_pagedaemon t f = t.pagedaemon <- Some f
+let set_oom_hook t f = t.oom_hook <- f
 let page_shortage t = t.free_count < t.freemin
 
 let queue_of t = function
@@ -187,23 +195,59 @@ let run_pagedaemon t =
       Fun.protect ~finally:(fun () -> t.daemon_running <- false) daemon
   | Some _ | None -> ()
 
-let alloc t ?(zero = false) ~owner ~offset () =
+let alloc t ?(zero = false) ?(privileged = false) ~owner ~offset () =
   if t.free_count <= t.freemin then run_pagedaemon t;
+  (* The bottom [reserve] frames of the free list belong to the paths that
+     make more memory: pagedaemon staging, drain migration, swap pagein.
+     Ordinary allocations stop above the reserve so those paths can always
+     make forward progress at (nominally) zero free pages. *)
   let grab () =
-    match Sim.Dlist.pop_head t.free with
-    | Some page ->
-        t.free_count <- t.free_count - 1;
-        page.Page.node <- None;
-        page.Page.queue <- Page.Q_none;
-        Some page
-    | None -> None
+    if (not privileged) && t.free_count <= t.reserve then None
+    else
+      match Sim.Dlist.pop_head t.free with
+      | Some page ->
+          if privileged && t.free_count <= t.reserve then
+            t.stats.Sim.Stats.reserve_grabs <-
+              t.stats.Sim.Stats.reserve_grabs + 1;
+          t.free_count <- t.free_count - 1;
+          page.Page.node <- None;
+          page.Page.queue <- Page.Q_none;
+          Some page
+      | None -> None
   in
   let page =
     match grab () with
     | Some page -> page
-    | None -> (
-        run_pagedaemon t;
-        match grab () with Some page -> page | None -> raise Out_of_pages)
+    | None ->
+        (* VM_WAIT: the failing allocation waits on the pagedaemon and
+           retries.  Several rounds, because the two-queue second-chance
+           scan needs them — one pass clears reference bits on the active
+           queue, the next deactivates, the one after reclaims — and a
+           single pass may legitimately free nothing while reclaimable
+           pages still exist. *)
+        let rec wait_rounds n =
+          run_pagedaemon t;
+          match grab () with
+          | Some page -> Some page
+          | None -> if n > 1 then wait_rounds (n - 1) else None
+        in
+        (match wait_rounds 4 with
+        | Some page -> page
+        | None ->
+            (* Paging alone cannot meet demand: hand the decision to the
+               overload policy (process swapout, then OOM kill).  Each
+               round that claims progress earns one more daemon pass and
+               retry; the first round that does not ends in Out_of_pages. *)
+            let rec last_resort () =
+              match t.oom_hook with
+              | Some hook when hook () -> (
+                  run_pagedaemon t;
+                  match grab () with
+                  | Some page -> page
+                  | None -> last_resort ())
+              | Some _ | None -> raise Out_of_pages
+            in
+            last_resort ())
   in
   page.Page.owner <- owner;
   page.Page.owner_offset <- offset;

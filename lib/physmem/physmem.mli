@@ -51,16 +51,31 @@ val freemin : t -> int
 val freetarg : t -> int
 (** Free-page count the pagedaemon aims for when it runs. *)
 
+val reserve : t -> int
+(** Frames held back from ordinary allocation for the paths that create
+    free memory: pagedaemon staging, drain migration, swap pagein. *)
+
 val set_pagedaemon : t -> (unit -> unit) -> unit
 (** Install the VM system's pageout routine.  It is called by {!alloc} when
     free pages are scarce and must try to move clean/cleaned pages to the
     free list. *)
 
-val alloc : t -> ?zero:bool -> owner:Page.tag -> offset:int -> unit -> Page.t
+val set_oom_hook : t -> (unit -> bool) option -> unit
+(** Install (or clear) the last-resort overload policy.  When paging cannot
+    satisfy an allocation, the hook is invoked; returning [true] means it
+    freed memory (swapped a process out, reaped a victim) and the
+    allocation should run the daemon and retry.  The first [false] — or no
+    hook — turns the failure into {!Out_of_pages}. *)
+
+val alloc :
+  t -> ?zero:bool -> ?privileged:bool -> owner:Page.tag -> offset:int ->
+  unit -> Page.t
 (** Allocate a page frame for [owner] at page-index [offset] within it.
     If [zero] (default false) the page data is zero-filled and the zeroing
-    cost is charged.  The returned page is on no queue ([Q_none]), not busy,
-    clean, and unwired.
+    cost is charged.  If [privileged] (default false) the allocation may
+    dig into the kernel {!reserve} — for pagedaemon staging and swap
+    pagein only, so reclaim always makes progress.  The returned page is
+    on no queue ([Q_none]), not busy, clean, and unwired.
     @raise Out_of_pages if memory cannot be reclaimed. *)
 
 val free_page : t -> Page.t -> unit

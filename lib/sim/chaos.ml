@@ -1,0 +1,129 @@
+(* Chaos scenarios are pure data: the soak harness interprets phases
+   against a booted kernel, this module only generates and locates them.
+   Keeping it data-only (seeded RNG in, schedule out) is what makes a
+   soak reproducible — the same seed yields the same phases on both
+   kernels, so divergence is always the kernel's fault. *)
+
+type mode =
+  | Device_death of { dev_name : string }
+  | Io_storm of { read_rate : float; write_rate : float }
+  | Pressure_spike of { spike_pages : int }
+  | Rlimit_squeeze of { squeeze_resident : int }
+  | Fork_churn of { churn_procs : int }
+
+type phase = {
+  ph_name : string;
+  ph_start_us : float;
+  ph_len_us : float;
+  ph_modes : mode list;
+}
+
+type scenario = {
+  sc_seed : int;
+  sc_len_us : float;
+  sc_phases : phase list;
+}
+
+let mode_name = function
+  | Device_death _ -> "device_death"
+  | Io_storm _ -> "io_storm"
+  | Pressure_spike _ -> "pressure_spike"
+  | Rlimit_squeeze _ -> "rlimit_squeeze"
+  | Fork_churn _ -> "fork_churn"
+
+let mode_detail = function
+  | Device_death { dev_name } -> [ ("device", dev_name) ]
+  | Io_storm { read_rate; write_rate } ->
+      [
+        ("read_rate", Printf.sprintf "%.3f" read_rate);
+        ("write_rate", Printf.sprintf "%.3f" write_rate);
+      ]
+  | Pressure_spike { spike_pages } ->
+      [ ("pages", string_of_int spike_pages) ]
+  | Rlimit_squeeze { squeeze_resident } ->
+      [ ("resident_limit", string_of_int squeeze_resident) ]
+  | Fork_churn { churn_procs } -> [ ("procs", string_of_int churn_procs) ]
+
+let phases_at sc ~now_us =
+  List.filter
+    (fun ph -> ph.ph_start_us <= now_us && now_us < ph.ph_start_us +. ph.ph_len_us)
+    sc.sc_phases
+
+let phase_names_at sc ~now_us =
+  List.map (fun ph -> ph.ph_name) (phases_at sc ~now_us)
+
+(* The canonical soak schedule: a calm warm-up, then overlapping fault
+   phases covering every mode at least once — the acceptance criterion
+   wants device death, an I/O error storm and an rlimit squeeze composed
+   in one run.  Magnitudes jitter with the seed; the phase structure
+   (names, order, which modes compose) is fixed so SLO attribution is
+   stable run to run. *)
+let generate ~seed ~len_us ~pressure_pages =
+  let rng = Rng.create ~seed in
+  let jitter lo hi = lo + Rng.int rng (max 1 (hi - lo)) in
+  let frac f = len_us *. f in
+  let phases =
+    [
+      {
+        ph_name = "warmup";
+        ph_start_us = 0.0;
+        ph_len_us = frac 0.15;
+        ph_modes = [];
+      };
+      {
+        ph_name = "churn";
+        ph_start_us = frac 0.10;
+        ph_len_us = frac 0.35;
+        ph_modes = [ Fork_churn { churn_procs = jitter 2 4 } ];
+      };
+      {
+        ph_name = "io_storm";
+        ph_start_us = frac 0.20;
+        ph_len_us = frac 0.25;
+        ph_modes =
+          [
+            Io_storm
+              {
+                read_rate = 0.02 +. (0.02 *. Rng.float rng 1.0);
+                write_rate = 0.05 +. (0.05 *. Rng.float rng 1.0);
+              };
+          ];
+      };
+      {
+        ph_name = "pressure";
+        ph_start_us = frac 0.30;
+        ph_len_us = frac 0.30;
+        ph_modes =
+          [
+            Pressure_spike
+              {
+                spike_pages =
+                  pressure_pages + jitter 0 (max 1 (pressure_pages / 4));
+              };
+          ];
+      };
+      {
+        ph_name = "device_death";
+        ph_start_us = frac 0.45;
+        ph_len_us = frac 0.20;
+        ph_modes = [ Device_death { dev_name = "fast" } ];
+      };
+      {
+        ph_name = "squeeze";
+        ph_start_us = frac 0.60;
+        ph_len_us = frac 0.25;
+        ph_modes =
+          [
+            Rlimit_squeeze { squeeze_resident = jitter 12 24 };
+            Fork_churn { churn_procs = jitter 1 3 };
+          ];
+      };
+      {
+        ph_name = "cooldown";
+        ph_start_us = frac 0.85;
+        ph_len_us = frac 0.15;
+        ph_modes = [];
+      };
+    ]
+  in
+  { sc_seed = seed; sc_len_us = len_us; sc_phases = phases }

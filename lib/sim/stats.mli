@@ -64,6 +64,11 @@ type t = {
   mutable swap_cache_fills : int;  (** clean vnode pages spilled into the swapcache *)
   mutable swap_cache_hits : int;  (** refaults served from the swapcache *)
   mutable swap_cache_evictions : int;  (** cache entries shed (pressure, death, invalidation) *)
+  mutable oom_kills : int;  (** processes reaped by the OOM victim policy *)
+  mutable rlimit_denials : int;  (** allocations refused by a per-process resource limit *)
+  mutable proc_swapouts : int;  (** whole processes swapped out under sustained shortage *)
+  mutable proc_swapins : int;  (** swapped-out processes brought back in *)
+  mutable reserve_grabs : int;  (** privileged allocations served from the kernel reserve *)
   mutable free_pages : int;  (** gauge: free-list depth at last sync *)
   mutable active_pages : int;  (** gauge: active-queue depth at last sync *)
   mutable inactive_pages : int;  (** gauge: inactive-queue depth at last sync *)

@@ -141,6 +141,69 @@ module Sys = struct
   let map_entry_count vm = Uvm_map.entry_count vm.map
   let resident_pages vm = Pmap.resident_count vm.pmap
 
+  (* Overload-policy census of one address space: resident and wired
+     translation counts straight from the pmap, swap slots by walking the
+     two UVM layers this space's entries reach (anons in amaps, then any
+     aobj backing).  Shared backing counts toward every sharer — the
+     badness score wants "how much does killing this free", and a shared
+     page's best estimate is its full footprint. *)
+  let vmspace_usage sys vm =
+    let resident = Pmap.resident_count vm.pmap in
+    let wired =
+      List.fold_left
+        (fun acc (_, pte) -> if pte.Pmap.wired then acc + 1 else acc)
+        0
+        (Pmap.translations vm.pmap)
+    in
+    let swap = ref 0 in
+    let seen_anon = Hashtbl.create 32 in
+    let seen_obj = Hashtbl.create 8 in
+    Uvm_map.iter_entries
+      (fun e ->
+        (match e.Uvm_map.amap with
+        | Some am ->
+            for i = 0 to Uvm_map.entry_npages e - 1 do
+              match Uvm_amap.lookup am ~slot:(e.Uvm_map.amapoff + i) with
+              | Some anon when not (Hashtbl.mem seen_anon anon.Uvm_anon.id) ->
+                  Hashtbl.replace seen_anon anon.Uvm_anon.id ();
+                  if anon.Uvm_anon.swslot <> 0 then incr swap
+              | _ -> ()
+            done
+        | None -> ());
+        match e.Uvm_map.obj with
+        | Some o when not (Hashtbl.mem seen_obj o.Uvm_object.id) ->
+            Hashtbl.replace seen_obj o.Uvm_object.id ();
+            swap := !swap + List.length (Uvm_aobj.swslots o)
+        | _ -> ())
+      vm.map;
+    ignore sys;
+    { u_resident = resident; u_swap = !swap; u_wired = wired }
+
+  (* Whole-process swapout, eviction half: push every reclaimable resident
+     page onto the inactive queue with its translations gone, so the next
+     pagedaemon pass swaps the dirty ones out and frees the rest. *)
+  let kernel_map_locked sys = Uvm_map.is_locked sys.kernel.map
+
+  let deactivate_resident sys vm =
+    let physmem = Uvm_sys.physmem sys.usys in
+    let ctx = Uvm_sys.pmap_ctx sys.usys in
+    let count = ref 0 in
+    List.iter
+      (fun (_, (pte : Pmap.pte)) ->
+        let page = pte.Pmap.page in
+        if
+          (not pte.Pmap.wired)
+          && (not page.Physmem.Page.busy)
+          && page.Physmem.Page.wire_count = 0
+          && page.Physmem.Page.loan_count = 0
+        then begin
+          Pmap.page_remove_all ctx page;
+          Physmem.deactivate physmem page;
+          incr count
+        end)
+      (Pmap.translations vm.pmap);
+    !count
+
   let default_inherit = function Private -> Inh_copy | Shared -> Inh_shared
 
   let mmap sys vm ?fixed_at ~npages ~prot ~share source =

@@ -76,8 +76,11 @@ let ensure_resident sys t =
   | None -> (
       if t.swslot = 0 then
         invalid_arg "Uvm_anon.ensure_resident: anon has neither page nor swap";
+      (* Swap pagein creates free memory (the slot's frame can be reclaimed
+         once clean), so it may draw on the kernel reserve. *)
       let page =
-        Physmem.alloc (Uvm_sys.physmem sys) ~owner:(Anon_page t) ~offset:0 ()
+        Physmem.alloc (Uvm_sys.physmem sys) ~privileged:true
+          ~owner:(Anon_page t) ~offset:0 ()
       in
       let span = Uvm_sys.span_start sys ~subsys:"pager" "pagein" in
       let t0 = Sim.Simclock.now (Uvm_sys.clock sys) in

@@ -20,11 +20,13 @@ let make_ops sys st obj =
   let pgo_get ~center ~lo ~hi =
     let status = ref (Ok ()) in
     (if Uvm_object.find_page obj ~pgno:center = None then begin
-       let page =
-         Physmem.alloc physmem ~owner:(Uvm_object.Uobj_page obj) ~offset:center
-           ()
-       in
        let from_swap = Hashtbl.mem st.swslots center in
+       (* A swap pagein may draw on the kernel reserve: it is the path that
+          turns swap slots back into reclaimable frames. *)
+       let page =
+         Physmem.alloc physmem ~privileged:from_swap
+           ~owner:(Uvm_object.Uobj_page obj) ~offset:center ()
+       in
        let filled =
          match Hashtbl.find_opt st.swslots center with
          | Some slot ->

@@ -59,6 +59,8 @@ let lock t =
   t.lock_span <- Some (Uvm_sys.span_start t.sys ~subsys:"map" "map_lock");
   t.locked_since <- Some (Sim.Simclock.now (Uvm_sys.clock t.sys))
 
+let is_locked t = t.locked_since <> None
+
 let unlock t =
   match t.locked_since with
   | None -> invalid_arg "Uvm_map.unlock: not locked"

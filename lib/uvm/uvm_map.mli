@@ -55,6 +55,11 @@ val lock : t -> unit
 
 val unlock : t -> unit
 
+val is_locked : t -> bool
+(** True while some operation holds the map lock.  The OOM policy checks
+    this before tearing a victim down: teardown re-enters the kernel
+    map, so it must defer when the failing allocation already holds it. *)
+
 val entry_npages : entry -> int
 val entry_count : t -> int
 val iter_entries : (entry -> unit) -> t -> unit

@@ -110,26 +110,38 @@ let flush_anon_batch sys batch =
            "pageout_cluster";
          Uvm_sys.observe sys "pageout_cluster_io_us" dur
        end);
-      (* Pages that now have a swap copy are clean and reclaimable. *)
+      (* Pages that now have a swap copy are clean and reclaimable.  Pages
+         that could not be cleaned (swap full, dead media) go back to the
+         active queue: leaving them on the inactive queue would make its
+         depth lie to the deactivation heuristic, starving the scan of
+         the clean pages it could still reclaim. *)
       List.fold_left
         (fun stuck ((anon : Uvm_anon.t), (page : Physmem.Page.t)) ->
           if (not page.dirty) && anon.swslot <> 0 then begin
             reclaim sys page;
             stuck
           end
-          else stuck + 1)
+          else begin
+            if page.queue = Physmem.Page.Q_inactive then
+              Physmem.activate physmem page;
+            stuck + 1
+          end)
         0 batch
 
 let flush_object_batches sys batches =
+  let physmem = Uvm_sys.physmem sys in
   Hashtbl.iter
     (fun _ (obj, pages) ->
       (* The pager already applied the retry/reassignment policy; whatever
-         failed stays dirty and is skipped by the reclaim filter below. *)
+         failed stays dirty and is reactivated below so it stops clogging
+         the inactive queue. *)
       (match obj.Uvm_object.pgops.Uvm_object.pgo_put pages with
       | Ok () | Error _ -> ());
       List.iter
         (fun (page : Physmem.Page.t) ->
-          if not page.dirty then reclaim sys page)
+          if not page.dirty then reclaim sys page
+          else if page.queue = Physmem.Page.Q_inactive then
+            Physmem.activate physmem page)
         pages)
     batches
 

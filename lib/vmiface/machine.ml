@@ -199,6 +199,10 @@ let boot ?(config = default_config) () =
         "disk_pages_read";
         "disk_pages_written";
         "swap_migrations";
+        "oom_kills";
+        "rlimit_denials";
+        "proc_swapouts";
+        "proc_swapins";
       ]
       @ List.map (fun n -> "tier:" ^ n) tier_names
     in
@@ -218,6 +222,10 @@ let boot ?(config = default_config) () =
           float_of_int stats.Sim.Stats.disk_pages_read;
           float_of_int stats.Sim.Stats.disk_pages_written;
           float_of_int stats.Sim.Stats.swap_migrations;
+          float_of_int stats.Sim.Stats.oom_kills;
+          float_of_int stats.Sim.Stats.rlimit_denials;
+          float_of_int stats.Sim.Stats.proc_swapouts;
+          float_of_int stats.Sim.Stats.proc_swapins;
         ]
       in
       let tiers =
@@ -231,6 +239,7 @@ let boot ?(config = default_config) () =
     (* Watchdogs over a 4-sample window.  Column indexes match the
        [columns] list above. *)
     let c_free = 0 and c_drain = 5 and c_pageouts = 8 and c_migrations = 11 in
+    let c_swapouts = 14 and c_swapins = 15 in
     let delta (w : Sim.Timeseries.sample array) col =
       let n = Array.length w in
       w.(n - 1).Sim.Timeseries.s_values.(col)
@@ -263,6 +272,18 @@ let boot ?(config = default_config) () =
         if draining && delta w c_migrations <= 0.0 then
           Some
             [ ("drain_pending", "true"); ("migrations_in_window", "0") ]
+        else None);
+    (* Swapping a process out and another back in within the same short
+       window means the overload policy is churning the same memory —
+       the 4.3BSD thrash signature process swapping was meant to damp. *)
+    Sim.Timeseries.add_rule series ~name:"proc_thrash" ~window:4 (fun w ->
+        let souts = delta w c_swapouts and sins = delta w c_swapins in
+        if souts > 0.0 && sins > 0.0 then
+          Some
+            [
+              ("swapouts_in_window", Printf.sprintf "%.0f" souts);
+              ("swapins_in_window", Printf.sprintf "%.0f" sins);
+            ]
         else None));
   if Sim.Hist.enabled hist then begin
     Swap.Swaptier.set_hist t.swap (Some hist);

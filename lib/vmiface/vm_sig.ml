@@ -37,6 +37,26 @@ module type VM_SYS = sig
 
   val resident_pages : vmspace -> int
 
+  val vmspace_usage : sys -> vmspace -> usage
+  (** Memory footprint for the overload policy: resident and wired
+      translation counts plus the swap slots reachable from this space's
+      mappings (shared backing may be counted toward every sharer). *)
+
+  val kernel_map_locked : sys -> bool
+  (** True while an operation holds the kernel map's lock.  OOM victim
+      teardown (reap, whole-process swapout/swapin) re-enters the kernel
+      map to unwire user structures and free wired allocations, so the
+      policy must defer — returning the allocation failure to the caller
+      — when the failing allocation itself holds that lock. *)
+
+  val deactivate_resident : sys -> vmspace -> int
+  (** Whole-process swapout's eviction half: remove every unwired,
+      unbusy, unloaned resident page's translations and move the frames
+      to the inactive queue so the next pagedaemon pass reclaims them.
+      Returns the number of pages deactivated.  Contents are preserved —
+      reclaim pages them out through the normal machinery and later
+      faults page them back in. *)
+
   (* -- mapping operations ------------------------------------------- *)
 
   val mmap :

@@ -27,6 +27,14 @@ let lifecycle_madv = function
 (** Kind of memory access. *)
 type access = Read | Write
 
+(** Memory footprint of one address space, as seen by the overload policy
+    (OOM badness scoring and whole-process swapout). *)
+type usage = {
+  u_resident : int;  (** resident pages (pmap translations) *)
+  u_swap : int;  (** swap slots reachable from this space's mappings *)
+  u_wired : int;  (** wired translations — discounted by the badness score *)
+}
+
 (** Why a fault could not be resolved. *)
 type fault_error =
   | No_entry  (** nothing mapped at the faulting address *)

@@ -187,6 +187,40 @@ else
   echo 'ci: resilience produced (python3 unavailable, shape-checked only)'
 fi
 
+# Chaos soak smoke: a compressed scenario composing device death, I/O
+# storms, pressure spikes, rlimit squeezes and fork churn.  Both kernels
+# must pass every SLO — zero audit failures, zero lost pages, bounded
+# p99 fault latency, every OOM kill attributed to a chaos phase.  The
+# soak binary exits non-zero on any SLO failure, so the run itself is
+# the gate; the validator re-checks the artifact's schema and SLOs.
+dune exec bin/uvm_sim.exe -- soak --quick \
+  --out artifacts/soak.json > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/soak.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "uvm-sim-soak/1", r.get("schema")
+rows = r["systems"]
+assert {x["label"] for x in rows} == {"UVM", "BSD VM"}, rows
+for x in rows:
+    assert x["passed"], x["label"]
+    slo = x["slo"]
+    assert slo["audit_failures"] == 0, (x["label"], slo)
+    assert slo["lost_pages"] == 0, (x["label"], slo)
+    assert slo["p99_fault_us"] <= slo["p99_bound_us"], (x["label"], slo)
+    assert slo["unattributed_ooms"] == 0, (x["label"], slo)
+    for k in x["kills"]:
+        assert k["phase"] != "unattributed", (x["label"], k)
+print("ci: soak valid (%d systems, all SLOs green)" % len(rows))
+EOF
+else
+  grep -q '"uvm-sim-soak/1"' artifacts/soak.json
+  grep -q '"audit_failures":0' artifacts/soak.json
+  grep -q '"lost_pages":0' artifacts/soak.json
+  echo 'ci: soak produced (python3 unavailable, shape-checked only)'
+fi
+
 # Full bench: reproduces every paper table/figure, the ablations and the
 # embedded efficacy report; leaves BENCH_results.json at the repo root so
 # the workflow can start accumulating the bench trajectory.

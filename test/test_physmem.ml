@@ -101,14 +101,30 @@ let test_pagedaemon_invoked () =
 
 let test_out_of_pages () =
   let pm, _, _ = mk ~npages:16 () in
+  let reserve = Physmem.reserve pm in
+  Alcotest.(check bool) "reserve is sane" true (reserve > 0 && reserve < 16);
   let all = ref [] in
+  (* Ordinary allocations stop above the reserve... *)
   (try
      for _ = 1 to 17 do
        all := Physmem.alloc pm ~owner:Physmem.Page.No_owner ~offset:0 () :: !all
      done;
      Alcotest.fail "expected Out_of_pages"
    with Physmem.Out_of_pages -> ());
-  Alcotest.(check int) "got them all first" 16 (List.length !all)
+  Alcotest.(check int) "stopped above the reserve" (16 - reserve)
+    (List.length !all);
+  (* ...and privileged (memory-making) allocations drain it to zero. *)
+  (try
+     for _ = 1 to reserve + 1 do
+       all :=
+         Physmem.alloc pm ~privileged:true ~owner:Physmem.Page.No_owner
+           ~offset:0 ()
+         :: !all
+     done;
+     Alcotest.fail "expected Out_of_pages"
+   with Physmem.Out_of_pages -> ());
+  Alcotest.(check int) "privileged got the reserve" 16 (List.length !all);
+  Alcotest.(check int) "empty" 0 (Physmem.free_count pm)
 
 let test_copy_and_zero_data () =
   let pm, _, stats = mk () in

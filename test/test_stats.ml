@@ -70,6 +70,11 @@ let test_to_rows_complete () =
       "inactive_pages";
       "swap_slots_used";
       "swapcache_pages";
+      "oom_kills";
+      "rlimit_denials";
+      "proc_swapouts";
+      "proc_swapins";
+      "reserve_grabs";
     ]
 
 let test_snapshot_independent () =
