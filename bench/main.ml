@@ -226,6 +226,10 @@ let reproduce_paper () =
      the bench row tracks the overload counters and p99 across commits. *)
   let sk = Experiments.Soak.run ~quick:true () in
   Experiments.Soak.print_result sk;
+  (* Lock observatory rows: per-class hold times and projected contention
+     so the regression gate catches a lock getting hotter. *)
+  let lk = Experiments.Lockstat.run () in
+  Experiments.Lockstat.print lk;
   let ab_cluster = ablation_pageout_cluster () in
   let ab_ahead = ablation_fault_ahead () in
   let ab_rate = ablation_fault_rate () in
@@ -328,6 +332,22 @@ let reproduce_paper () =
               ("reserve_grabs", jint s.so_reserve_grabs);
             ])
         sk.Experiments.Soak.rows );
+    ( "lockstat",
+      arr
+        (fun (r : Experiments.Lockstat.bench_row) buf ->
+          obj buf
+            [
+              ("system", jstr r.br_system);
+              ("class", jstr r.br_cls);
+              ("acquires", jint r.br_acquires);
+              ("reads", jint r.br_reads);
+              ("writes", jint r.br_writes);
+              ("mean_hold_us", jfloat r.br_mean_hold_us);
+              ("max_hold_us", jfloat r.br_max_hold_us);
+              ("mean_wait_us", jfloat r.br_mean_wait_us);
+              ("utilization", jfloat r.br_utilization);
+            ])
+        (Experiments.Lockstat.bench_rows lk) );
     ( "ablation_pageout_cluster",
       arr
         (fun (cluster, dt, writes) buf ->

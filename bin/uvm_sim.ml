@@ -128,19 +128,29 @@ let metrics_out =
              traced machine to $(docv).  Implies event collection." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let lockstat_out =
+  let doc = "Write the lock observatory (schema uvm-sim-lockstat/1: \
+             per-class hold-time histograms split by read/write mode and \
+             by holding subsystem, the observed lock-order graph with any \
+             cycles, and the would-be contention projection) of every \
+             traced machine to $(docv).  Implies event collection." in
+  Arg.(value & opt (some string) None
+       & info [ "lockstat-out" ] ~docv:"FILE" ~doc)
+
 let with_file name f =
   let oc = open_out name in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
 let run_with_observability trace_out trace_buf stats stats_out report_out
-    spans_out metrics_out f =
+    spans_out metrics_out lockstat_out f =
   if trace_buf < 1 then begin
     Printf.eprintf "uvm_sim: --trace-buf must be >= 1 (got %d)\n" trace_buf;
     exit 2
   end;
   let observing =
     trace_out <> None || stats_out <> None || report_out <> None
-    || spans_out <> None || metrics_out <> None || stats
+    || spans_out <> None || metrics_out <> None || lockstat_out <> None
+    || stats
   in
   if observing then Vmiface.Machine.set_default_trace (Some trace_buf);
   f ();
@@ -180,17 +190,42 @@ let run_with_observability trace_out trace_buf stats stats_out report_out
         Sim.Trace_export.metrics_json buf sources;
         with_file file (fun oc -> Buffer.output_buffer oc buf)
     | None -> ());
+    (match lockstat_out with
+    | Some file ->
+        let buf = Buffer.create 16384 in
+        Sim.Trace_export.lockstat_json buf sources;
+        with_file file (fun oc -> Buffer.output_buffer oc buf)
+    | None -> ());
     Vmiface.Machine.reset_traced ()
   end
 
 let with_faults f =
   Term.(
-    const (fun rr wr perm bad seed tout tbuf st stout rout spout mout () ->
+    const (fun rr wr perm bad seed tout tbuf st stout rout spout mout lout () ->
         install_faults rr wr perm bad seed;
-        run_with_observability tout tbuf st stout rout spout mout f)
+        run_with_observability tout tbuf st stout rout spout mout lout f)
     $ read_error_rate $ write_error_rate $ permanent $ bad_slots $ fault_seed
     $ trace_out $ trace_buf $ stats_flag $ stats_out $ report_out $ spans_out
-    $ metrics_out $ const ())
+    $ metrics_out $ lockstat_out $ const ())
+
+(* Torture, serve and soak manage their own runs; this wraps them with
+   just the lock-observatory export (machines boot traced while the flag
+   is set, and the registry of every traced machine is written after). *)
+let with_lockstat lockstat_out f =
+  (match lockstat_out with
+  | Some _ -> Vmiface.Machine.set_default_trace (Some 65536)
+  | None -> ());
+  let r = f () in
+  (match lockstat_out with
+  | Some file ->
+      let sources = Vmiface.Machine.traced () in
+      let buf = Buffer.create 16384 in
+      Sim.Trace_export.lockstat_json buf sources;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "lockstat written to %s\n" file;
+      Vmiface.Machine.reset_traced ()
+  | None -> ());
+  r
 
 (* -- torture ----------------------------------------------------------- *)
 
@@ -237,7 +272,8 @@ let run_torture seed ops audit_every faults shrink artifact_dir corrupt
   | None ->
       Printf.printf
         "torture: OK — %d ops, all audits clean, UVM and BSD VM agree\n"
-        (List.length r.Oslayer.Torture.r_trace)
+        (List.length r.Oslayer.Torture.r_trace);
+      false
   | Some bug ->
       Printf.printf "torture: FAILED\n  %s\n"
         (Oslayer.Torture.string_of_bug bug);
@@ -252,7 +288,7 @@ let run_torture seed ops audit_every faults shrink artifact_dir corrupt
       (match r.Oslayer.Torture.r_artifacts with
       | Some dir -> Printf.printf "  artifacts written to %s/\n" dir
       | None -> ());
-      exit 1
+      true
 
 let torture_cmd =
   let seed =
@@ -313,8 +349,16 @@ let torture_cmd =
        ~doc:"Differential torture test: one seeded op sequence against both \
              VM systems with periodic invariant audits")
     Term.(
-      const run_torture $ seed $ ops $ audit_every $ faults $ shrink
-      $ artifact_dir $ corrupt $ corrupt_at $ ram_pages $ swap_pages $ tiers)
+      const (fun seed ops audit_every faults shrink artifact_dir corrupt
+                 corrupt_at ram_pages swap_pages tiers lout ->
+          let failed =
+            with_lockstat lout (fun () ->
+                run_torture seed ops audit_every faults shrink artifact_dir
+                  corrupt corrupt_at ram_pages swap_pages tiers)
+          in
+          if failed then Stdlib.exit 1)
+      $ seed $ ops $ audit_every $ faults $ shrink $ artifact_dir $ corrupt
+      $ corrupt_at $ ram_pages $ swap_pages $ tiers $ lockstat_out)
 
 (* -- report ------------------------------------------------------------ *)
 
@@ -381,11 +425,11 @@ let serve_cmd =
              map-entry passing) on both VM systems, reporting throughput and \
              round-trip latency percentiles")
     Term.(
-      const (fun rr wr perm bad seed quick out ->
+      const (fun rr wr perm bad seed quick out lout ->
           install_faults rr wr perm bad seed;
-          run_serve quick out)
+          with_lockstat lout (fun () -> run_serve quick out))
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
-      $ fault_seed $ quick $ out)
+      $ fault_seed $ quick $ out $ lockstat_out)
 
 (* -- vmstat ------------------------------------------------------------ *)
 
@@ -478,8 +522,7 @@ let run_soak seed quick out =
       with_file file (fun oc -> Buffer.output_buffer oc buf);
       Printf.printf "soak results written to %s\n" file
   | None -> ());
-  if List.exists (fun s -> not s.Experiments.Soak.so_passed) r.rows then
-    exit 1
+  List.exists (fun s -> not s.Experiments.Soak.so_passed) r.rows
 
 let soak_cmd =
   let seed =
@@ -502,7 +545,67 @@ let soak_cmd =
              auditing every epoch.  Gated on SLOs: zero audit failures, \
              zero lost pages, bounded p99 fault latency, every OOM kill \
              attributed to a scenario phase.  Exits nonzero on breach.")
-    Term.(const run_soak $ seed $ quick $ out)
+    Term.(
+      const (fun seed quick out lout ->
+          if with_lockstat lout (fun () -> run_soak seed quick out) then
+            Stdlib.exit 1)
+      $ seed $ quick $ out $ lockstat_out)
+
+(* -- lockstat ---------------------------------------------------------- *)
+
+let run_lockstat cpus out folded_out =
+  if cpus < 1 then begin
+    Printf.eprintf "uvm_sim: --cpus must be >= 1 (got %d)\n" cpus;
+    exit 2
+  end;
+  let r = Experiments.Lockstat.run () in
+  Experiments.Lockstat.print ~cpus r;
+  (match out with
+  | Some file ->
+      let buf = Buffer.create 16384 in
+      Experiments.Lockstat.json ~cpus buf r;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "lockstat written to %s\n" file
+  | None -> ());
+  match folded_out with
+  | Some file ->
+      with_file file (fun oc ->
+          output_string oc (Experiments.Lockstat.folded_string r));
+      Printf.printf "folded profile written to %s\n" file
+  | None -> ()
+
+let lockstat_cmd =
+  let cpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N"
+           ~doc:"Simulated CPU count for the would-be contention \
+                 projection (per-class hold intervals replayed against \
+                 $(docv) competing cores).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-lockstat/1 JSON to $(docv).")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None & info [ "folded-out" ] ~docv:"FILE"
+           ~doc:"Also write the folded-stack profile (one \"path weight\" \
+                 line per stack, self-time weighted, lock spans as \
+                 lock:$(i,CLASS) frames) to $(docv) — feed it to \
+                 flamegraph.pl or speedscope.")
+  in
+  Cmd.v
+    (Cmd.info "lockstat"
+       ~doc:"Lock observatory: drive one paging+IPC workload through every \
+             registered lock class on both VM systems, then report \
+             per-class hold-time histograms, the observed lock-order graph \
+             (with lockdep-style cycle detection), the projected contention \
+             at N CPUs, and a flamegraph-ready folded profile whose self \
+             times telescope to the measured wall time")
+    Term.(
+      const (fun rr wr perm bad seed cpus out fout ->
+          install_faults rr wr perm bad seed;
+          run_lockstat cpus out fout)
+      $ read_error_rate $ write_error_rate $ permanent $ bad_slots
+      $ fault_seed $ cpus $ out $ folded_out)
 
 (* -- commands --------------------------------------------------------- *)
 
@@ -524,5 +627,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
-          :: resilience_cmd :: soak_cmd :: vmstat_cmd
+          :: resilience_cmd :: soak_cmd :: vmstat_cmd :: lockstat_cmd
           :: List.map cmd_of experiments)))

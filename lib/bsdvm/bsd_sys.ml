@@ -45,6 +45,7 @@ let clock t = t.mach.Machine.clock
 let costs t = t.mach.Machine.costs
 let stats t = t.mach.Machine.stats
 let physmem t = t.mach.Machine.physmem
+let locks t = t.mach.Machine.locks
 let swapdev t = t.mach.Machine.swap
 let vfs t = t.mach.Machine.vfs
 let pmap_ctx t = t.mach.Machine.pmap_ctx

@@ -668,7 +668,8 @@ module Sys = struct
     let objs = audit_census sys in
     audit_objects objs;
     audit_swap sys objs;
-    audit_pmap sys
+    audit_pmap sys;
+    Check.check_lock_order ~system:name (Bsd_sys.locks sys.bsys)
 
   (* Audit anonymous pages that no lookup path can reach any more — the
      swap-leak pathology of paper §5.3.  For every mapped offset we walk

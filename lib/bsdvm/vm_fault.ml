@@ -131,10 +131,23 @@ let fault map ~vpn ~access ~wire =
            pageout the resolution's allocations may trigger, and only
            wired previous frames matter to the transfer logic. *)
         let prev = pte_snapshot map ~vpn in
+        (* The top object's lock is held across chain resolution, nested
+           inside the map lock — the registry learns the map -> object
+           order (and object -> pagequeue/swap below it) from this. *)
+        let locked f =
+          let ls = Bsd_sys.locks sys in
+          let l =
+            Sim.Lockstat.instance ls ~cls:"object" ~id:first_obj.Vm_object.id
+          in
+          Sim.Lockstat.acquire ls l
+            ~mode:(if write then Sim.Lockstat.Write else Sim.Lockstat.Read);
+          Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls l) f
+        in
         let resolution =
           (* Both pagein I/O errors and RAM exhaustion surface as typed
              failures, mirroring UVM's fault routine. *)
           try
+            locked @@ fun () ->
             match Vm_object.find_in_chain sys first_obj ~off ~depth:0 with
             | Error _ as e -> e
             | Ok (Some (owner, _, page, depth)) ->

@@ -35,7 +35,7 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
-  mutable lock_span : Sim.Span.span option;
+  mutable lockh : Sim.Lockstat.lock option;
 }
 
 let create sys ~cache ~pmap ~lo ~hi ~kernel =
@@ -50,7 +50,7 @@ let create sys ~cache ~pmap ~lo ~hi ~kernel =
     nentries = 0;
     hint = None;
     locked_since = None;
-    lock_span = None;
+    lockh = None;
   }
 
 let stats t = Bsd_sys.stats t.sys
@@ -58,12 +58,27 @@ let costs t = Bsd_sys.costs t.sys
 let charge t us = Bsd_sys.charge t.sys us
 let lifecycle t = Physmem.lifecycle (Bsd_sys.physmem t.sys)
 
+(* Lock-observatory handle, registered on first lock; the registry
+   renders the lock:map span and the legacy map_lock event/latency
+   series, while the cost charge and Stats counters stay here. *)
+let lock_handle t =
+  match t.lockh with
+  | Some l -> l
+  | None ->
+      let l =
+        Sim.Lockstat.register (Bsd_sys.locks t.sys) ~cls:"map"
+          (if t.kernel then "kernel_map" else "user_map")
+      in
+      t.lockh <- Some l;
+      l
+
 let lock t =
   assert (t.locked_since = None);
   charge t (costs t).Sim.Cost_model.lock_acquire;
   (stats t).Sim.Stats.lock_acquisitions <-
     (stats t).Sim.Stats.lock_acquisitions + 1;
-  t.lock_span <- Some (Bsd_sys.span_start t.sys ~subsys:"map" "map_lock");
+  Sim.Lockstat.acquire (Bsd_sys.locks t.sys) (lock_handle t)
+    ~mode:Sim.Lockstat.Write;
   t.locked_since <- Some (Sim.Simclock.now (Bsd_sys.clock t.sys))
 
 let is_locked t = t.locked_since <> None
@@ -76,19 +91,7 @@ let unlock t =
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
       t.locked_since <- None;
-      (match t.lock_span with
-      | Some sp ->
-          t.lock_span <- None;
-          Bsd_sys.span_finish t.sys sp
-            ~detail:[ ("kernel", string_of_bool t.kernel) ]
-            ()
-      | None -> ());
-      if Bsd_sys.tracing t.sys then begin
-        Bsd_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
-          ~detail:[ ("kernel", string_of_bool t.kernel) ]
-          "map_lock";
-        Bsd_sys.observe t.sys "map_lock_us" held
-      end
+      Sim.Lockstat.release (Bsd_sys.locks t.sys) (lock_handle t)
 
 let entry_npages e = e.epage - e.spage
 let entry_count t = t.nentries

@@ -18,6 +18,12 @@ let reclaim sys (page : Physmem.Page.t) =
    writes (after the shared retry/blacklist-reassign policy) leave the
    page dirty in core — the daemon degrades to reclaiming clean pages. *)
 let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
+  (* The object's lock is held across the write-out, nested inside the
+     pagedaemon lock — the registry's pdaemon -> object -> swap chain. *)
+  let ls = Bsd_sys.locks sys in
+  let ol = Sim.Lockstat.instance ls ~cls:"object" ~id:obj.Vm_object.id in
+  Sim.Lockstat.acquire ls ol ~mode:Sim.Lockstat.Write;
+  Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls ol) @@ fun () ->
   (* Every BSD pageout is a singleton cluster — the ledger records the
      size-1 distribution Figure 5 contrasts with UVM's. *)
   Physmem.note_cluster (Bsd_sys.physmem sys) ~pages:[ page ] ~runs:1;
@@ -97,6 +103,13 @@ let pageout_one sys (obj : Vm_object.t) (page : Physmem.Page.t) =
           false (* swap exhausted *))
 
 let run sys =
+  (* The pagedaemon is logically its own thread: its lock is acquired as
+     a root so the registry does not draw order edges from whatever the
+     faulting context held when the allocator kicked the daemon. *)
+  let ls = Bsd_sys.locks sys in
+  let dl = Sim.Lockstat.instance ls ~cls:"pdaemon" ~id:0 in
+  Sim.Lockstat.acquire_root ls dl ~mode:Sim.Lockstat.Write;
+  Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls dl) @@ fun () ->
   (* The scan span opens before the drain pass so device-death migration
      shows up as time attributed to the pagedaemon on the critical path. *)
   let scan_span = Bsd_sys.span_start sys ~subsys:"pdaemon" "scan" in

@@ -1,4 +1,14 @@
-type subsystem = Physmem | Swap | Map | Amap | Anon | Object | Pmap | Loan | Ledger
+type subsystem =
+  | Physmem
+  | Swap
+  | Map
+  | Amap
+  | Anon
+  | Object
+  | Pmap
+  | Loan
+  | Ledger
+  | Lock
 
 let subsystem_name = function
   | Physmem -> "physmem"
@@ -10,6 +20,7 @@ let subsystem_name = function
   | Pmap -> "pmap"
   | Loan -> "loan"
   | Ledger -> "ledger"
+  | Lock -> "lock"
 
 type failure = {
   system : string;
@@ -284,3 +295,13 @@ let check_pv ~system ctx pm =
                    p.id))
         mappings)
     pm
+
+(* -- lock-order auditing ------------------------------------------------- *)
+
+let check_lock_order ~system locks =
+  match Sim.Lockstat.cycles locks with
+  | [] -> ()
+  | cyc :: _ ->
+      fail ~system ~subsys:Lock ~invariant:"order_cycle"
+        (Printf.sprintf "lock-order cycle: %s"
+           (String.concat " -> " (cyc @ [ List.hd cyc ])))

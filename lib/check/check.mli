@@ -23,6 +23,7 @@ type subsystem =
   | Pmap  (** translations vs. resident pages *)
   | Loan  (** page loanout accounting *)
   | Ledger  (** per-page lifecycle provenance (DESIGN.md §10) *)
+  | Lock  (** lock-order graph (DESIGN.md §15) *)
 
 val subsystem_name : subsystem -> string
 
@@ -86,3 +87,8 @@ val check_pv : system:string -> Pmap.ctx -> Physmem.t -> unit
 (** pv-list symmetry: every (pmap, vpn) entry on a page's pv list must be a
     live translation of that very page, and no free page may have
     translations. *)
+
+val check_lock_order : system:string -> Sim.Lockstat.t -> unit
+(** Lockdep analogue: fails on any cycle in the machine's observed
+    class-level lock-order graph, naming the classes on the cycle.
+    Clean on a registry that recorded nothing (tracing off). *)

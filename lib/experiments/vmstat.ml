@@ -81,6 +81,7 @@ let rate_cols =
     ("oom_kills", "oom/s");
     ("proc_swapouts", "so/s");
     ("proc_swapins", "si/s");
+    ("lock_acquires", "lk/s");
   ]
 
 let print_source (src : Sim.Trace_export.source) =
@@ -97,9 +98,17 @@ let print_source (src : Sim.Trace_export.source) =
     in
     let gauges = List.map (fun (c, h) -> (idx c, h)) gauge_cols in
     let rates = List.map (fun (c, h) -> (idx c, h)) rate_cols in
+    (* Lock observatory columns: the window-max hold gauge, plus the
+       class whose cumulative held time grew most since the previous
+       displayed row — vmstat's live "top contended class". *)
+    let lk_max = idx "lock_maxhold_us" in
+    let lk_held =
+      List.map (fun c -> (c, idx ("lockheld:" ^ c))) Sim.Lockstat.known_classes
+    in
     Printf.printf "%10s" "time_ms";
     List.iter (fun (_, h) -> Printf.printf " %8s" h) gauges;
     List.iter (fun (_, h) -> Printf.printf " %8s" h) rates;
+    Printf.printf " %8s %-9s" "lkmax" "lkhot";
     print_newline ();
     (* Decimate to at most [max_rows] evenly spaced rows, always ending
        on the newest sample; rates span the gap between displayed rows. *)
@@ -116,6 +125,22 @@ let print_source (src : Sim.Trace_export.source) =
         (fun (c, _) ->
           Printf.printf " %8.0f" (Sim.Timeseries.rate ~col:c !prev s))
         rates;
+      let hot =
+        List.fold_left
+          (fun acc (cls, c) ->
+            let d =
+              s.Sim.Timeseries.s_values.(c)
+              -. (!prev).Sim.Timeseries.s_values.(c)
+            in
+            match acc with
+            | Some (_, best) when best >= d -> acc
+            | _ when d > 0.0 -> Some (cls, d)
+            | _ -> acc)
+          None lk_held
+      in
+      Printf.printf " %8.0f %-9s"
+        s.Sim.Timeseries.s_values.(lk_max)
+        (match hot with Some (cls, _) -> cls | None -> "-");
       print_newline ();
       prev := s
     in

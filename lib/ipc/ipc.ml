@@ -226,21 +226,32 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     let span = span_start sys "send" in
     let t0 = Machine.now m in
     charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
-    (* Acceptance is policy- and kernel-independent: capacity alone
-       decides, so every kernel accepts identical byte counts. *)
-    let n = min len (ch.cap - ch.q_len) in
-    let n = max n 0 in
-    if n > 0 then begin
-      let move () =
-        match policy with
-        | Copy -> send_copy sys vm ch ~addr ~n
-        | Loan -> send_loan sys vm ch ~addr ~n
-        | Mexp -> send_mexp sys vm ch ~addr ~n
-      in
-      if vslocked then with_vslock sys vm ~addr ~len move else move ();
-      m.Machine.stats.Sim.Stats.ipc_sends <-
-        m.Machine.stats.Sim.Stats.ipc_sends + 1
-    end;
+    (* The channel lock covers admission and the data move.  Zero-copy
+       staging faults the sender's pages under it, so the registry sees
+       the ipc -> map nesting order. *)
+    let ls = m.Machine.locks in
+    let cl = Sim.Lockstat.instance ls ~cls:"ipc" ~id:ch.id in
+    Sim.Lockstat.acquire ls cl ~mode:Sim.Lockstat.Write;
+    let n =
+      Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls cl)
+      @@ fun () ->
+      (* Acceptance is policy- and kernel-independent: capacity alone
+         decides, so every kernel accepts identical byte counts. *)
+      let n = min len (ch.cap - ch.q_len) in
+      let n = max n 0 in
+      if n > 0 then begin
+        let move () =
+          match policy with
+          | Copy -> send_copy sys vm ch ~addr ~n
+          | Loan -> send_loan sys vm ch ~addr ~n
+          | Mexp -> send_mexp sys vm ch ~addr ~n
+        in
+        if vslocked then with_vslock sys vm ~addr ~len move else move ();
+        m.Machine.stats.Sim.Stats.ipc_sends <-
+          m.Machine.stats.Sim.Stats.ipc_sends + 1
+      end;
+      n
+    in
     span_finish sys span
       ~detail:
         [ ("how", policy_name policy); ("bytes", string_of_int n) ];
@@ -291,10 +302,15 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     let span = span_start sys "recv" in
     let t0 = Machine.now m in
     charge sys m.Machine.costs.Sim.Cost_model.syscall_overhead;
-    let mapped =
-      if accept_mapped then try_mapped_delivery sys vm ch ~len else None
-    in
+    let ls = m.Machine.locks in
+    let cl = Sim.Lockstat.instance ls ~cls:"ipc" ~id:ch.id in
+    Sim.Lockstat.acquire ls cl ~mode:Sim.Lockstat.Write;
     let result =
+      Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls cl)
+      @@ fun () ->
+      let mapped =
+        if accept_mapped then try_mapped_delivery sys vm ch ~len else None
+      in
       match mapped with
       | Some d -> d
       | None ->

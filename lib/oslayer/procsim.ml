@@ -317,8 +317,18 @@ module Make (V : Vmiface.Vm_sig.VM_SYS) = struct
     if mgr.in_policy || V.kernel_map_locked mgr.msys then false
     else begin
       mgr.in_policy <- true;
+      (* The policy is a lockdep context break: in 4.4BSD this work is
+         the swapper/reaper thread's, not the failing allocation's, so
+         no order edges are drawn from the fault-path locks held outside
+         (an allocation under an amap lock legally tears down a victim's
+         map here). *)
+      let ls = (V.machine mgr.msys).Vmiface.Machine.locks in
+      let ol = Sim.Lockstat.instance ls ~cls:"oom" ~id:0 in
+      Sim.Lockstat.acquire_root ls ol ~mode:Sim.Lockstat.Write;
       Fun.protect
-        ~finally:(fun () -> mgr.in_policy <- false)
+        ~finally:(fun () ->
+          Sim.Lockstat.release ls ol;
+          mgr.in_policy <- false)
         (fun () ->
           let is_current p =
             match mgr.current with Some c -> c == p | None -> false

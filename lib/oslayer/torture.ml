@@ -1790,6 +1790,11 @@ let write_artifacts ~dir ~cfg ~bug ~trace ~minimal ~sources =
   let metrics = Buffer.create 16384 in
   Sim.Trace_export.metrics_json metrics sources;
   with_file (path "metrics.json") (fun oc -> Buffer.output_buffer oc metrics);
+  (* The lock observatory at the moment of death: what was held, in what
+     order classes were seen nested, and whether the order graph cycled. *)
+  let locks = Buffer.create 16384 in
+  Sim.Trace_export.lockstat_json locks sources;
+  with_file (path "lockstat.json") (fun oc -> Buffer.output_buffer oc locks);
   with_file (path "events.txt") (fun oc ->
       let fmt = Format.formatter_of_out_channel oc in
       Sim.Trace_export.pp_dump fmt sources;

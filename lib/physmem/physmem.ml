@@ -35,6 +35,9 @@ type t = {
           true if it freed anything worth retrying the allocation for *)
   mutable violations : violation list;  (** first few illegal transitions *)
   mutable last_fill : float;  (** time of the last fault-in, -1 if none *)
+  mutable lockq : (Sim.Lockstat.t * Sim.Lockstat.lock) option;
+      (** the page-queue lock, registered when the machine wires its lock
+          observatory in *)
 }
 
 (* ---- Provenance ledger: the legal-transition state machine ---------- *)
@@ -141,6 +144,7 @@ let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
       oom_hook = None;
       violations = [];
       last_fill = -1.0;
+      lockq = None;
     }
   in
   Array.iter
@@ -160,6 +164,12 @@ let freetarg t = t.freetarg
 let reserve t = t.reserve
 let set_pagedaemon t f = t.pagedaemon <- Some f
 let set_oom_hook t f = t.oom_hook <- f
+
+let set_lockstat t reg =
+  t.lockq <-
+    Option.map
+      (fun ls -> (ls, Sim.Lockstat.register ls ~cls:"pagequeue" "pagequeues"))
+      reg
 let page_shortage t = t.free_count < t.freemin
 
 let queue_of t = function
@@ -168,25 +178,44 @@ let queue_of t = function
   | Page.Q_inactive -> Some t.inactive
   | Page.Q_none -> None
 
+(* The queue-surgery leaves are the critical sections a real SMP kernel
+   would guard with the page-queue lock, so they are what the observatory
+   times: straight-line, exception-free, write-mode holds.  [enqueue]
+   calls [unlink] — the registry counts that as a recursive acquire of
+   the same instance, one recorded hold. *)
+let queue_lock t =
+  match t.lockq with
+  | Some (ls, lk) -> Sim.Lockstat.acquire ls lk ~mode:Sim.Lockstat.Write
+  | None -> ()
+
+let queue_unlock t =
+  match t.lockq with
+  | Some (ls, lk) -> Sim.Lockstat.release ls lk
+  | None -> ()
+
 (* Unlink [page] from whatever queue it is on. *)
 let unlink t (page : Page.t) =
-  match (queue_of t page.queue, page.node) with
+  queue_lock t;
+  (match (queue_of t page.queue, page.node) with
   | Some q, Some node ->
       Sim.Dlist.remove q node;
       if page.queue = Page.Q_free then t.free_count <- t.free_count - 1;
       page.node <- None;
       page.queue <- Page.Q_none
   | None, _ -> ()
-  | Some _, None -> assert false
+  | Some _, None -> assert false);
+  queue_unlock t
 
 let enqueue t (page : Page.t) kind =
+  queue_lock t;
   unlink t page;
-  match queue_of t kind with
+  (match queue_of t kind with
   | None -> ()
   | Some q ->
       page.Page.node <- Some (Sim.Dlist.push_tail q page);
       page.Page.queue <- kind;
-      if kind = Page.Q_free then t.free_count <- t.free_count + 1
+      if kind = Page.Q_free then t.free_count <- t.free_count + 1);
+  queue_unlock t
 
 let run_pagedaemon t =
   match t.pagedaemon with

@@ -60,6 +60,11 @@ val set_pagedaemon : t -> (unit -> unit) -> unit
     free pages are scarce and must try to move clean/cleaned pages to the
     free list. *)
 
+val set_lockstat : t -> Sim.Lockstat.t option -> unit
+(** Register the page-queue lock with the machine's lock observatory:
+    queue surgery (unlink/enqueue) is then recorded as write-mode holds
+    of the ["pagequeue"] class. *)
+
 val set_oom_hook : t -> (unit -> bool) option -> unit
 (** Install (or clear) the last-resort overload policy.  When paging cannot
     satisfy an allocation, the hook is invoked; returning [true] means it

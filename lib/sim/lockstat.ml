@@ -1,0 +1,583 @@
+type mode = Read | Write
+
+let known_classes =
+  [ "map"; "amap"; "object"; "pagequeue"; "swap"; "ipc"; "pdaemon"; "oom" ]
+
+(* A completed hold, kept (bounded) for the contention replay. *)
+type interval = {
+  iv_inst : int;
+  iv_mode : mode;
+  iv_start : float;
+  iv_dur : float;
+}
+
+(* The replay ring grows on demand up to this many intervals per class;
+   past it the oldest recordings are overwritten (recent behaviour is
+   what the projection should model). *)
+let interval_cap = 4096
+
+type cls_stats = {
+  c_name : string;
+  c_spanned : bool;  (** emit "lock:<cls>" spans for holds of this class *)
+  mutable c_instances : int;
+  mutable c_acquires : int;
+  mutable c_reads : int;
+  mutable c_writes : int;
+  c_hold : Histogram.t;
+  c_read_hold : Histogram.t;
+  c_write_hold : Histogram.t;
+  c_by_subsys : (string, int ref * float ref) Hashtbl.t;
+  mutable c_hold_total : float;
+  mutable c_max_hold : float;
+  mutable c_iv : interval array;
+  mutable c_iv_len : int;  (** live entries *)
+  mutable c_iv_next : int;  (** next write position once at capacity *)
+}
+
+type lock = {
+  l_cls : cls_stats;
+  l_name : string;
+  l_inst : int;  (** instance id within the class *)
+  mutable l_depth : int;
+  mutable l_mode : mode;
+  mutable l_since : float;
+  mutable l_subsys : string;
+  mutable l_span : Span.span option;
+  mutable l_recorded : bool;  (** pushed on the held stack at acquire *)
+}
+
+(* The held stack mixes locks with context-break markers: an
+   [acquire_root] pushes its entry with [h_barrier] set, and order edges
+   are only drawn from the stack segment at or above the innermost
+   barrier (the barrier entry itself included — the root lock legally
+   orders before everything acquired under it). *)
+type held_entry = { h_lock : lock; h_barrier : bool }
+
+type t = {
+  now : unit -> float;
+  mutable enabled : bool;
+  mutable spans : Span.t option;
+  mutable hist : Hist.t option;
+  mutable latencies : Histogram.set option;
+  classes : (string, cls_stats) Hashtbl.t;
+  mutable class_order : string list;  (** registration order, reversed *)
+  insts : (string * int, lock) Hashtbl.t;
+  mutable held_stack : held_entry list;  (** innermost first *)
+  edges : (string * string, int ref) Hashtbl.t;
+  mutable window_max : float;
+}
+
+let create ?(enabled = false) ~now () =
+  {
+    now;
+    enabled;
+    spans = None;
+    hist = None;
+    latencies = None;
+    classes = Hashtbl.create 8;
+    class_order = [];
+    insts = Hashtbl.create 64;
+    held_stack = [];
+    edges = Hashtbl.create 16;
+    window_max = 0.0;
+  }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+let set_spans t v = t.spans <- v
+let set_hist t v = t.hist <- v
+let set_latencies t v = t.latencies <- v
+
+let spans_on t =
+  match t.spans with Some s -> Span.enabled s | None -> false
+
+let active t = t.enabled || spans_on t
+
+let get_class t cls =
+  match Hashtbl.find_opt t.classes cls with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          c_name = cls;
+          (* The page queues are manipulated once or more per page op;
+             spanning those leaf holds would flood the ring with
+             zero-duration entries and evict the spans that matter. *)
+          c_spanned = cls <> "pagequeue";
+          c_instances = 0;
+          c_acquires = 0;
+          c_reads = 0;
+          c_writes = 0;
+          c_hold = Histogram.create ();
+          c_read_hold = Histogram.create ();
+          c_write_hold = Histogram.create ();
+          c_by_subsys = Hashtbl.create 8;
+          c_hold_total = 0.0;
+          c_max_hold = 0.0;
+          c_iv = [||];
+          c_iv_len = 0;
+          c_iv_next = 0;
+        }
+      in
+      Hashtbl.replace t.classes cls c;
+      t.class_order <- cls :: t.class_order;
+      c
+
+let register t ~cls name =
+  let c = get_class t cls in
+  c.c_instances <- c.c_instances + 1;
+  {
+    l_cls = c;
+    l_name = name;
+    l_inst = c.c_instances;
+    l_depth = 0;
+    l_mode = Write;
+    l_since = 0.0;
+    l_subsys = "none";
+    l_span = None;
+    l_recorded = false;
+  }
+
+let instance t ~cls ~id =
+  match Hashtbl.find_opt t.insts (cls, id) with
+  | Some l -> l
+  | None ->
+      let l = register t ~cls (cls ^ "#" ^ string_of_int id) in
+      Hashtbl.replace t.insts (cls, id) l;
+      l
+
+(* Spans opened for lock holds are named "lock:<class>"; the attribution
+   walk skips them so a hold is charged to the innermost *kernel* work
+   (fault, pdaemon, send...), not to another lock. *)
+let lock_span_prefix = "lock:"
+
+let is_lock_span (sp : Span.span) =
+  let n = sp.Span.sname in
+  String.length n >= 5 && String.sub n 0 5 = lock_span_prefix
+
+let attribution t =
+  match t.spans with
+  | None -> "none"
+  | Some sp -> (
+      match Span.innermost sp ~skip:is_lock_span () with
+      | Some s -> s.Span.ssubsys
+      | None -> "none")
+
+let bump_edge t ~from ~onto =
+  if from <> onto then
+    match Hashtbl.find_opt t.edges (from, onto) with
+    | Some r -> incr r
+    | None -> Hashtbl.replace t.edges (from, onto) (ref 1)
+
+(* Draw held-class -> new-class edges from the current context segment:
+   every entry down to and including the innermost barrier. *)
+let record_edges t lock =
+  let onto = lock.l_cls.c_name in
+  let rec go = function
+    | [] -> ()
+    | { h_lock; h_barrier } :: rest ->
+        bump_edge t ~from:h_lock.l_cls.c_name ~onto;
+        if not h_barrier then go rest
+  in
+  go t.held_stack
+
+let do_acquire t lock ~mode ~root =
+  if lock.l_depth > 0 then lock.l_depth <- lock.l_depth + 1
+  else if active t then begin
+    lock.l_depth <- 1;
+    lock.l_mode <- mode;
+    lock.l_since <- t.now ();
+    lock.l_subsys <- (if t.enabled then attribution t else "none");
+    (match t.spans with
+    | Some sp when lock.l_cls.c_spanned ->
+        lock.l_span <-
+          Some
+            (Span.start sp ~subsys:lock.l_cls.c_name ~ts:lock.l_since
+               (lock_span_prefix ^ lock.l_cls.c_name))
+    | _ -> lock.l_span <- None);
+    if t.enabled then begin
+      if not root then record_edges t lock;
+      t.held_stack <- { h_lock = lock; h_barrier = root } :: t.held_stack;
+      lock.l_recorded <- true;
+      let c = lock.l_cls in
+      c.c_acquires <- c.c_acquires + 1;
+      match mode with
+      | Read -> c.c_reads <- c.c_reads + 1
+      | Write -> c.c_writes <- c.c_writes + 1
+    end
+    else lock.l_recorded <- false
+  end
+
+let acquire t lock ~mode = do_acquire t lock ~mode ~root:false
+let acquire_root t lock ~mode = do_acquire t lock ~mode ~root:true
+
+let remove_held t lock =
+  let rec go = function
+    | [] -> []
+    | e :: rest -> if e.h_lock == lock then rest else e :: go rest
+  in
+  t.held_stack <- go t.held_stack
+
+let push_interval c iv =
+  let cap = Array.length c.c_iv in
+  if c.c_iv_len < cap then begin
+    c.c_iv.(c.c_iv_len) <- iv;
+    c.c_iv_len <- c.c_iv_len + 1
+  end
+  else if cap = 0 then begin
+    c.c_iv <- Array.make 64 iv;
+    c.c_iv_len <- 1
+  end
+  else if cap < interval_cap then begin
+    let bigger = Array.make (min interval_cap (2 * cap)) iv in
+    Array.blit c.c_iv 0 bigger 0 cap;
+    c.c_iv <- bigger;
+    c.c_iv_len <- cap + 1
+  end
+  else begin
+    c.c_iv.(c.c_iv_next) <- iv;
+    c.c_iv_next <- (c.c_iv_next + 1) mod cap
+  end
+
+let release t lock =
+  if lock.l_depth > 1 then lock.l_depth <- lock.l_depth - 1
+  else if lock.l_depth = 1 then begin
+    lock.l_depth <- 0;
+    let now = t.now () in
+    let held_us = now -. lock.l_since in
+    (match lock.l_span with
+    | Some sp ->
+        lock.l_span <- None;
+        (match t.spans with
+        | Some spc ->
+            Span.finish spc sp ~ts:now
+              ~detail:
+                [
+                  ("class", lock.l_cls.c_name); ("instance", lock.l_name);
+                ]
+              ()
+        | None -> ())
+    | None -> ());
+    if lock.l_recorded then begin
+      lock.l_recorded <- false;
+      remove_held t lock;
+      let c = lock.l_cls in
+      Histogram.observe c.c_hold held_us;
+      (match lock.l_mode with
+      | Read -> Histogram.observe c.c_read_hold held_us
+      | Write -> Histogram.observe c.c_write_hold held_us);
+      c.c_hold_total <- c.c_hold_total +. held_us;
+      if held_us > c.c_max_hold then c.c_max_hold <- held_us;
+      if held_us > t.window_max then t.window_max <- held_us;
+      (match Hashtbl.find_opt c.c_by_subsys lock.l_subsys with
+      | Some (n, tot) ->
+          incr n;
+          tot := !tot +. held_us
+      | None ->
+          Hashtbl.replace c.c_by_subsys lock.l_subsys (ref 1, ref held_us));
+      push_interval c
+        {
+          iv_inst = lock.l_inst;
+          iv_mode = lock.l_mode;
+          iv_start = lock.l_since;
+          iv_dur = held_us;
+        };
+      (* Legacy map-lock trace shape: the Hist.Map event and the
+         "map_lock_us" series predate the registry and stay byte-for-byte
+         so existing consumers (tests, dashboards) keep working. *)
+      if c.c_name = "map" then begin
+        (match t.hist with
+        | Some h when Hist.enabled h ->
+            Hist.record h ~subsys:Hist.Map ~ts:lock.l_since ~dur:held_us
+              ~detail:[ ("instance", lock.l_name) ]
+              "map_lock"
+        | _ -> ());
+        match t.latencies with
+        | Some set -> Histogram.observe (Histogram.get set "map_lock_us") held_us
+        | None -> ()
+      end
+    end
+  end
+
+let held t =
+  List.map
+    (fun e -> (e.h_lock.l_cls.c_name, e.h_lock.l_name))
+    t.held_stack
+
+(* {1 Aggregated views} *)
+
+type class_view = {
+  cv_cls : string;
+  cv_instances : int;
+  cv_acquires : int;
+  cv_reads : int;
+  cv_writes : int;
+  cv_hold : Histogram.t;
+  cv_read_hold : Histogram.t;
+  cv_write_hold : Histogram.t;
+  cv_by_subsys : (string * int * float) list;
+  cv_max_hold_us : float;
+}
+
+let classes_in_order t =
+  let registered = List.rev t.class_order in
+  let canonical = List.filter (fun c -> List.mem c registered) known_classes in
+  let extra = List.filter (fun c -> not (List.mem c known_classes)) registered in
+  canonical @ extra
+
+let view_class c =
+  {
+    cv_cls = c.c_name;
+    cv_instances = c.c_instances;
+    cv_acquires = c.c_acquires;
+    cv_reads = c.c_reads;
+    cv_writes = c.c_writes;
+    cv_hold = c.c_hold;
+    cv_read_hold = c.c_read_hold;
+    cv_write_hold = c.c_write_hold;
+    cv_by_subsys =
+      Hashtbl.fold
+        (fun subsys (n, tot) acc -> (subsys, !n, !tot) :: acc)
+        c.c_by_subsys []
+      |> List.sort compare;
+    cv_max_hold_us = c.c_max_hold;
+  }
+
+let views t =
+  List.map (fun cls -> view_class (Hashtbl.find t.classes cls))
+    (classes_in_order t)
+
+let total_acquires t =
+  Hashtbl.fold (fun _ c acc -> acc + c.c_acquires) t.classes 0
+
+let class_hold_us t cls =
+  match Hashtbl.find_opt t.classes cls with
+  | Some c -> c.c_hold_total
+  | None -> 0.0
+
+let take_window_max_us t =
+  let v = t.window_max in
+  t.window_max <- 0.0;
+  v
+
+let top_class t =
+  Hashtbl.fold
+    (fun _ c best ->
+      if c.c_hold_total <= 0.0 then best
+      else
+        match best with
+        | Some (_, tot) when tot >= c.c_hold_total -> best
+        | _ -> Some (c.c_name, c.c_hold_total))
+    t.classes None
+
+(* {1 Lock-order auditing} *)
+
+let order_edges t =
+  Hashtbl.fold (fun (a, b) n acc -> (a, b, !n) :: acc) t.edges []
+  |> List.sort compare
+
+let cycles t =
+  let adj = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (a, b) _ ->
+      let cur = try Hashtbl.find adj a with Not_found -> [] in
+      Hashtbl.replace adj a (b :: cur))
+    t.edges;
+  let found = Hashtbl.create 8 in
+  let out = ref [] in
+  (* DFS bounded by the path-uniqueness cut: class graphs are tiny. *)
+  let rec dfs path node =
+    (* [path] is innermost-first and includes [node]. *)
+    let next = try Hashtbl.find adj node with Not_found -> [] in
+    List.iter
+      (fun succ ->
+        if List.mem succ path then begin
+          (* Cycle: succ -> ... -> node -> succ.  Recover the segment in
+             traversal order from the reversed path. *)
+          let rec after = function
+            | [] -> []
+            | x :: rest -> if x = succ then x :: rest else after rest
+          in
+          let cyc = after (List.rev path) in
+          let n = List.length cyc in
+          let arr = Array.of_list cyc in
+          let best = ref 0 in
+          for i = 1 to n - 1 do
+            if arr.(i) < arr.(!best) then best := i
+          done;
+          let norm = List.init n (fun i -> arr.((!best + i) mod n)) in
+          let key = String.concat ";" norm in
+          if not (Hashtbl.mem found key) then begin
+            Hashtbl.replace found key ();
+            out := norm :: !out
+          end
+        end
+        else dfs (succ :: path) succ)
+      next
+  in
+  Hashtbl.iter (fun node _ -> dfs [ node ] node) adj;
+  List.sort compare !out
+
+(* {1 Would-be-contention model} *)
+
+type projection = {
+  pj_cpus : int;
+  pj_events : int;
+  pj_wait_us : float;
+  pj_mean_wait_us : float;
+  pj_max_wait_us : float;
+  pj_bounces : int;
+  pj_utilization : float;
+}
+
+(* Chronological copy of a class's interval ring. *)
+let intervals_of c =
+  let n = c.c_iv_len in
+  if n = 0 then [||]
+  else begin
+    let cap = Array.length c.c_iv in
+    let out =
+      if n < cap || c.c_iv_next = 0 then Array.sub c.c_iv 0 n
+      else
+        Array.append
+          (Array.sub c.c_iv c.c_iv_next (cap - c.c_iv_next))
+          (Array.sub c.c_iv 0 c.c_iv_next)
+    in
+    Array.sort (fun a b -> compare a.iv_start b.iv_start) out;
+    out
+  end
+
+type ev = { e_arr : float; e_dur : float; e_mode : mode; e_inst : int; e_cpu : int }
+
+let project t ~cls ~cpus ~seed =
+  match Hashtbl.find_opt t.classes cls with
+  | None -> None
+  | Some c ->
+      let ivs = intervals_of c in
+      let n = Array.length ivs in
+      if n = 0 || cpus < 1 then None
+      else begin
+        let gaps =
+          if n < 2 then [| 1.0 |]
+          else
+            Array.init (n - 1) (fun i ->
+                Float.max 0.0 (ivs.(i + 1).iv_start -. ivs.(i).iv_start))
+        in
+        let rng = Rng.create ~seed in
+        let events = ref [] in
+        (* CPU 0 replays the recording verbatim. *)
+        Array.iter
+          (fun iv ->
+            events :=
+              {
+                e_arr = iv.iv_start;
+                e_dur = iv.iv_dur;
+                e_mode = iv.iv_mode;
+                e_inst = iv.iv_inst;
+                e_cpu = 0;
+              }
+              :: !events)
+          ivs;
+        (* Every further CPU resamples the recorded arrival process and
+           (instance, mode, duration) triples: the same workload shape,
+           phase-shifted — a fault storm from another core. *)
+        let mean_gap =
+          Array.fold_left ( +. ) 0.0 gaps /. float_of_int (Array.length gaps)
+        in
+        for cpu = 1 to cpus - 1 do
+          let arr = ref (ivs.(0).iv_start +. Rng.float rng (Float.max mean_gap 1.0)) in
+          for _ = 1 to n do
+            let src = ivs.(Rng.int rng n) in
+            events :=
+              {
+                e_arr = !arr;
+                e_dur = src.iv_dur;
+                e_mode = src.iv_mode;
+                e_inst = src.iv_inst;
+                e_cpu = cpu;
+              }
+              :: !events;
+            arr := !arr +. gaps.(Rng.int rng (Array.length gaps))
+          done
+        done;
+        let evs = List.sort (fun a b -> compare a.e_arr b.e_arr) !events in
+        (* Per-instance reader/writer replay. *)
+        let state = Hashtbl.create 16 in
+        let wait_total = ref 0.0 in
+        let wait_max = ref 0.0 in
+        let bounces = ref 0 in
+        let busy = ref 0.0 in
+        let t_lo = ref infinity in
+        let t_hi = ref neg_infinity in
+        let nev = ref 0 in
+        List.iter
+          (fun e ->
+            incr nev;
+            let write_until, read_until, last_cpu =
+              match Hashtbl.find_opt state e.e_inst with
+              | Some s -> s
+              | None ->
+                  let s = (ref 0.0, ref 0.0, ref (-1)) in
+                  Hashtbl.replace state e.e_inst s;
+                  s
+            in
+            let start =
+              match e.e_mode with
+              | Read -> Float.max e.e_arr !write_until
+              | Write -> Float.max e.e_arr (Float.max !write_until !read_until)
+            in
+            let fin = start +. e.e_dur in
+            (match e.e_mode with
+            | Read -> read_until := Float.max !read_until fin
+            | Write -> write_until := fin);
+            let wait = start -. e.e_arr in
+            wait_total := !wait_total +. wait;
+            if wait > !wait_max then wait_max := wait;
+            if !last_cpu >= 0 && !last_cpu <> e.e_cpu then incr bounces;
+            last_cpu := e.e_cpu;
+            busy := !busy +. e.e_dur;
+            if e.e_arr < !t_lo then t_lo := e.e_arr;
+            if fin > !t_hi then t_hi := fin)
+          evs;
+        let elapsed = Float.max (!t_hi -. !t_lo) 1e-9 in
+        Some
+          {
+            pj_cpus = cpus;
+            pj_events = !nev;
+            pj_wait_us = !wait_total;
+            pj_mean_wait_us = !wait_total /. float_of_int (max 1 !nev);
+            pj_max_wait_us = !wait_max;
+            pj_bounces = !bounces;
+            pj_utilization = !busy /. elapsed;
+          }
+      end
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun cls c ->
+      let d = get_class into cls in
+      d.c_instances <- d.c_instances + c.c_instances;
+      d.c_acquires <- d.c_acquires + c.c_acquires;
+      d.c_reads <- d.c_reads + c.c_reads;
+      d.c_writes <- d.c_writes + c.c_writes;
+      Histogram.merge ~into:d.c_hold c.c_hold;
+      Histogram.merge ~into:d.c_read_hold c.c_read_hold;
+      Histogram.merge ~into:d.c_write_hold c.c_write_hold;
+      Hashtbl.iter
+        (fun subsys (n, tot) ->
+          match Hashtbl.find_opt d.c_by_subsys subsys with
+          | Some (dn, dtot) ->
+              dn := !dn + !n;
+              dtot := !dtot +. !tot
+          | None -> Hashtbl.replace d.c_by_subsys subsys (ref !n, ref !tot))
+        c.c_by_subsys;
+      d.c_hold_total <- d.c_hold_total +. c.c_hold_total;
+      if c.c_max_hold > d.c_max_hold then d.c_max_hold <- c.c_max_hold;
+      Array.iter (fun iv -> push_interval d iv) (intervals_of c))
+    src.classes;
+  Hashtbl.iter
+    (fun (a, b) n ->
+      match Hashtbl.find_opt into.edges (a, b) with
+      | Some r -> r := !r + !n
+      | None -> Hashtbl.replace into.edges (a, b) (ref !n))
+    src.edges

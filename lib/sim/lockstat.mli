@@ -1,0 +1,156 @@
+(** The lock observatory (DESIGN.md §15).
+
+    Both kernels are sequential today, but every structure they guard —
+    maps, amaps, objects, the paging queues, the swap tier, IPC channels,
+    the pagedaemon — will become a real lock under simulated SMP.  This
+    module gives each of them a registered lock {e now}: one instrumented
+    acquire/release API that records per-class hold-time histograms
+    (split by read/write mode and by the holding subsystem, attributed
+    via the active {!Span}), a dynamic class-level lock-order graph with
+    cycle detection (the lockdep analogue, consumed by [Check.Lock]
+    audits), and per-instance hold intervals that a would-be-contention
+    model replays against N simulated CPUs.
+
+    A registry is cheap when inactive: acquire/release on a machine
+    booted without tracing is a couple of field tests and no
+    allocation. *)
+
+type mode = Read | Write
+
+type t
+(** A per-machine lock registry. *)
+
+type lock
+(** One registered lock instance.  Acquires may nest recursively on the
+    same instance (a depth count; only the outermost pair records). *)
+
+val known_classes : string list
+(** The kernel lock classes in canonical order:
+    map, amap, object, pagequeue, swap, ipc, pdaemon, oom. *)
+
+val create : ?enabled:bool -> now:(unit -> float) -> unit -> t
+(** [now] supplies simulated-time timestamps (the machine clock). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val set_spans : t -> Span.t option -> unit
+(** Span sink: each recorded hold opens a ["lock:<class>"] span (subsys =
+    class) so lock time shows up in critical-path decompositions, and the
+    innermost non-lock open span attributes the hold to a subsystem.
+    The pagequeue class is exempt (its leaf operations would flood the
+    ring with zero-duration spans). *)
+
+val set_hist : t -> Hist.t option -> unit
+(** Event-ring sink, used for the legacy ["map_lock"] {!Hist.Map} events
+    so the map class keeps exactly the trace shape it had before the
+    registry existed. *)
+
+val set_latencies : t -> Histogram.set option -> unit
+(** Latency-set sink for the legacy ["map_lock_us"] series. *)
+
+val active : t -> bool
+(** True when acquires record anything: the registry is enabled, or its
+    span sink is currently collecting. *)
+
+val register : t -> cls:string -> string -> lock
+(** A fresh lock instance of class [cls].  [cls] need not be in
+    {!known_classes} (tests register synthetic classes). *)
+
+val instance : t -> cls:string -> id:int -> lock
+(** Memoised registration keyed by [(cls, id)] — for locks living in
+    structures the registry shouldn't invade (amaps, objects), looked up
+    on the fault path without allocating on repeat visits. *)
+
+val acquire : t -> lock -> mode:mode -> unit
+(** Record an acquire: nesting edges are drawn from every lock held in
+    the current context to this one's class (same-class edges are
+    ignored — instances of a class may nest). *)
+
+val acquire_root : t -> lock -> mode:mode -> unit
+(** Acquire as a context break: no edges are drawn from the locks held
+    outside, and locks acquired while this one is held draw edges only
+    back to it.  Models entry into a logically-separate thread — the
+    pagedaemon running from inside an allocation that holds fault-path
+    locks. *)
+
+val release : t -> lock -> unit
+(** Close the hold: observes the class histograms (total and per-mode),
+    attributes the hold to the subsystem captured at acquire, appends
+    the interval to the class's bounded replay ring and finishes the
+    lock span.  Balanced with {!acquire} even across {!active} flips. *)
+
+val held : t -> (string * string) list
+(** Currently held (class, instance-name) pairs, innermost first — the
+    lock analogue of {!Span.open_spans}, dumped into crash artifacts. *)
+
+(** {1 Aggregated views} *)
+
+type class_view = {
+  cv_cls : string;
+  cv_instances : int;  (** registered instances *)
+  cv_acquires : int;  (** outermost acquires (recursion not re-counted) *)
+  cv_reads : int;
+  cv_writes : int;
+  cv_hold : Histogram.t;  (** hold time, µs, all modes *)
+  cv_read_hold : Histogram.t;
+  cv_write_hold : Histogram.t;
+  cv_by_subsys : (string * int * float) list;
+      (** (subsystem, holds, total µs) attributed via the span stack *)
+  cv_max_hold_us : float;
+}
+
+val views : t -> class_view list
+(** One view per class with at least one registered instance, in
+    {!known_classes} order (unknown classes after, in registration
+    order).  The histograms are live — snapshot before mutating. *)
+
+val total_acquires : t -> int
+val class_hold_us : t -> string -> float
+(** Cumulative recorded hold time of one class (0 if unknown). *)
+
+val take_window_max_us : t -> float
+(** Largest single hold recorded since the previous call, then reset —
+    the vmstat "max hold this window" gauge. *)
+
+val top_class : t -> (string * float) option
+(** The class with the most cumulative hold time, if any recorded. *)
+
+(** {1 Lock-order auditing} *)
+
+val order_edges : t -> (string * string * int) list
+(** Observed class-level nesting edges (held-class, acquired-class,
+    count), sorted. *)
+
+val cycles : t -> string list list
+(** Elementary cycles in the order graph, each as the class sequence
+    [c1 -> c2 -> ... -> c1] (the closing edge implied), normalised to
+    start at the lexicographically-smallest class and deduplicated.
+    Empty means lock-order clean. *)
+
+(** {1 Would-be-contention model} *)
+
+type projection = {
+  pj_cpus : int;
+  pj_events : int;  (** replayed acquires across all simulated CPUs *)
+  pj_wait_us : float;  (** projected total wait *)
+  pj_mean_wait_us : float;
+  pj_max_wait_us : float;
+  pj_bounces : int;  (** consecutive holds by different CPUs *)
+  pj_utilization : float;  (** hold time / replay window *)
+}
+
+val project : t -> cls:string -> cpus:int -> seed:int -> projection option
+(** Replay the class's recorded per-instance hold intervals against
+    [cpus] simulated CPUs: CPU 0 replays the recording verbatim; each
+    further CPU replays a stream with the same length whose arrivals
+    resample the recorded inter-arrival gaps and whose holds resample
+    the recorded (instance, mode, duration) triples, all from a
+    [seed]-deterministic generator.  Merged arrivals then queue on a
+    per-instance reader/writer lock: readers admit concurrently, writers
+    exclusively.  [None] when the class recorded no intervals. *)
+
+val merge : into:t -> t -> unit
+(** Fold a registry's recorded data (counts, histograms, attribution,
+    intervals, order edges) into [into] — label-level aggregation across
+    several boots of the same system. *)

@@ -126,6 +126,13 @@ let spans t =
   List.init t.count (fun i -> t.buf.((first + i) mod cap))
 
 let open_spans t = List.rev t.stack
+
+let innermost t ?(skip = fun _ -> false) () =
+  let rec go = function
+    | [] -> None
+    | sp :: rest -> if skip sp then go rest else Some sp
+  in
+  go t.stack
 let take_trace t ~trace = List.filter (fun sp -> sp.strace = trace) (spans t)
 let recorded t = t.total
 let dropped t = t.total - t.count
@@ -168,3 +175,44 @@ let self_times spans =
       end)
     spans;
   List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
+
+(* Folded-stack flamegraph lines: one "root;child;leaf" path per span,
+   weighted by self time.  Because every span contributes exactly its
+   duration minus its children's, the values over a complete trace sum
+   to the root's duration — the telescoping CI checks rely on it. *)
+let fold_paths spans =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun sp -> Hashtbl.replace by_id sp.sid sp) spans;
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.sparent <> 0 && sp.sdur >= 0.0 then
+        let prev =
+          Option.value (Hashtbl.find_opt child_time sp.sparent) ~default:0.0
+        in
+        Hashtbl.replace child_time sp.sparent (prev +. sp.sdur))
+    spans;
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun sp ->
+      if sp.sdur >= 0.0 then begin
+        let covered =
+          Option.value (Hashtbl.find_opt child_time sp.sid) ~default:0.0
+        in
+        let self = Float.max 0.0 (sp.sdur -. covered) in
+        if self > 0.0 then begin
+          let rec path sp tail =
+            let tail = sp.sname :: tail in
+            if sp.sparent = 0 then tail
+            else
+              match Hashtbl.find_opt by_id sp.sparent with
+              | Some p -> path p tail
+              | None -> tail  (* parent lost to ring wraparound *)
+          in
+          let key = String.concat ";" (path sp []) in
+          let prev = Option.value (Hashtbl.find_opt acc key) ~default:0.0 in
+          Hashtbl.replace acc key (prev +. self)
+        end
+      end)
+    spans;
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc [] |> List.sort compare

@@ -49,6 +49,11 @@ val open_spans : t -> span list
 (** Currently open spans, outermost first — the active causal tree,
     dumped into crash artifacts. *)
 
+val innermost : t -> ?skip:(span -> bool) -> unit -> span option
+(** Innermost open span not rejected by [skip] — used to attribute
+    work recorded outside the span tree (lock holds) to the active
+    causal context. *)
+
 val take_trace : t -> trace:int -> span list
 (** Finished spans belonging to one trace, oldest first. *)
 
@@ -65,3 +70,9 @@ val self_times : span list -> (string * float) list
     minus time covered by direct children), in first-seen order.  For a
     complete single-root trace the values sum to exactly the root span's
     duration. *)
+
+val fold_paths : span list -> (string * float) list
+(** Folded-stack flamegraph lines: each finished span's
+    [";"]-joined root-to-span name path mapped to its accumulated self
+    time, sorted by path.  Zero-self paths are omitted; over complete
+    traces the values sum to the root durations (telescoping). *)

@@ -25,6 +25,7 @@ type source = {
   lifecycle : Lifecycle.t;
   spans : Span.t;
   series : Timeseries.t;
+  locks : Lockstat.t option;  (* the machine's lock registry *)
   mutable sync : unit -> unit;
       (* refresh the gauge fields of [stats] from the live machine;
          installed by Machine.boot, called before any counter export *)
@@ -351,6 +352,134 @@ let spans_json buf sources =
            (Span.recorded src.spans) (Span.dropped src.spans)))
     sources;
   Buffer.add_string buf "]}\n"
+
+(* -- lock observatory export -------------------------------------------- *)
+
+let json_lock_class buf ~cpus ~seed reg (cv : Lockstat.class_view) =
+  Buffer.add_string buf "{\"class\":";
+  json_string buf cv.Lockstat.cv_cls;
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"instances\":%d,\"acquires\":%d,\"reads\":%d,\"writes\":%d"
+       cv.Lockstat.cv_instances cv.Lockstat.cv_acquires cv.Lockstat.cv_reads
+       cv.Lockstat.cv_writes);
+  Buffer.add_string buf ",\"hold_us\":";
+  json_hist buf cv.Lockstat.cv_hold;
+  Buffer.add_string buf ",\"read_hold_us\":";
+  json_hist buf cv.Lockstat.cv_read_hold;
+  Buffer.add_string buf ",\"write_hold_us\":";
+  json_hist buf cv.Lockstat.cv_write_hold;
+  Buffer.add_string buf ",\"max_hold_us\":";
+  json_float buf cv.Lockstat.cv_max_hold_us;
+  Buffer.add_string buf ",\"by_subsys\":[";
+  let first = ref true in
+  List.iter
+    (fun (subsys, holds, total) ->
+      json_sep buf first;
+      Buffer.add_string buf "{\"subsys\":";
+      json_string buf subsys;
+      Buffer.add_string buf (Printf.sprintf ",\"holds\":%d,\"total_us\":" holds);
+      json_float buf total;
+      Buffer.add_string buf "}")
+    cv.Lockstat.cv_by_subsys;
+  Buffer.add_string buf "],\"contention\":";
+  (match Lockstat.project reg ~cls:cv.Lockstat.cv_cls ~cpus ~seed with
+  | None -> Buffer.add_string buf "null"
+  | Some p ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"cpus\":%d,\"events\":%d,\"wait_us\":"
+           p.Lockstat.pj_cpus p.Lockstat.pj_events);
+      json_float buf p.Lockstat.pj_wait_us;
+      Buffer.add_string buf ",\"mean_wait_us\":";
+      json_float buf p.Lockstat.pj_mean_wait_us;
+      Buffer.add_string buf ",\"max_wait_us\":";
+      json_float buf p.Lockstat.pj_max_wait_us;
+      Buffer.add_string buf (Printf.sprintf ",\"bounces\":%d,\"utilization\":"
+                               p.Lockstat.pj_bounces);
+      json_float buf p.Lockstat.pj_utilization;
+      Buffer.add_string buf "}");
+  Buffer.add_string buf "}"
+
+(* The "systems" array of the uvm-sim-lockstat/1 schema: sources sharing
+   a label (several boots of one system in a sweep) are merged into one
+   registry — histograms, attribution and order edges sum; the
+   contention replay then models all recorded streams hitting one
+   machine. *)
+let lockstat_systems buf ?(cpus = 4) ?(seed = 42) sources =
+  let labels =
+    List.fold_left
+      (fun acc s -> if List.mem s.label acc then acc else acc @ [ s.label ])
+      [] sources
+  in
+  Buffer.add_char buf '[';
+  let first_sys = ref true in
+  List.iter
+    (fun label ->
+      let group = List.filter (fun s -> s.label = label) sources in
+      let regs = List.filter_map (fun s -> s.locks) group in
+      let merged = Lockstat.create ~now:(fun () -> 0.0) () in
+      List.iter (fun r -> Lockstat.merge ~into:merged r) regs;
+      json_sep buf first_sys;
+      Buffer.add_string buf "{\"label\":";
+      json_string buf label;
+      Buffer.add_string buf ",\"classes\":[";
+      let first = ref true in
+      List.iter
+        (fun cv ->
+          json_sep buf first;
+          json_lock_class buf ~cpus ~seed merged cv)
+        (Lockstat.views merged);
+      Buffer.add_string buf "],\"order_edges\":[";
+      let first = ref true in
+      List.iter
+        (fun (a, b, n) ->
+          json_sep buf first;
+          Buffer.add_string buf "{\"from\":";
+          json_string buf a;
+          Buffer.add_string buf ",\"to\":";
+          json_string buf b;
+          Buffer.add_string buf (Printf.sprintf ",\"count\":%d}" n))
+        (Lockstat.order_edges merged);
+      Buffer.add_string buf "],\"cycles\":[";
+      let first = ref true in
+      List.iter
+        (fun cyc ->
+          json_sep buf first;
+          Buffer.add_char buf '[';
+          let fc = ref true in
+          List.iter
+            (fun cls ->
+              json_sep buf fc;
+              json_string buf cls)
+            cyc;
+          Buffer.add_char buf ']')
+        (Lockstat.cycles merged);
+      (* Locks still held right now (crash artifacts): per live
+         registry, innermost first — merge does not carry hold state. *)
+      Buffer.add_string buf "],\"held\":[";
+      let first = ref true in
+      List.iter
+        (fun reg ->
+          List.iter
+            (fun (cls, name) ->
+              json_sep buf first;
+              Buffer.add_string buf "{\"class\":";
+              json_string buf cls;
+              Buffer.add_string buf ",\"instance\":";
+              json_string buf name;
+              Buffer.add_string buf "}")
+            (Lockstat.held reg))
+        regs;
+      Buffer.add_string buf "]}")
+    labels;
+  Buffer.add_char buf ']'
+
+let lockstat_json buf ?(cpus = 4) ?(seed = 42) sources =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema\":\"uvm-sim-lockstat/1\",\"cpus\":%d,\"systems\":"
+       cpus);
+  lockstat_systems buf ~cpus ~seed sources;
+  Buffer.add_string buf "}\n"
 
 (* -- time-series export ------------------------------------------------- *)
 

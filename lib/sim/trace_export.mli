@@ -18,6 +18,7 @@ type source = {
   lifecycle : Lifecycle.t;  (** ledger-derived efficacy analytics *)
   spans : Span.t;  (** causal span collector *)
   series : Timeseries.t;  (** vmstat-style periodic samples *)
+  locks : Lockstat.t option;  (** the machine's lock registry *)
   mutable sync : unit -> unit;
       (** refresh the gauge fields of [stats] from the live machine;
           installed by the machine, called before any counter export *)
@@ -42,6 +43,18 @@ val spans_json : Buffer.t -> source list -> unit
 (** Causal span trees (schema ["uvm-sim-spans/1"]): per source (not
     label-folded — span ids are collector-local), the finished spans
     oldest first, the still-open span stack, and ring accounting. *)
+
+val lockstat_systems : Buffer.t -> ?cpus:int -> ?seed:int -> source list -> unit
+(** The ["systems"] array of the lockstat schema: per label (sweeps
+    merged via {!Lockstat.merge}), every class's acquire counts, hold
+    histograms (total/read/write), per-subsystem attribution, the
+    would-be-contention projection at [cpus] simulated CPUs, the
+    observed lock-order edges, any order cycles, and the locks held at
+    export time. *)
+
+val lockstat_json : Buffer.t -> ?cpus:int -> ?seed:int -> source list -> unit
+(** The full lock-observatory artifact
+    (schema ["uvm-sim-lockstat/1"]). *)
 
 val metrics_json : Buffer.t -> source list -> unit
 (** Time-series telemetry (schema ["uvm-sim-metrics/1"]): per source,

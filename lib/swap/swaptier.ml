@@ -35,6 +35,7 @@ type t = {
   mutable drain_hook : (unit -> unit) option;
   mutable hist : Sim.Hist.t option;
   mutable spans : Sim.Span.t option;
+  mutable lockq : (Sim.Lockstat.t * Sim.Lockstat.lock) option;
 }
 
 (* Slots a cache fill must leave free on its device, so the cache never
@@ -106,6 +107,7 @@ let create ~specs ~page_size ~clock ~costs ~stats =
     drain_hook = None;
     hist = None;
     spans = None;
+    lockq = None;
   }
 
 let set_hist t h =
@@ -113,6 +115,23 @@ let set_hist t h =
   Array.iter (fun d -> Swapdev.set_hist d.dev h) t.devices
 
 let set_spans t s = t.spans <- s
+
+let set_lockstat t reg =
+  t.lockq <-
+    Option.map
+      (fun ls -> (ls, Sim.Lockstat.register ls ~cls:"swap" "swaptier"))
+      reg
+
+(* Every public tier entry point holds the swap-tier lock for its
+   duration.  Nested calls (write_resilient -> write_cluster, drain ->
+   migrate_slot) re-enter the same handle; the registry's recursion
+   depth makes that one recorded outer hold, not two. *)
+let with_tier_lock t ~mode f =
+  match t.lockq with
+  | None -> f ()
+  | Some (ls, l) ->
+      Sim.Lockstat.acquire ls l ~mode;
+      Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls l) f
 
 (* Device I/O spans carry the tier in the subsystem key ("swap:slow"),
    so the critical-path breakdown attributes tail latency to the tier
@@ -253,9 +272,12 @@ let alloc_where t ~n ~pred =
   in
   go ()
 
-let alloc_slots t ~n = alloc_where t ~n ~pred:allocatable
+let alloc_slots t ~n =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
+  alloc_where t ~n ~pred:allocatable
 
 let free_slots t ~slot ~n =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let d = device_of t ~slot in
   Swapdev.free_slots d.dev ~slot:(slot - d.base) ~n
 
@@ -273,6 +295,7 @@ let dead_write_error slot =
   }
 
 let write_cluster t ~slot ~pages =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let d = device_of t ~slot in
   let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "write" in
   let r =
@@ -299,6 +322,7 @@ let write_cluster t ~slot ~pages =
    media that rejects writes — that readability window is exactly what
    lets the pagedaemon drain survivors to healthy tiers. *)
 let read_slot t ~slot ~dst =
+  with_tier_lock t ~mode:Sim.Lockstat.Read @@ fun () ->
   let d = device_of t ~slot in
   let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "read" in
   let r = Swapdev.read_slot d.dev ~slot:(slot - d.base) ~dst in
@@ -309,6 +333,7 @@ let read_slot t ~slot ~dst =
   r
 
 let read_cluster t ~slot ~dsts =
+  with_tier_lock t ~mode:Sim.Lockstat.Read @@ fun () ->
   let d = device_of t ~slot in
   let sp = span_start t ~subsys:("swap:" ^ d.spec.tier_name) "read" in
   let r = Swapdev.read_cluster d.dev ~slot:(slot - d.base) ~dsts in
@@ -329,6 +354,7 @@ let backoff_delay ~backoff_us attempt =
   backoff_us *. (2.0 ** float_of_int attempt)
 
 let read_resilient t ~retries ~backoff_us ~slot ~dst =
+  with_tier_lock t ~mode:Sim.Lockstat.Read @@ fun () ->
   let rec go attempt =
     match read_slot t ~slot ~dst with
     | Ok () -> Ok ()
@@ -353,6 +379,7 @@ type write_outcome = Swapdev.write_outcome =
    healthy devices — when it lands on a different device, that is a
    failover, counted and traced as such. *)
 let write_resilient t ~retries ~backoff_us ~slot ~assign ~pages =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let n = List.length pages in
   let recovered = ref false in
   let outcome = ref Written in
@@ -442,6 +469,7 @@ let set_drain_hook t hook = t.drain_hook <- hook
 
 let run_drain t =
   if drain_pending t then begin
+    with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
     let sp = span_start t ~subsys:"swap" "drain" in
     (match t.drain_hook with Some f -> f () | None -> ());
     Array.iter
@@ -501,6 +529,7 @@ let migrate_data t ~slot ~src =
                 Some g))
 
 let migrate_slot t ~slot =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let src = device_of t ~slot in
   if not (Swapdev.has_data src.dev ~slot:(slot - src.base)) then None
   else begin
@@ -545,6 +574,7 @@ let fill_target t =
   !best
 
 let cache_put t ~vid ~pgno ~(page : Physmem.Page.t) =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let key = (vid, pgno) in
   if not (Hashtbl.mem t.cache key) then
     match fill_target t with
@@ -574,6 +604,7 @@ let cache_put t ~vid ~pgno ~(page : Physmem.Page.t) =
 let cache_contains t ~vid ~pgno = Hashtbl.mem t.cache (vid, pgno)
 
 let cache_lookup t ~vid ~pgno ~(dst : Physmem.Page.t) =
+  with_tier_lock t ~mode:Sim.Lockstat.Read @@ fun () ->
   match Hashtbl.find_opt t.cache (vid, pgno) with
   | None -> false
   | Some g -> (
@@ -601,9 +632,11 @@ let cache_lookup t ~vid ~pgno ~(dst : Physmem.Page.t) =
           true)
 
 let cache_invalidate t ~vid ~pgno =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   cache_drop t ~reason:"invalidate" (vid, pgno)
 
 let cache_invalidate_obj t ~vid =
+  with_tier_lock t ~mode:Sim.Lockstat.Write @@ fun () ->
   let victims =
     Hashtbl.fold
       (fun ((v, _) as key) _ acc -> if v = vid then key :: acc else acc)

@@ -132,6 +132,12 @@ val set_spans : t -> Sim.Span.t option -> unit
     reads/writes open spans under ["swap:<tier>"] so critical-path
     breakdowns attribute tail latency to the tier that caused it. *)
 
+val set_lockstat : t -> Sim.Lockstat.t option -> unit
+(** Register the swap-tier lock with the machine's lock observatory:
+    every public entry point (slot alloc/free, paging I/O, drain,
+    migration, swapcache) then records a hold of the ["swap"] class,
+    read-mode for lookups and reads, write-mode otherwise. *)
+
 (* -- device death, swapoff, drain ------------------------------------ *)
 
 val kill_device : t -> name:string -> unit

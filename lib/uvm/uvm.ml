@@ -776,7 +776,8 @@ module Sys = struct
     audit_loans sys anons;
     audit_objects objs;
     audit_swap sys anons objs;
-    audit_pmap sys
+    audit_pmap sys;
+    Check.check_lock_order ~system:name (Uvm_sys.locks sys.usys)
 
   (* Audit: anonymous pages unreachable from any live address space.  UVM's
      reference counting frees anons eagerly, so this is always 0 — the test

@@ -368,17 +368,39 @@ let fault map ~vpn ~access ~wire =
               Uvm_amap.lookup am ~slot:(entry.amapoff + (vpn - entry.spage))
           | None -> None
         in
+        (* The per-structure data lock (amap or uvm_object) is held
+           around the resolution step, nested inside the map lock —
+           exactly the two-level locking of paper §4; the registry
+           learns the map -> amap/object order from this nesting. *)
+        let locked ~cls ~id ~mode f =
+          let ls = Uvm_sys.locks sys in
+          let l = Sim.Lockstat.instance ls ~cls ~id in
+          Sim.Lockstat.acquire ls l ~mode;
+          Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls l) f
+        in
+        let amap_mode =
+          if write then Sim.Lockstat.Write else Sim.Lockstat.Read
+        in
         let resolution =
           (* RAM exhaustion anywhere below (page allocation for pagein,
              COW copy, zero fill) is a typed failure, not a crash. *)
           try
             match anon with
-            | Some anon -> resolve_anon_fault map entry ~vpn ~write ~wire anon
+            | Some anon ->
+                let am = Option.get entry.amap in
+                locked ~cls:"amap" ~id:am.Uvm_amap.id ~mode:amap_mode
+                  (fun () -> resolve_anon_fault map entry ~vpn ~write ~wire anon)
             | None -> (
                 match entry.obj with
                 | Some obj ->
-                    resolve_object_fault map entry ~vpn ~write ~wire obj
-                | None -> resolve_zero_fill map entry ~vpn ~write ~wire)
+                    locked ~cls:"object" ~id:obj.Uvm_object.id
+                      ~mode:Sim.Lockstat.Read (fun () ->
+                        resolve_object_fault map entry ~vpn ~write ~wire obj)
+                | None ->
+                    let am = Option.get entry.amap in
+                    locked ~cls:"amap" ~id:am.Uvm_amap.id
+                      ~mode:Sim.Lockstat.Write (fun () ->
+                        resolve_zero_fill map entry ~vpn ~write ~wire))
           with Physmem.Out_of_pages -> Error Vmtypes.Out_of_memory
         in
         match resolution with

@@ -28,7 +28,7 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
-  mutable lock_span : Sim.Span.span option;
+  mutable lockh : Sim.Lockstat.lock option;
 }
 
 let create sys ~pmap ~lo ~hi ~kernel =
@@ -43,7 +43,7 @@ let create sys ~pmap ~lo ~hi ~kernel =
     nentries = 0;
     hint = None;
     locked_since = None;
-    lock_span = None;
+    lockh = None;
   }
 
 let stats t = Uvm_sys.stats t.sys
@@ -51,12 +51,28 @@ let costs t = Uvm_sys.costs t.sys
 let charge t us = Uvm_sys.charge t.sys us
 let lifecycle t = Physmem.lifecycle (Uvm_sys.physmem t.sys)
 
+(* The map's entry in the lock observatory, registered on first lock.
+   The registry renders the lock:map span and the legacy map_lock
+   event/latency series; the cost charge and the Stats counters stay
+   here because they predate tracing and are always on. *)
+let lock_handle t =
+  match t.lockh with
+  | Some l -> l
+  | None ->
+      let l =
+        Sim.Lockstat.register (Uvm_sys.locks t.sys) ~cls:"map"
+          (if t.kernel then "kernel_map" else "user_map")
+      in
+      t.lockh <- Some l;
+      l
+
 let lock t =
   assert (t.locked_since = None);
   charge t (costs t).Sim.Cost_model.lock_acquire;
   (stats t).Sim.Stats.lock_acquisitions <-
     (stats t).Sim.Stats.lock_acquisitions + 1;
-  t.lock_span <- Some (Uvm_sys.span_start t.sys ~subsys:"map" "map_lock");
+  Sim.Lockstat.acquire (Uvm_sys.locks t.sys) (lock_handle t)
+    ~mode:Sim.Lockstat.Write;
   t.locked_since <- Some (Sim.Simclock.now (Uvm_sys.clock t.sys))
 
 let is_locked t = t.locked_since <> None
@@ -69,19 +85,7 @@ let unlock t =
       (stats t).Sim.Stats.map_lock_held_us <-
         (stats t).Sim.Stats.map_lock_held_us +. held;
       t.locked_since <- None;
-      (match t.lock_span with
-      | Some sp ->
-          t.lock_span <- None;
-          Uvm_sys.span_finish t.sys sp
-            ~detail:[ ("kernel", string_of_bool t.kernel) ]
-            ()
-      | None -> ());
-      if Uvm_sys.tracing t.sys then begin
-        Uvm_sys.trace t.sys ~subsys:Sim.Hist.Map ~ts:since ~dur:held
-          ~detail:[ ("kernel", string_of_bool t.kernel) ]
-          "map_lock";
-        Uvm_sys.observe t.sys "map_lock_us" held
-      end
+      Sim.Lockstat.release (Uvm_sys.locks t.sys) (lock_handle t)
 
 let entry_npages e = e.epage - e.spage
 let entry_count t = t.nentries

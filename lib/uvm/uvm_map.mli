@@ -45,7 +45,8 @@ type t = {
   mutable nentries : int;
   mutable hint : entry option;
   mutable locked_since : float option;
-  mutable lock_span : Sim.Span.span option;
+  mutable lockh : Sim.Lockstat.lock option;
+      (** lock-observatory handle, registered on first {!lock} *)
 }
 
 val create : Uvm_sys.t -> pmap:Pmap.t -> lo:int -> hi:int -> kernel:bool -> t

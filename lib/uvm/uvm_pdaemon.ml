@@ -130,12 +130,19 @@ let flush_anon_batch sys batch =
 
 let flush_object_batches sys batches =
   let physmem = Uvm_sys.physmem sys in
+  let ls = Uvm_sys.locks sys in
   Hashtbl.iter
     (fun _ (obj, pages) ->
       (* The pager already applied the retry/reassignment policy; whatever
          failed stays dirty and is reactivated below so it stops clogging
          the inactive queue. *)
-      (match obj.Uvm_object.pgops.Uvm_object.pgo_put pages with
+      let l = Sim.Lockstat.instance ls ~cls:"object" ~id:obj.Uvm_object.id in
+      Sim.Lockstat.acquire ls l ~mode:Sim.Lockstat.Write;
+      (match
+         Fun.protect
+           ~finally:(fun () -> Sim.Lockstat.release ls l)
+           (fun () -> obj.Uvm_object.pgops.Uvm_object.pgo_put pages)
+       with
       | Ok () | Error _ -> ());
       List.iter
         (fun (page : Physmem.Page.t) ->
@@ -146,6 +153,13 @@ let flush_object_batches sys batches =
     batches
 
 let run sys =
+  (* The pagedaemon is logically its own thread: its lock is acquired as
+     a root so the registry does not draw order edges from whatever the
+     faulting context held when the allocator kicked the daemon. *)
+  let ls = Uvm_sys.locks sys in
+  let dl = Sim.Lockstat.instance ls ~cls:"pdaemon" ~id:0 in
+  Sim.Lockstat.acquire_root ls dl ~mode:Sim.Lockstat.Write;
+  Fun.protect ~finally:(fun () -> Sim.Lockstat.release ls dl) @@ fun () ->
   (* The scan span opens before the drain pass so device-death migration
      shows up as time attributed to the pagedaemon on the critical path. *)
   let scan_span = Uvm_sys.span_start sys ~subsys:"pdaemon" "scan" in

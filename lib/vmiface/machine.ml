@@ -88,6 +88,7 @@ type t = {
   lifecycle : Sim.Lifecycle.t;
   spans : Sim.Span.t;
   series : Sim.Timeseries.t;
+  locks : Sim.Lockstat.t;
   trace_source : Sim.Trace_export.source;
 }
 
@@ -116,6 +117,18 @@ let boot ?(config = default_config) () =
     | None -> Sim.Span.create ~enabled:false ()
   in
   let series = Sim.Timeseries.create ~interval:sample_interval_us () in
+  (* The lock registry records when tracing is on; its span sink stays
+     wired regardless so an experiment that flips spans on per machine
+     (serve) still sees lock:<class> spans in its critical paths. *)
+  let locks =
+    Sim.Lockstat.create
+      ~enabled:(trace_buf <> None)
+      ~now:(fun () -> Sim.Simclock.now clock)
+      ()
+  in
+  Sim.Lockstat.set_spans locks (Some spans);
+  Sim.Lockstat.set_hist locks (Some hist);
+  Sim.Lockstat.set_latencies locks (Some latencies);
   let trace_source =
     {
       Sim.Trace_export.label = "vm";
@@ -125,6 +138,7 @@ let boot ?(config = default_config) () =
       lifecycle;
       spans;
       series;
+      locks = Some locks;
       sync = (fun () -> ());
     }
   in
@@ -163,6 +177,7 @@ let boot ?(config = default_config) () =
       lifecycle;
       spans;
       series;
+      locks;
       trace_source;
     }
   in
@@ -172,6 +187,8 @@ let boot ?(config = default_config) () =
      causal tree, swap tiers included.  Only the clock hook and the
      traced-source registration stay gated on tracing. *)
   Swap.Swaptier.set_spans t.swap (Some spans);
+  Swap.Swaptier.set_lockstat t.swap (Some locks);
+  Physmem.set_lockstat t.physmem (Some locks);
   (* One source of truth for the instantaneous gauges: both the stats
      export and the sampler read them through this closure. *)
   (let sync () =
@@ -205,6 +222,8 @@ let boot ?(config = default_config) () =
         "proc_swapins";
       ]
       @ List.map (fun n -> "tier:" ^ n) tier_names
+      @ [ "lock_acquires"; "lock_maxhold_us" ]
+      @ List.map (fun c -> "lockheld:" ^ c) Sim.Lockstat.known_classes
     in
     let probe () =
       sync ();
@@ -233,7 +252,14 @@ let boot ?(config = default_config) () =
           (fun ti -> float_of_int ti.Swap.Swaptier.ti_in_use)
           (Swap.Swaptier.tiers t.swap)
       in
-      Array.of_list (fixed @ tiers)
+      let lock_cols =
+        float_of_int (Sim.Lockstat.total_acquires locks)
+        :: Sim.Lockstat.take_window_max_us locks
+        :: List.map
+             (fun c -> Sim.Lockstat.class_hold_us locks c)
+             Sim.Lockstat.known_classes
+      in
+      Array.of_list (fixed @ tiers @ lock_cols)
     in
     Sim.Timeseries.set_probe series ~columns probe;
     (* Watchdogs over a 4-sample window.  Column indexes match the
@@ -284,7 +310,38 @@ let boot ?(config = default_config) () =
               ("swapouts_in_window", Printf.sprintf "%.0f" souts);
               ("swapins_in_window", Printf.sprintf "%.0f" sins);
             ]
-        else None));
+        else None);
+    (* One lock class soaking up most of the window's simulated time is
+       the serialization the SMP sharding work must break; surface it as
+       it happens rather than waiting for the post-run profile. *)
+    let c_lockheld0 = 18 + List.length tier_names in
+    let lock_hog_share = 0.9 in
+    Sim.Timeseries.add_rule series ~name:"lock_hog" ~window:4 (fun w ->
+        let wall =
+          w.(Array.length w - 1).Sim.Timeseries.s_ts
+          -. w.(0).Sim.Timeseries.s_ts
+        in
+        if wall <= 0.0 then None
+        else
+          let hog = ref None in
+          List.iteri
+            (fun i cls ->
+              let held = delta w (c_lockheld0 + i) in
+              let share = held /. wall in
+              if share > lock_hog_share then
+                match !hog with
+                | Some (_, _, best) when best >= share -> ()
+                | _ -> hog := Some (cls, held, share))
+            Sim.Lockstat.known_classes;
+          match !hog with
+          | Some (cls, held, share) ->
+              Some
+                [
+                  ("class", cls);
+                  ("held_in_window_us", Printf.sprintf "%.0f" held);
+                  ("share", Printf.sprintf "%.2f" share);
+                ]
+          | None -> None));
   if Sim.Hist.enabled hist then begin
     Swap.Swaptier.set_hist t.swap (Some hist);
     Sim.Timeseries.attach series clock;

@@ -71,6 +71,9 @@ type t = {
       (** causal span collector (enabled together with [hist]) *)
   series : Sim.Timeseries.t;
       (** vmstat-style sampler, clock-driven while tracing is on *)
+  locks : Sim.Lockstat.t;
+      (** the lock observatory registry (recording while tracing is on;
+          its span sink is live whenever [spans] is) *)
   trace_source : Sim.Trace_export.source;
 }
 

@@ -221,6 +221,51 @@ else
   echo 'ci: soak produced (python3 unavailable, shape-checked only)'
 fi
 
+# Lock observatory smoke (DESIGN.md §15): one paging+IPC workload through
+# every registered lock class on both kernels.  Requires >= 6 held lock
+# classes per system, a cycle-free observed lock-order graph, and folded
+# flamegraph self-times that telescope to the measured wall within 1%.
+dune exec bin/uvm_sim.exe -- lockstat --out artifacts/lockstat.json \
+  --folded-out artifacts/profile.folded > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - artifacts/lockstat.json artifacts/profile.folded <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["schema"] == "uvm-sim-lockstat/1", r.get("schema")
+assert abs(r["folded_total_us"] - r["wall_us"]) <= 0.01 * r["wall_us"], \
+    (r["folded_total_us"], r["wall_us"])
+systems = {s["label"]: s for s in r["systems"]}
+assert set(systems) >= {"UVM", "BSD VM"}, set(systems)
+for label, s in systems.items():
+    held = [c for c in s["classes"] if c["acquires"] > 0]
+    assert len(held) >= 6, (label, [c["class"] for c in held])
+    assert s["cycles"] == [], (label, s["cycles"])
+    for c in held:
+        h = c["hold_us"]
+        assert h["count"] == c["acquires"], (label, c["class"])
+        assert c["reads"] + c["writes"] == c["acquires"], (label, c["class"])
+        attributed = sum(b["holds"] for b in c["by_subsys"])
+        assert attributed == c["acquires"], (label, c["class"], attributed)
+    assert s["order_edges"], label
+total = 0.0
+with open(sys.argv[2]) as f:
+    for line in f:
+        path, weight = line.rsplit(" ", 1)
+        assert ";" in path, line
+        total += float(weight)
+assert abs(total - r["wall_us"]) <= 0.01 * r["wall_us"], (total, r["wall_us"])
+print("ci: lockstat valid (%d classes held, folded telescopes)"
+      % sum(len([c for c in s["classes"] if c["acquires"] > 0])
+            for s in r["systems"]))
+EOF
+else
+  grep -q '"uvm-sim-lockstat/1"' artifacts/lockstat.json
+  grep -q '"cycles":\[\]' artifacts/lockstat.json
+  test -s artifacts/profile.folded
+  echo 'ci: lockstat produced (python3 unavailable, shape-checked only)'
+fi
+
 # Full bench: reproduces every paper table/figure, the ablations and the
 # embedded efficacy report; leaves BENCH_results.json at the repo root so
 # the workflow can start accumulating the bench trajectory.

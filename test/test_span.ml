@@ -255,13 +255,24 @@ let test_drain_attribution () =
     List.filter (fun (s : Sim.Span.span) -> s.Sim.Span.sname = "migrate") all
   in
   Alcotest.(check bool) "migration spans present" true (migrations <> []);
+  (* The lock observatory interposes lock:<class> spans; attribution
+     walks through them to the enclosing work span. *)
+  let is_lock (s : Sim.Span.span) =
+    String.length s.Sim.Span.sname >= 5
+    && String.sub s.Sim.Span.sname 0 5 = "lock:"
+  in
+  let rec work_parent (s : Sim.Span.span) =
+    match Hashtbl.find_opt by_id s.Sim.Span.sparent with
+    | Some p when is_lock p -> work_parent p
+    | other -> other
+  in
   List.iter
     (fun (s : Sim.Span.span) ->
-      match Hashtbl.find_opt by_id s.Sim.Span.sparent with
+      match work_parent s with
       | Some d -> (
           Alcotest.(check string) "migrate under the drain" "drain"
             d.Sim.Span.sname;
-          match Hashtbl.find_opt by_id d.Sim.Span.sparent with
+          match work_parent d with
           | Some scan ->
               Alcotest.(check string) "drain under the pagedaemon scan"
                 "pdaemon" scan.Sim.Span.ssubsys
