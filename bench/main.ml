@@ -230,6 +230,11 @@ let reproduce_paper () =
      so the regression gate catches a lock getting hotter. *)
   let lk = Experiments.Lockstat.run () in
   Experiments.Lockstat.print lk;
+  (* Simulated-SMP rows: measured (not projected) contention, speedup and
+     fast-path hit rates at 4 CPUs, quick profile — the full storm is a
+     CI gate of its own (uvm_sim smp). *)
+  let sm = Experiments.Smp.run ~quick:true ~cpus:4 () in
+  Experiments.Smp.print sm;
   let ab_cluster = ablation_pageout_cluster () in
   let ab_ahead = ablation_fault_ahead () in
   let ab_rate = ablation_fault_rate () in
@@ -348,6 +353,20 @@ let reproduce_paper () =
               ("utilization", jfloat r.br_utilization);
             ])
         (Experiments.Lockstat.bench_rows lk) );
+    ( "smp",
+      arr
+        (fun (r : Experiments.Smp.bench_row) buf ->
+          obj buf
+            [
+              ("system", jstr r.br_system);
+              ("cpus", jint r.br_cpus);
+              ("wall_us", jfloat r.br_wall_us);
+              ("lock_wait_us", jfloat r.br_wait_us);
+              ("line_bounces", jint r.br_bounces);
+              ("speedup", jfloat r.br_speedup);
+              ("fast_hit_rate", jfloat r.br_fast_hit_rate);
+            ])
+        (Experiments.Smp.bench_rows sm) );
     ( "ablation_pageout_cluster",
       arr
         (fun (cluster, dt, writes) buf ->

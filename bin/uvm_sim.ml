@@ -433,11 +433,15 @@ let serve_cmd =
 
 (* -- vmstat ------------------------------------------------------------ *)
 
-let run_vmstat quick metrics_out spans_out =
+let run_vmstat quick cpus metrics_out spans_out =
+  if cpus < 1 then begin
+    Printf.eprintf "uvm_sim: --cpus must be >= 1 (got %d)\n" cpus;
+    exit 2
+  end;
   (* vmstat IS the sampler's output, so event collection is always on
      here — no flag needed to make the table non-empty. *)
   Vmiface.Machine.set_default_trace (Some 4096);
-  Experiments.Vmstat.run ~quick ();
+  Experiments.Vmstat.run ~quick ~cpus ();
   let sources = Vmiface.Machine.traced () in
   Experiments.Vmstat.print_sources sources;
   (match metrics_out with
@@ -461,6 +465,12 @@ let vmstat_cmd =
     Arg.(value & flag & info [ "quick" ]
            ~doc:"Smaller working set and fewer sweeps (CI smoke test).")
   in
+  let cpus =
+    Arg.(value & opt int 1 & info [ "cpus" ] ~docv:"N"
+           ~doc:"Boot the machines with $(docv) per-CPU page caches and \
+                 rotate the sweep over them; adds per-CPU runnable/steal/\
+                 hit-rate columns to the table.")
+  in
   Cmd.v
     (Cmd.info "vmstat"
        ~doc:"Run an over-committed anonymous working set on both VM systems \
@@ -469,11 +479,11 @@ let vmstat_cmd =
              fault/pagein/pageout/migration rates over simulated time, plus \
              any watchdog warnings (pagedaemon thrash, stalled drain)")
     Term.(
-      const (fun rr wr perm bad seed quick mout spout ->
+      const (fun rr wr perm bad seed quick cpus mout spout ->
           install_faults rr wr perm bad seed;
-          run_vmstat quick mout spout)
+          run_vmstat quick cpus mout spout)
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
-      $ fault_seed $ quick $ metrics_out $ spans_out)
+      $ fault_seed $ quick $ cpus $ metrics_out $ spans_out)
 
 (* -- resilience -------------------------------------------------------- *)
 
@@ -607,6 +617,58 @@ let lockstat_cmd =
       $ read_error_rate $ write_error_rate $ permanent $ bad_slots
       $ fault_seed $ cpus $ out $ folded_out)
 
+(* -- smp --------------------------------------------------------------- *)
+
+let run_smp cpus quick seed out =
+  if cpus < 1 then begin
+    Printf.eprintf "uvm_sim: --cpus must be >= 1 (got %d)\n" cpus;
+    exit 2
+  end;
+  let r = Experiments.Smp.run ~quick ~cpus ?seed () in
+  Experiments.Smp.print r;
+  (match out with
+  | Some file ->
+      let buf = Buffer.create 16384 in
+      Experiments.Smp.json buf r;
+      with_file file (fun oc -> Buffer.output_buffer oc buf);
+      Printf.printf "smp results written to %s\n" file
+  | None -> ());
+  List.exists
+    (fun (s : Experiments.Smp.system_result) ->
+      s.Experiments.Smp.ss_par.Experiments.Smp.kr_audit_failures <> [])
+    r.Experiments.Smp.sm_systems
+
+let smp_cmd =
+  let cpus =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N"
+           ~doc:"Virtual CPU count for the storm: the scheduler interleaves \
+                 the workers over $(docv) per-CPU virtual clocks and the \
+                 kernels boot with $(docv) per-CPU page caches.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller storm for CI smoke.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Override the storm seed (default 42).")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Also write the uvm-sim-smp/1 JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "smp"
+       ~doc:"Simulated SMP: run the same parallel fault storm through both \
+             VM systems on N virtual CPUs with sharded physmem, per-CPU \
+             page caches and the lockless lookup fast path, measuring (not \
+             projecting) per-CPU lock waits, cache-line bounces, fast-path \
+             hit rates and the 1-CPU-baseline speedup; mid-storm full \
+             audits gate the sharding invariants")
+    Term.(
+      const (fun cpus quick seed out ->
+          if run_smp cpus quick seed out then Stdlib.exit 1)
+      $ cpus $ quick $ seed $ out)
+
 (* -- commands --------------------------------------------------------- *)
 
 let run_all () =
@@ -628,4 +690,4 @@ let () =
        (Cmd.group info
           (all_cmd :: torture_cmd :: report_cmd :: serve_cmd
           :: resilience_cmd :: soak_cmd :: vmstat_cmd :: lockstat_cmd
-          :: List.map cmd_of experiments)))
+          :: smp_cmd :: List.map cmd_of experiments)))

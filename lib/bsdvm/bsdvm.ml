@@ -590,7 +590,13 @@ module Sys = struct
             if p.queue = Physmem.Page.Q_free then
               fail "object_page_free"
                 (Printf.sprintf "resident page %d is on the free list" p.id))
-          o.Vm_object.pages)
+          o.Vm_object.pages;
+        (* Diff-check the lockless fast path against this locked walk. *)
+        Check.check_lookup ~system:name ~okey:o.Vm_object.okey
+          ~resident:
+            (Hashtbl.fold
+               (fun pgno p acc -> (pgno, p) :: acc)
+               o.Vm_object.pages []))
       objs
 
   let audit_swap sys objs =
@@ -662,6 +668,7 @@ module Sys = struct
     let physmem = Bsd_sys.physmem sys.bsys in
     Check.check_ledger ~system:name physmem;
     Check.check_physmem ~system:name physmem;
+    Check.check_smp ~system:name physmem;
     (* No loanout on BSD VM: every frame's loan_count must be zero. *)
     Check.check_loans ~system:name physmem ~claims:[];
     Check.check_pv ~system:name (Bsd_sys.pmap_ctx sys.bsys) physmem;

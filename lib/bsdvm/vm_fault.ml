@@ -147,14 +147,37 @@ let fault map ~vpn ~access ~wire =
           (* Both pagein I/O errors and RAM exhaustion surface as typed
              failures, mirroring UVM's fault routine. *)
           try
+            (* Lockless fast path (DESIGN.md §16): a validated hit on
+               the heuristic page hash is exactly the depth-0 resident
+               case — the page lives in the top object, where write
+               access needs no copy-up — so the object lock and the
+               chain walk are skipped.  Wire faults keep the locked
+               path. *)
+            match
+              if wire then None
+              else Physmem.Lookup.find first_obj.Vm_object.okey ~pgno:off
+            with
+            | Some page ->
+                if write then page.Physmem.Page.dirty <- true;
+                Physmem.activate physmem page;
+                let transfer = wirings_to_move entry ~prev ~page ~wire in
+                unwire_displaced sys ~prev ~transfer;
+                enter_resolved map ~vpn ~page ~prot:entry.prot ~wire ~prev
+                  ~transfer;
+                Ok page
+            | None -> (
             locked @@ fun () ->
             match Vm_object.find_in_chain sys first_obj ~off ~depth:0 with
             | Error _ as e -> e
             | Ok (Some (owner, _, page, depth)) ->
                 if depth = 0 then begin
-                  (* Page already in the top object: ours to use. *)
+                  (* Page already in the top object: ours to use.
+                     Re-publish in case a direct-mapped collision
+                     evicted its lookup slot since insert. *)
                   if write then page.Physmem.Page.dirty <- true;
                   Physmem.activate physmem page;
+                  Physmem.Lookup.publish first_obj.Vm_object.okey ~pgno:off
+                    page;
                   let transfer = wirings_to_move entry ~prev ~page ~wire in
                   unwire_displaced sys ~prev ~transfer;
                   enter_resolved map ~vpn ~page ~prot:entry.prot ~wire ~prev
@@ -220,7 +243,7 @@ let fault map ~vpn ~access ~wire =
                 unwire_displaced sys ~prev ~transfer;
                 enter_resolved map ~vpn ~page:fresh ~prot:entry.prot ~wire
                   ~prev ~transfer;
-                Ok fresh
+                Ok fresh)
           with Physmem.Out_of_pages -> Error Vmtypes.Out_of_memory
         in
         match resolution with

@@ -27,6 +27,8 @@ type t = {
   mutable lru_node : t Sim.Dlist.node option;
   mutable dead : bool;
   sys_uid : int;
+  okey : Physmem.Lookup.okey;
+      (* lockless-lookup identity; insert/remove publish/revoke through it *)
 }
 
 type Physmem.Page.tag += Obj_page of t
@@ -59,6 +61,7 @@ let alloc_bare sys kind =
       lru_node = None;
       dead = false;
       sys_uid = sys.Bsd_sys.uid;
+      okey = Physmem.Lookup.okey (Bsd_sys.physmem sys);
     }
   in
   (match kind with
@@ -108,9 +111,12 @@ let insert_page obj ~pgno (page : Physmem.Page.t) =
   assert (not (Hashtbl.mem obj.pages pgno));
   page.owner <- Obj_page obj;
   page.owner_offset <- pgno;
-  Hashtbl.replace obj.pages pgno page
+  Hashtbl.replace obj.pages pgno page;
+  Physmem.Lookup.publish obj.okey ~pgno page
 
-let remove_page obj ~pgno = Hashtbl.remove obj.pages pgno
+let remove_page obj ~pgno =
+  Physmem.Lookup.revoke obj.okey ~pgno;
+  Hashtbl.remove obj.pages pgno
 let resident_count obj = Hashtbl.length obj.pages
 
 let dirty_pages obj =
@@ -128,7 +134,8 @@ let free_resources sys obj =
   let physmem = Bsd_sys.physmem sys in
   let ctx = Bsd_sys.pmap_ctx sys in
   Hashtbl.iter
-    (fun _ (page : Physmem.Page.t) ->
+    (fun pgno (page : Physmem.Page.t) ->
+      Physmem.Lookup.revoke obj.okey ~pgno;
       Pmap.page_remove_all ctx page;
       if page.wire_count > 0 then invalid_arg "Vm_object: freeing wired page";
       Physmem.free_page physmem page)

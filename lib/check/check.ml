@@ -9,6 +9,7 @@ type subsystem =
   | Loan
   | Ledger
   | Lock
+  | Smp
 
 let subsystem_name = function
   | Physmem -> "physmem"
@@ -21,6 +22,7 @@ let subsystem_name = function
   | Loan -> "loan"
   | Ledger -> "ledger"
   | Lock -> "lock"
+  | Smp -> "smp"
 
 type failure = {
   system : string;
@@ -295,6 +297,82 @@ let check_pv ~system ctx pm =
                    p.id))
         mappings)
     pm
+
+(* -- SMP sharding -------------------------------------------------------- *)
+
+let check_smp ~system pm =
+  let fail invariant detail = fail ~system ~subsys:Smp ~invariant detail in
+  (* Sharded free accounting: the colored queues plus every per-CPU
+     cache must add up to the global free count — a page neither on a
+     ring nor in a cache (or in two places) breaks the sum. *)
+  let cached =
+    List.fold_left
+      (fun acc (cw : Physmem.cache_view) -> acc + cw.Physmem.cw_held)
+      0 (Physmem.cache_views pm)
+  in
+  let qfree = Physmem.queue_free_count pm in
+  if qfree + cached <> Physmem.free_count pm then
+    fail "free_sum"
+      (Printf.sprintf "queues %d + caches %d <> free_count %d" qfree cached
+         (Physmem.free_count pm));
+  (* Color tags: a page on color ring c must have color c. *)
+  for c = 0 to Physmem.ncolors - 1 do
+    List.iter
+      (fun (p : Physmem.Page.t) ->
+        if p.Physmem.Page.color <> c then
+          fail "color_tag"
+            (Printf.sprintf "page %d (color %d) on color-%d free ring" p.id
+               p.Physmem.Page.color c);
+        if p.Physmem.Page.cached_cpu >= 0 then
+          fail "queued_cached"
+            (Printf.sprintf "page %d on a free ring yet tagged cached on CPU %d"
+               p.id p.Physmem.Page.cached_cpu))
+      (Physmem.free_pages_of_color pm c)
+  done;
+  (* Cached frames: free in every observable way, and exactly as many as
+     the caches account for. *)
+  let tagged = ref 0 in
+  Physmem.iter_pages
+    (fun (p : Physmem.Page.t) ->
+      if p.Physmem.Page.cached_cpu >= 0 then begin
+        incr tagged;
+        if p.Physmem.Page.cached_cpu >= Physmem.ncpus pm then
+          fail "cache_cpu"
+            (Printf.sprintf "page %d cached on CPU %d of %d" p.id
+               p.Physmem.Page.cached_cpu (Physmem.ncpus pm));
+        if p.Physmem.Page.queue <> Physmem.Page.Q_free then
+          fail "cached_state"
+            (Printf.sprintf "cached page %d tagged %s, not free" p.id
+               (queue_name p.Physmem.Page.queue));
+        if p.Physmem.Page.owner <> Physmem.Page.No_owner then
+          fail "cached_state"
+            (Printf.sprintf "cached page %d has an owner" p.id);
+        if p.Physmem.Page.node <> None then
+          fail "cached_state"
+            (Printf.sprintf "cached page %d still linked on a ring" p.id)
+      end)
+    pm;
+  if !tagged <> cached then
+    fail "cache_census"
+      (Printf.sprintf "%d frames tagged cached but caches hold %d" !tagged
+         cached)
+
+let check_lookup ~system ~okey ~resident =
+  (* The lockless fast path must agree with the locked structures: for
+     every resident (pgno, page) of an object, an unlocked peek either
+     misses (stale slots only miss) or returns that very frame. *)
+  List.iter
+    (fun (pgno, (page : Physmem.Page.t)) ->
+      match Physmem.Lookup.peek okey ~pgno with
+      | None -> ()
+      | Some hit when hit == page -> ()
+      | Some hit ->
+          fail ~system ~subsys:Smp ~invariant:"lookup_divergence"
+            (Printf.sprintf
+               "lockless lookup returns frame %d at pgno %d where the locked \
+                path has frame %d"
+               hit.Physmem.Page.id pgno page.Physmem.Page.id))
+    resident
 
 (* -- lock-order auditing ------------------------------------------------- *)
 

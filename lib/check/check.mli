@@ -24,6 +24,7 @@ type subsystem =
   | Loan  (** page loanout accounting *)
   | Ledger  (** per-page lifecycle provenance (DESIGN.md §10) *)
   | Lock  (** lock-order graph (DESIGN.md §15) *)
+  | Smp  (** sharded queues, per-CPU caches, lockless lookup (§16) *)
 
 val subsystem_name : subsystem -> string
 
@@ -87,6 +88,24 @@ val check_pv : system:string -> Pmap.ctx -> Physmem.t -> unit
 (** pv-list symmetry: every (pmap, vpn) entry on a page's pv list must be a
     live translation of that very page, and no free page may have
     translations. *)
+
+val check_smp : system:string -> Physmem.t -> unit
+(** Sharding audit (DESIGN.md §16): colored free queues plus per-CPU
+    cache holdings sum to the global free count, every page on a color
+    ring carries that color and no cached tag, and every cached frame is
+    free in all observable ways (free-tagged, unowned, unlinked, on a
+    valid CPU) with the census matching the caches' own counts.  Valid
+    on a 1-CPU machine too, where the caches are empty. *)
+
+val check_lookup :
+  system:string ->
+  okey:Physmem.Lookup.okey ->
+  resident:(int * Physmem.Page.t) list ->
+  unit
+(** Lockless-lookup diff check: for each resident (pgno, page) of the
+    object behind [okey], an unlocked {!Physmem.Lookup.peek} must either
+    miss or return that very frame — a different frame means the seqlock
+    validation is broken. *)
 
 val check_lock_order : system:string -> Sim.Lockstat.t -> unit
 (** Lockdep analogue: fails on any cycle in the machine's observed

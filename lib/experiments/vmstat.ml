@@ -17,13 +17,26 @@ type cfg = {
   swap_pages : int;
   working_pages : int;  (** anonymous working set; > RAM forces paging *)
   sweeps : int;  (** sequential passes over the working set *)
+  ncpus : int;  (** per-CPU page caches; sweep chunks rotate over them *)
 }
 
 let full_cfg =
-  { ram_pages = 256; swap_pages = 2048; working_pages = 512; sweeps = 4 }
+  {
+    ram_pages = 256;
+    swap_pages = 2048;
+    working_pages = 512;
+    sweeps = 4;
+    ncpus = 1;
+  }
 
 let quick_cfg =
-  { ram_pages = 192; swap_pages = 1024; working_pages = 320; sweeps = 2 }
+  {
+    ram_pages = 192;
+    swap_pages = 1024;
+    working_pages = 320;
+    sweeps = 2;
+    ncpus = 1;
+  }
 
 module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
   let run cfg =
@@ -32,6 +45,7 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
         Machine.default_config with
         Machine.ram_pages = cfg.ram_pages;
         swap_pages = cfg.swap_pages;
+        ncpus = cfg.ncpus;
       }
     in
     let sys = V.boot ~config () in
@@ -40,9 +54,23 @@ module Run (V : Vmiface.Vm_sig.VM_SYS) = struct
       V.mmap sys vm ~npages:cfg.working_pages ~prot:Pmap.Prot.rw
         ~share:Vmtypes.Private Vmtypes.Zero
     in
+    (* Each sweep walks the working set in [ncpus] chunks, rotating the
+       allocating CPU so every per-CPU cache sees traffic and the
+       cpuN:* sampler columns (and the cache_starved watchdog behind
+       them) have something to show. *)
+    let physmem = (V.machine sys).Machine.physmem in
+    let chunk = (cfg.working_pages + cfg.ncpus - 1) / cfg.ncpus in
     for _ = 1 to cfg.sweeps do
-      V.access_range sys vm ~vpn ~npages:cfg.working_pages Vmtypes.Write
+      for c = 0 to cfg.ncpus - 1 do
+        let base = c * chunk in
+        let n = min chunk (cfg.working_pages - base) in
+        if n > 0 then begin
+          Physmem.set_current_cpu physmem c;
+          V.access_range sys vm ~vpn:(vpn + base) ~npages:n Vmtypes.Write
+        end
+      done
     done;
+    Physmem.set_current_cpu physmem 0;
     (* One last capture so the table's final row is the end state. *)
     let m = V.machine sys in
     Sim.Timeseries.sample_now m.Machine.series ~ts:(Machine.now m);
@@ -52,8 +80,8 @@ end
 module Uvm_run = Run (Uvm.Sys)
 module Bsd_run = Run (Bsdvm.Sys)
 
-let run ?(quick = false) () =
-  let cfg = if quick then quick_cfg else full_cfg in
+let run ?(quick = false) ?(cpus = 1) () =
+  let cfg = { (if quick then quick_cfg else full_cfg) with ncpus = cpus } in
   Uvm_run.run cfg;
   Bsd_run.run cfg
 
@@ -105,10 +133,38 @@ let print_source (src : Sim.Trace_export.source) =
     let lk_held =
       List.map (fun c -> (c, idx ("lockheld:" ^ c))) Sim.Lockstat.known_classes
     in
+    (* Per-CPU cache columns exist only on a machine booted with more
+       than one CPU: runnable tasks (a level), steal rate, and the
+       cache hit ratio as a percentage. *)
+    let cpu_cols =
+      let rec go k acc =
+        match Sim.Timeseries.col_index series (Printf.sprintf "cpu%d:runnable" k)
+        with
+        | Some run ->
+            let want name =
+              match
+                Sim.Timeseries.col_index series (Printf.sprintf "cpu%d:%s" k name)
+              with
+              | Some i -> i
+              | None -> invalid_arg ("vmstat: missing column cpu" ^ name)
+            in
+            go (k + 1)
+              ((k, run, want "steals", want "hit_rate") :: acc)
+        | None -> List.rev acc
+      in
+      go 0 []
+    in
     Printf.printf "%10s" "time_ms";
     List.iter (fun (_, h) -> Printf.printf " %8s" h) gauges;
     List.iter (fun (_, h) -> Printf.printf " %8s" h) rates;
     Printf.printf " %8s %-9s" "lkmax" "lkhot";
+    List.iter
+      (fun (k, _, _, _) ->
+        Printf.printf " %6s %7s %7s"
+          (Printf.sprintf "c%d:run" k)
+          (Printf.sprintf "c%d:st/s" k)
+          (Printf.sprintf "c%d:hit" k))
+      cpu_cols;
     print_newline ();
     (* Decimate to at most [max_rows] evenly spaced rows, always ending
        on the newest sample; rates span the gap between displayed rows. *)
@@ -141,6 +197,13 @@ let print_source (src : Sim.Trace_export.source) =
       Printf.printf " %8.0f %-9s"
         s.Sim.Timeseries.s_values.(lk_max)
         (match hot with Some (cls, _) -> cls | None -> "-");
+      List.iter
+        (fun (_, run, steals, hit) ->
+          Printf.printf " %6.0f %7.0f %6.0f%%"
+            s.Sim.Timeseries.s_values.(run)
+            (Sim.Timeseries.rate ~col:steals !prev s)
+            (100.0 *. s.Sim.Timeseries.s_values.(hit)))
+        cpu_cols;
       print_newline ();
       prev := s
     in

@@ -14,6 +14,7 @@ type lstate =
 
 type t = {
   id : int;
+  color : int;
   data : bytes;
   mutable dirty : bool;
   mutable busy : bool;
@@ -23,6 +24,8 @@ type t = {
   mutable owner_offset : int;
   mutable queue : queue;
   mutable node : t Sim.Dlist.node option;
+  mutable q_seq : int;  (* global enqueue stamp: FIFO order across colors *)
+  mutable cached_cpu : int;  (* per-CPU free cache holding this page, -1 none *)
   mutable referenced : bool;
   (* Provenance ledger (DESIGN.md §10).  Mutated only through Physmem's
      transition function so that every move is checked for legality. *)

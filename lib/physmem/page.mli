@@ -39,6 +39,7 @@ type lstate =
 
 type t = {
   id : int;  (** physical frame number *)
+  color : int;  (** [id mod ncolors] — its colored-queue index, fixed at boot *)
   data : bytes;  (** page contents, [page_size] bytes *)
   mutable dirty : bool;  (** modified since last cleaned *)
   mutable busy : bool;  (** I/O in progress (asserted by pagers) *)
@@ -48,6 +49,8 @@ type t = {
   mutable owner_offset : int;  (** page index within the owner object *)
   mutable queue : queue;
   mutable node : t Sim.Dlist.node option;  (** paging-queue linkage *)
+  mutable q_seq : int;  (** global enqueue stamp: FIFO order across colors *)
+  mutable cached_cpu : int;  (** CPU whose free cache holds this page, -1 none *)
   mutable referenced : bool;  (** software-emulated reference bit *)
   mutable lstate : lstate;  (** ledger state; audited against [queue] *)
   mutable l_birth : float;  (** sim time of the current allocation *)

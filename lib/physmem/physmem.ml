@@ -13,18 +13,62 @@ let string_of_violation v =
   Printf.sprintf "page#%d %s->%s on %s" v.v_page
     (Page.lstate_name v.v_from) (Page.lstate_name v.v_to) v.v_op
 
+(* DragonFly shards its page queues by page color (pfn mod NCOLORS) so
+   CPUs working disjoint colors never touch the same free-list cache
+   line.  16 colors keeps the per-queue rings long enough to stay
+   FIFO-meaningful on small simulated machines. *)
+let ncolors = 16
+
+(* A per-CPU free-page cache: small per-color stacks refilled in batches
+   from the global colored queues and drained back under pressure.  A
+   CPU prefers the colors congruent to its index (CPU-localized color
+   selection); serving from outside that partition is a "steal". *)
+type cpu_cache = {
+  cc_cpu : int;
+  cc_pages : Page.t list array;  (** per-color LIFO stacks *)
+  mutable cc_count : int;
+  mutable cc_pref : int;  (** rotating cursor into the preferred colors *)
+  mutable cc_hits : int;
+  mutable cc_misses : int;
+  mutable cc_refills : int;
+  mutable cc_drains : int;
+  mutable cc_steals : int;
+}
+
+(* One slot of the lockless page-lookup table (DragonFly's heuristic
+   page hash): a direct-mapped cache of (object, offset) -> page with a
+   generation counter modelling the seqlock protocol a real SMP kernel
+   would need.  Entries self-invalidate: the owner tag captured at
+   publish time is compared by physical identity, and every insert
+   allocates a fresh tag block, so a freed/moved/collapsed page never
+   validates against a stale slot. *)
+type lentry = {
+  mutable e_oid : int;  (** owning object's lookup serial, -1 empty *)
+  mutable e_pgno : int;
+  mutable e_page : Page.t option;
+  mutable e_owner : Page.tag;  (** owner tag captured at publish *)
+  mutable e_gen : int;  (** even = stable, odd = publisher mid-update *)
+}
+
+let lookup_slots = 4096
+
 type t = {
   page_size : int;
   total_pages : int;
+  ncpus : int;
   clock : Sim.Simclock.t;
   costs : Sim.Cost_model.t;
   stats : Sim.Stats.t;
   lifecycle : Sim.Lifecycle.t;
-  free : Page.t Sim.Dlist.t;
-  active : Page.t Sim.Dlist.t;
-  inactive : Page.t Sim.Dlist.t;
+  free : Page.t Sim.Dlist.t array;  (** colored free queues *)
+  active : Page.t Sim.Dlist.t array;
+  inactive : Page.t Sim.Dlist.t array;
+  caches : cpu_cache array;
+  mutable cur_cpu : int;  (** CPU the scheduler is currently running *)
+  mutable seq : int;  (** global enqueue stamp: FIFO across colors *)
   pages : Page.t array;  (** every frame, indexed by frame number *)
-  mutable free_count : int;
+  mutable free_count : int;  (** free frames: colored queues + CPU caches *)
+  mutable qfree : int;  (** free frames on the colored queues only *)
   freemin : int;
   freetarg : int;
   reserve : int;  (** frames only privileged (daemon/drain) allocs may take *)
@@ -35,9 +79,12 @@ type t = {
           true if it freed anything worth retrying the allocation for *)
   mutable violations : violation list;  (** first few illegal transitions *)
   mutable last_fill : float;  (** time of the last fault-in, -1 if none *)
-  mutable lockq : (Sim.Lockstat.t * Sim.Lockstat.lock) option;
-      (** the page-queue lock, registered when the machine wires its lock
-          observatory in *)
+  mutable lockq : (Sim.Lockstat.t * Sim.Lockstat.lock array) option;
+      (** the page-queue locks — one instance per color ring, so queue
+          surgery on different colors never contends — registered when
+          the machine wires its lock observatory in *)
+  lookup : lentry array;
+  mutable oid_serial : int;
 }
 
 (* ---- Provenance ledger: the legal-transition state machine ---------- *)
@@ -94,12 +141,15 @@ let fa_resolve ~stats ~lifecycle (page : Page.t) ~used =
     end
   end
 
-let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
+let create ?(page_size = 4096) ?lifecycle ?(ncpus = 1) ~npages ~clock ~costs
+    ~stats () =
   if npages < 16 then invalid_arg "Physmem.create: need at least 16 pages";
+  if ncpus < 1 then invalid_arg "Physmem.create: need at least one CPU";
   let pages =
     Array.init npages (fun i ->
         {
           Page.id = i;
+          color = i mod ncolors;
           data = Bytes.create page_size;
           dirty = false;
           busy = false;
@@ -109,6 +159,8 @@ let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
           owner_offset = 0;
           queue = Page.Q_free;
           node = None;
+          q_seq = 0;
+          cached_cpu = -1;
           referenced = false;
           lstate = Page.L_free;
           l_birth = 0.0;
@@ -127,15 +179,32 @@ let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
     {
       page_size;
       total_pages = npages;
+      ncpus;
       clock;
       costs;
       stats;
       lifecycle;
-      free = Sim.Dlist.create ();
-      active = Sim.Dlist.create ();
-      inactive = Sim.Dlist.create ();
+      free = Array.init ncolors (fun _ -> Sim.Dlist.create ());
+      active = Array.init ncolors (fun _ -> Sim.Dlist.create ());
+      inactive = Array.init ncolors (fun _ -> Sim.Dlist.create ());
+      caches =
+        Array.init ncpus (fun cpu ->
+            {
+              cc_cpu = cpu;
+              cc_pages = Array.make ncolors [];
+              cc_count = 0;
+              cc_pref = 0;
+              cc_hits = 0;
+              cc_misses = 0;
+              cc_refills = 0;
+              cc_drains = 0;
+              cc_steals = 0;
+            });
+      cur_cpu = 0;
+      seq = 0;
       pages;
       free_count = 0;
+      qfree = 0;
       freemin = max 8 (npages / 32);
       freetarg = max 16 (npages / 16);
       reserve = max 4 (npages / 64);
@@ -145,77 +214,269 @@ let create ?(page_size = 4096) ?lifecycle ~npages ~clock ~costs ~stats () =
       violations = [];
       last_fill = -1.0;
       lockq = None;
+      lookup =
+        Array.init lookup_slots (fun _ ->
+            {
+              e_oid = -1;
+              e_pgno = -1;
+              e_page = None;
+              e_owner = Page.No_owner;
+              e_gen = 0;
+            });
+      oid_serial = 0;
     }
   in
+  (* Stamp the boot free list in frame order so a 1-CPU machine allocates
+     frames 0, 1, 2... exactly as the unsharded allocator did. *)
   Array.iter
     (fun page ->
-      page.Page.node <- Some (Sim.Dlist.push_tail t.free page);
-      t.free_count <- t.free_count + 1)
+      t.seq <- t.seq + 1;
+      page.Page.q_seq <- t.seq;
+      page.Page.node <-
+        Some (Sim.Dlist.push_tail t.free.(page.Page.color) page);
+      t.free_count <- t.free_count + 1;
+      t.qfree <- t.qfree + 1)
     t.pages;
   t
 
 let page_size t = t.page_size
 let total_pages t = t.total_pages
+let ncpus t = t.ncpus
 let free_count t = t.free_count
-let active_count t = Sim.Dlist.length t.active
-let inactive_count t = Sim.Dlist.length t.inactive
+let queue_free_count t = t.qfree
+
+let sum_rings arr =
+  Array.fold_left (fun n dl -> n + Sim.Dlist.length dl) 0 arr
+
+let active_count t = sum_rings t.active
+let inactive_count t = sum_rings t.inactive
 let freemin t = t.freemin
 let freetarg t = t.freetarg
 let reserve t = t.reserve
 let set_pagedaemon t f = t.pagedaemon <- Some f
 let set_oom_hook t f = t.oom_hook <- f
 
+let set_current_cpu t cpu =
+  if cpu < 0 || cpu >= t.ncpus then
+    invalid_arg "Physmem.set_current_cpu: no such CPU";
+  t.cur_cpu <- cpu
+
+let current_cpu t = t.cur_cpu
+
+(* The per-CPU cache's fill target: enough pages that refills are
+   batched, few enough that caches cannot strand a meaningful fraction
+   of a small machine's RAM. *)
+let cache_target t =
+  if t.ncpus <= 1 then 0
+  else min 16 (max 4 (t.total_pages / (32 * t.ncpus)))
+
 let set_lockstat t reg =
   t.lockq <-
     Option.map
-      (fun ls -> (ls, Sim.Lockstat.register ls ~cls:"pagequeue" "pagequeues"))
+      (fun ls ->
+        ( ls,
+          Array.init ncolors (fun c ->
+              Sim.Lockstat.register ls ~cls:"pagequeue"
+                (Printf.sprintf "pagequeue.c%02d" c)) ))
       reg
 let page_shortage t = t.free_count < t.freemin
 
-let queue_of t = function
-  | Page.Q_free -> Some t.free
-  | Page.Q_active -> Some t.active
-  | Page.Q_inactive -> Some t.inactive
+let ring_of t kind color =
+  match kind with
+  | Page.Q_free -> Some t.free.(color)
+  | Page.Q_active -> Some t.active.(color)
+  | Page.Q_inactive -> Some t.inactive.(color)
   | Page.Q_none -> None
 
 (* The queue-surgery leaves are the critical sections a real SMP kernel
    would guard with the page-queue lock, so they are what the observatory
-   times: straight-line, exception-free, write-mode holds.  [enqueue]
-   calls [unlink] — the registry counts that as a recursive acquire of
-   the same instance, one recorded hold. *)
-let queue_lock t =
+   times: straight-line, exception-free, write-mode holds — of the
+   page's color ring's own lock instance, so surgery on different colors
+   never contends.  [enqueue] calls [unlink] on a page of the same color
+   — the registry counts that as a recursive acquire of the same
+   instance, one recorded hold. *)
+let queue_lock t ~color =
   match t.lockq with
-  | Some (ls, lk) -> Sim.Lockstat.acquire ls lk ~mode:Sim.Lockstat.Write
+  | Some (ls, lk) ->
+      Sim.Lockstat.acquire ls lk.(color) ~mode:Sim.Lockstat.Write
   | None -> ()
 
-let queue_unlock t =
+let queue_unlock t ~color =
   match t.lockq with
-  | Some (ls, lk) -> Sim.Lockstat.release ls lk
+  | Some (ls, lk) -> Sim.Lockstat.release ls lk.(color)
   | None -> ()
 
-(* Unlink [page] from whatever queue it is on. *)
+(* Unlink [page] from whatever queue it is on.  Pages held by a per-CPU
+   cache are never unlinked: they are off every ring ([node = None]) and
+   only leave the cache through the allocator or a drain. *)
 let unlink t (page : Page.t) =
-  queue_lock t;
-  (match (queue_of t page.queue, page.node) with
+  queue_lock t ~color:page.Page.color;
+  (match (ring_of t page.queue page.Page.color, page.node) with
   | Some q, Some node ->
       Sim.Dlist.remove q node;
-      if page.queue = Page.Q_free then t.free_count <- t.free_count - 1;
+      if page.queue = Page.Q_free then begin
+        t.free_count <- t.free_count - 1;
+        t.qfree <- t.qfree - 1
+      end;
       page.node <- None;
       page.queue <- Page.Q_none
   | None, _ -> ()
   | Some _, None -> assert false);
-  queue_unlock t
+  queue_unlock t ~color:page.Page.color
 
 let enqueue t (page : Page.t) kind =
-  queue_lock t;
+  queue_lock t ~color:page.Page.color;
   unlink t page;
-  (match queue_of t kind with
+  (match ring_of t kind page.Page.color with
   | None -> ()
   | Some q ->
+      t.seq <- t.seq + 1;
+      page.Page.q_seq <- t.seq;
       page.Page.node <- Some (Sim.Dlist.push_tail q page);
       page.Page.queue <- kind;
-      if kind = Page.Q_free then t.free_count <- t.free_count + 1);
-  queue_unlock t
+      if kind = Page.Q_free then begin
+        t.free_count <- t.free_count + 1;
+        t.qfree <- t.qfree + 1
+      end);
+  queue_unlock t ~color:page.Page.color
+
+(* ---- Per-CPU free caches -------------------------------------------- *)
+
+(* Colors in the order this CPU's cache serves and refills them: its
+   preferred partition first (rotating so the partition wears evenly),
+   then everyone else's. *)
+let color_order t cache =
+  let np = min t.ncpus ncolors in
+  let base = cache.cc_cpu mod np in
+  let npref = ncolors / np in
+  let pref =
+    List.init npref (fun i -> base + (np * ((cache.cc_pref + i) mod npref)))
+  in
+  let rest =
+    List.filter (fun c -> c mod np <> base) (List.init ncolors Fun.id)
+  in
+  pref @ rest
+
+let cache_pop t cache =
+  if cache.cc_count = 0 then None
+  else begin
+    let rec go = function
+      | [] -> None
+      | c :: rest -> (
+          match cache.cc_pages.(c) with
+          | [] -> go rest
+          | page :: tl ->
+              cache.cc_pages.(c) <- tl;
+              cache.cc_count <- cache.cc_count - 1;
+              t.free_count <- t.free_count - 1;
+              page.Page.cached_cpu <- -1;
+              page.Page.queue <- Page.Q_none;
+              Some page)
+    in
+    go (color_order t cache)
+  end
+
+(* Pull a batch of pages from the colored queues into [cache], preferred
+   colors first, never digging into the reserve (those frames stay on
+   the global queues where privileged allocations can reach them).  One
+   batched refill is one page-queue lock hold per color ring it drew
+   from — the whole point of the per-CPU cache, and preferred colors
+   make even that hold one no other CPU usually wants. *)
+let refill_cache t cache =
+  let target = cache_target t in
+  let np = min t.ncpus ncolors in
+  let base = cache.cc_cpu mod np in
+  let moved = ref 0 in
+  if target > cache.cc_count && t.qfree > t.reserve then begin
+    List.iter
+      (fun c ->
+        if
+          cache.cc_count < target && t.qfree > t.reserve
+          && not (Sim.Dlist.is_empty t.free.(c))
+        then begin
+          queue_lock t ~color:c;
+          let continue = ref true in
+          while
+            !continue && cache.cc_count < target && t.qfree > t.reserve
+          do
+            match Sim.Dlist.pop_head t.free.(c) with
+            | Some page ->
+                page.Page.node <- None;
+                page.Page.cached_cpu <- cache.cc_cpu;
+                cache.cc_pages.(c) <- page :: cache.cc_pages.(c);
+                cache.cc_count <- cache.cc_count + 1;
+                t.qfree <- t.qfree - 1;
+                incr moved;
+                if c mod np <> base then begin
+                  cache.cc_steals <- cache.cc_steals + 1;
+                  t.stats.Sim.Stats.cache_steals <-
+                    t.stats.Sim.Stats.cache_steals + 1
+                end
+            | None -> continue := false
+          done;
+          queue_unlock t ~color:c
+        end)
+      (color_order t cache);
+    cache.cc_pref <- (cache.cc_pref + 1) mod max 1 (ncolors / np)
+  end;
+  if !moved > 0 then begin
+    cache.cc_refills <- cache.cc_refills + 1;
+    t.stats.Sim.Stats.cache_refills <- t.stats.Sim.Stats.cache_refills + 1
+  end;
+  !moved > 0
+
+(* Return every cached page to its color's free queue — under memory
+   pressure the global queues (and the pagedaemon scanning them) must
+   see all free frames. *)
+let drain_caches t =
+  Array.iter
+    (fun cache ->
+      if cache.cc_count > 0 then begin
+        for c = 0 to ncolors - 1 do
+          if cache.cc_pages.(c) <> [] then begin
+            queue_lock t ~color:c;
+            List.iter
+              (fun (page : Page.t) ->
+                page.Page.cached_cpu <- -1;
+                t.seq <- t.seq + 1;
+                page.Page.q_seq <- t.seq;
+                page.Page.node <- Some (Sim.Dlist.push_tail t.free.(c) page);
+                t.qfree <- t.qfree + 1)
+              (List.rev cache.cc_pages.(c));
+            cache.cc_pages.(c) <- [];
+            queue_unlock t ~color:c
+          end
+        done;
+        cache.cc_count <- 0;
+        cache.cc_drains <- cache.cc_drains + 1;
+        t.stats.Sim.Stats.cache_drains <- t.stats.Sim.Stats.cache_drains + 1
+      end)
+    t.caches
+
+type cache_view = {
+  cw_cpu : int;
+  cw_held : int;
+  cw_hits : int;
+  cw_misses : int;
+  cw_refills : int;
+  cw_drains : int;
+  cw_steals : int;
+}
+
+let cache_views t =
+  Array.to_list
+    (Array.map
+       (fun c ->
+         {
+           cw_cpu = c.cc_cpu;
+           cw_held = c.cc_count;
+           cw_hits = c.cc_hits;
+           cw_misses = c.cc_misses;
+           cw_refills = c.cc_refills;
+           cw_drains = c.cc_drains;
+           cw_steals = c.cc_steals;
+         })
+       t.caches)
 
 let run_pagedaemon t =
   match t.pagedaemon with
@@ -224,25 +485,87 @@ let run_pagedaemon t =
       Fun.protect ~finally:(fun () -> t.daemon_running <- false) daemon
   | Some _ | None -> ()
 
-let alloc t ?(zero = false) ?(privileged = false) ~owner ~offset () =
-  if t.free_count <= t.freemin then run_pagedaemon t;
-  (* The bottom [reserve] frames of the free list belong to the paths that
-     make more memory: pagedaemon staging, drain migration, swap pagein.
-     Ordinary allocations stop above the reserve so those paths can always
-     make forward progress at (nominally) zero free pages. *)
-  let grab () =
-    if (not privileged) && t.free_count <= t.reserve then None
-    else
-      match Sim.Dlist.pop_head t.free with
+(* Pop the globally-oldest free frame: the head with the smallest
+   enqueue stamp across the color rings.  On one CPU this is exactly the
+   unsharded allocator's FIFO. *)
+let pop_queue_min t =
+  let best = ref (-1) in
+  let best_seq = ref max_int in
+  for c = 0 to ncolors - 1 do
+    match Sim.Dlist.peek_head t.free.(c) with
+    | Some p when p.Page.q_seq < !best_seq ->
+        best := c;
+        best_seq := p.Page.q_seq
+    | _ -> ()
+  done;
+  if !best < 0 then None
+  else begin
+    queue_lock t ~color:!best;
+    let got =
+      match Sim.Dlist.pop_head t.free.(!best) with
       | Some page ->
-          if privileged && t.free_count <= t.reserve then
-            t.stats.Sim.Stats.reserve_grabs <-
-              t.stats.Sim.Stats.reserve_grabs + 1;
           t.free_count <- t.free_count - 1;
+          t.qfree <- t.qfree - 1;
           page.Page.node <- None;
           page.Page.queue <- Page.Q_none;
           Some page
       | None -> None
+    in
+    queue_unlock t ~color:!best;
+    got
+  end
+
+let alloc t ?(zero = false) ?(privileged = false) ~owner ~offset () =
+  if t.free_count <= t.freemin then begin
+    (* Pressure: the pagedaemon (and the reserve logic below) must see
+       every free frame, so the per-CPU caches drain first. *)
+    if t.free_count > t.qfree then drain_caches t;
+    run_pagedaemon t
+  end;
+  (* The bottom [reserve] frames of the free queues belong to the paths
+     that make more memory: pagedaemon staging, drain migration, swap
+     pagein.  Ordinary allocations stop above the reserve so those paths
+     can always make forward progress at (nominally) zero free pages;
+     cache refills stop there too, so the reserve is always on the
+     global queues where privileged allocations can reach it. *)
+  let grab () =
+    if privileged then begin
+      match pop_queue_min t with
+      | Some page ->
+          if t.free_count < t.reserve then
+            t.stats.Sim.Stats.reserve_grabs <-
+              t.stats.Sim.Stats.reserve_grabs + 1;
+          Some page
+      | None ->
+          if t.free_count > 0 then begin
+            (* Queues empty but caches hold frames: reclaim them. *)
+            drain_caches t;
+            pop_queue_min t
+          end
+          else None
+    end
+    else if t.free_count <= t.reserve then None
+    else if t.ncpus > 1 then begin
+      let cache = t.caches.(t.cur_cpu) in
+      match cache_pop t cache with
+      | Some page ->
+          cache.cc_hits <- cache.cc_hits + 1;
+          t.stats.Sim.Stats.cache_alloc_hits <-
+            t.stats.Sim.Stats.cache_alloc_hits + 1;
+          Some page
+      | None ->
+          cache.cc_misses <- cache.cc_misses + 1;
+          t.stats.Sim.Stats.cache_alloc_misses <-
+            t.stats.Sim.Stats.cache_alloc_misses + 1;
+          if refill_cache t cache then begin
+            match cache_pop t cache with
+            | Some page -> Some page
+            | None -> pop_queue_min t
+          end
+          else if t.qfree > t.reserve then pop_queue_min t
+          else None
+    end
+    else pop_queue_min t
   in
   let page =
     match grab () with
@@ -359,9 +682,39 @@ let deactivate t (page : Page.t) =
 let dequeue t page =
   lstep t page ~op:"dequeue" Page.L_detached;
   unlink t page
-let inactive_pages t = Sim.Dlist.to_list t.inactive
-let active_pages t = Sim.Dlist.to_list t.active
-let free_pages t = Sim.Dlist.to_list t.free
+
+(* Snapshots merge the color rings back into one list ordered by enqueue
+   stamp, so queue scans (pagedaemon LRU, audits) see exactly the order
+   a single global ring would have produced. *)
+let merge_rings arr =
+  Array.fold_left
+    (fun acc dl -> List.rev_append (Sim.Dlist.to_list dl) acc)
+    [] arr
+  |> List.sort (fun (a : Page.t) (b : Page.t) ->
+         compare a.Page.q_seq b.Page.q_seq)
+
+let inactive_pages t = merge_rings t.inactive
+let active_pages t = merge_rings t.active
+
+(* Cached pages are free pages: the snapshot appends them after the
+   queued ones so [free_count = |free_pages|] and the ledger/queue
+   audits hold without special-casing the caches. *)
+let free_pages t =
+  let cached =
+    Array.fold_left
+      (fun acc cache ->
+        Array.fold_left
+          (fun acc pages -> List.rev_append pages acc)
+          acc cache.cc_pages)
+      [] t.caches
+  in
+  merge_rings t.free @ cached
+
+let free_pages_of_color t color =
+  if color < 0 || color >= ncolors then
+    invalid_arg "Physmem.free_pages_of_color: no such color";
+  Sim.Dlist.to_list t.free.(color)
+
 let iter_pages f t = Array.iter f t.pages
 
 let wire t (page : Page.t) =
@@ -401,6 +754,84 @@ let release_loan t (page : Page.t) =
     lstep t page ~op:"loan_free" Page.L_free;
     enqueue t page Page.Q_free
   end
+
+(* ---- Lockless page lookup ------------------------------------------- *)
+
+module Lookup = struct
+  type pm = t
+
+  type okey = { k_pm : pm; k_oid : int }
+
+  let okey t =
+    t.oid_serial <- t.oid_serial + 1;
+    { k_pm = t; k_oid = t.oid_serial }
+
+  let slot t ~oid ~pgno =
+    let h = (oid * 0x9E3779B1) lxor (pgno * 0x85EBCA77) in
+    (h lxor (h lsr 13)) land (Array.length t.lookup - 1)
+
+  let publish k ~pgno (page : Page.t) =
+    let t = k.k_pm in
+    let e = t.lookup.(slot t ~oid:k.k_oid ~pgno) in
+    e.e_gen <- e.e_gen + 1;
+    e.e_oid <- k.k_oid;
+    e.e_pgno <- pgno;
+    e.e_page <- Some page;
+    e.e_owner <- page.Page.owner;
+    e.e_gen <- e.e_gen + 1
+
+  let revoke k ~pgno =
+    let t = k.k_pm in
+    let e = t.lookup.(slot t ~oid:k.k_oid ~pgno) in
+    if e.e_oid = k.k_oid && e.e_pgno = pgno then begin
+      e.e_gen <- e.e_gen + 1;
+      e.e_oid <- -1;
+      e.e_pgno <- -1;
+      e.e_page <- None;
+      e.e_owner <- Page.No_owner;
+      e.e_gen <- e.e_gen + 1
+    end
+
+  (* The unlocked read: snapshot the generation, read the slot, check the
+     generation again.  A torn read (odd or changed generation) or any
+     identity mismatch falls back to the locked path.  Owner identity is
+     physical: every insert tags the page with a freshly-allocated owner
+     block, so a slot published for a page that has since been freed,
+     moved or collapsed into another object can never validate. *)
+  let probe k ~pgno =
+    let t = k.k_pm in
+    let e = t.lookup.(slot t ~oid:k.k_oid ~pgno) in
+    let g1 = e.e_gen in
+    let hit =
+      if e.e_oid = k.k_oid && e.e_pgno = pgno then
+        match e.e_page with
+        | Some page
+          when page.Page.owner == e.e_owner
+               && page.Page.owner_offset = pgno
+               && (not page.Page.busy)
+               && page.Page.queue <> Page.Q_free
+               && page.Page.cached_cpu < 0 ->
+            Some page
+        | _ -> None
+      else None
+    in
+    if g1 = e.e_gen && g1 land 1 = 0 then hit else None
+
+  let find k ~pgno =
+    let t = k.k_pm in
+    Sim.Simclock.advance t.clock t.costs.Sim.Cost_model.hash_lookup;
+    match probe k ~pgno with
+    | Some page ->
+        t.stats.Sim.Stats.lookup_fast_hits <-
+          t.stats.Sim.Stats.lookup_fast_hits + 1;
+        Some page
+    | None ->
+        t.stats.Sim.Stats.lookup_locked <-
+          t.stats.Sim.Stats.lookup_locked + 1;
+        None
+
+  let peek k ~pgno = probe k ~pgno
+end
 
 (* ---- Ledger notes from the VM layers -------------------------------- *)
 
@@ -463,7 +894,9 @@ module Testhook = struct
      for tests; never called by the VM layers. *)
   let double_insert t (page : Page.t) =
     let second =
-      match page.Page.queue with Page.Q_inactive -> t.active | _ -> t.inactive
+      match page.Page.queue with
+      | Page.Q_inactive -> t.active.(page.Page.color)
+      | _ -> t.inactive.(page.Page.color)
     in
     ignore (Sim.Dlist.push_tail second page)
 end

@@ -4,7 +4,15 @@
     the classic BSD free / active / inactive queues.  When the free list
     drops below [freemin] the registered pagedaemon callback is invoked —
     each VM system (UVM, BSD VM) installs its own pageout strategy, which is
-    exactly the axis Figure 5 of the paper measures. *)
+    exactly the axis Figure 5 of the paper measures.
+
+    Under simulated SMP (DESIGN.md §16) the queues are sharded
+    DragonFly-style: each queue is {!ncolors} rings indexed by page color
+    ([frame mod ncolors]), every enqueue carries a global stamp so merged
+    snapshots preserve the single-ring FIFO/LRU order, and machines booted
+    with [ncpus > 1] get per-CPU free-page caches refilled in batches from
+    (and drained back to) the colored queues.  A lockless (generation
+    checked) page-lookup fast path lives in {!Lookup}. *)
 
 module Page = Page
 
@@ -28,6 +36,7 @@ val string_of_violation : violation -> string
 val create :
   ?page_size:int ->
   ?lifecycle:Sim.Lifecycle.t ->
+  ?ncpus:int ->
   npages:int ->
   clock:Sim.Simclock.t ->
   costs:Sim.Cost_model.t ->
@@ -37,13 +46,57 @@ val create :
 (** [create ~npages ...] boots a machine with [npages] frames of physical
     memory.  [page_size] defaults to 4096 bytes.  [lifecycle] is the
     efficacy accumulator the provenance ledger feeds (a private one is
-    created when omitted). *)
+    created when omitted).  [ncpus] (default 1) sizes the per-CPU
+    free-page caches; at 1 the caches are inert and allocation order is
+    exactly the unsharded allocator's. *)
+
+val ncolors : int
+(** Number of page colors (queue shards): color = frame number mod this. *)
 
 val page_size : t -> int
 val total_pages : t -> int
+val ncpus : t -> int
+
 val free_count : t -> int
+(** All free frames: colored free queues plus per-CPU caches. *)
+
+val queue_free_count : t -> int
+(** Free frames on the colored queues only (excludes per-CPU caches);
+    never refilled below {!reserve}. *)
+
 val active_count : t -> int
 val inactive_count : t -> int
+
+val set_current_cpu : t -> int -> unit
+(** Select the CPU whose free cache serves subsequent allocations — the
+    SMP scheduler calls this at every context switch.
+    @raise Invalid_argument if the index is out of range. *)
+
+val current_cpu : t -> int
+
+val cache_target : t -> int
+(** Per-CPU cache fill target (0 on a 1-CPU machine). *)
+
+val drain_caches : t -> unit
+(** Return every cached page to its color's free queue.  Runs implicitly
+    when an allocation finds the machine under pressure. *)
+
+type cache_view = {
+  cw_cpu : int;
+  cw_held : int;  (** pages currently in this CPU's cache *)
+  cw_hits : int;  (** allocations served from the cache *)
+  cw_misses : int;  (** allocations that missed (refill or global pop) *)
+  cw_refills : int;  (** batched refills pulled from the queues *)
+  cw_drains : int;  (** drains back to the queues *)
+  cw_steals : int;  (** refill pages taken outside the preferred colors *)
+}
+
+val cache_views : t -> cache_view list
+(** One view per CPU, in CPU order. *)
+
+val free_pages_of_color : t -> int -> Page.t list
+(** Snapshot of one colored free queue, FIFO order (tests).
+    @raise Invalid_argument on a bad color. *)
 
 val freemin : t -> int
 (** Free-page threshold below which the pagedaemon is kicked. *)
@@ -61,9 +114,10 @@ val set_pagedaemon : t -> (unit -> unit) -> unit
     free list. *)
 
 val set_lockstat : t -> Sim.Lockstat.t option -> unit
-(** Register the page-queue lock with the machine's lock observatory:
-    queue surgery (unlink/enqueue) is then recorded as write-mode holds
-    of the ["pagequeue"] class. *)
+(** Register the page-queue locks with the machine's lock observatory:
+    queue surgery (unlink/enqueue/refill/drain) is then recorded as
+    write-mode holds of the ["pagequeue"] class — one lock instance per
+    color ring, so surgery on different colors never contends. *)
 
 val set_oom_hook : t -> (unit -> bool) option -> unit
 (** Install (or clear) the last-resort overload policy.  When paging cannot
@@ -104,7 +158,9 @@ val inactive_pages : t -> Page.t list
 val active_pages : t -> Page.t list
 
 val free_pages : t -> Page.t list
-(** Snapshot of the free list (invariant auditing). *)
+(** Snapshot of the free list (invariant auditing): the colored queues
+    merged in enqueue order, then any pages held by per-CPU caches —
+    [List.length (free_pages t) = free_count t] always. *)
 
 val iter_pages : (Page.t -> unit) -> t -> unit
 (** Visit every physical frame, allocated or not, in frame-number order —
@@ -129,6 +185,40 @@ val zero_data : t -> Page.t -> unit
 
 val page_shortage : t -> bool
 (** True when the free list is below [freemin]. *)
+
+(** {1 Lockless page lookup}
+
+    A direct-mapped (object, offset) → page cache modelling DragonFly's
+    heuristic page hash: reads are unlocked, guarded by a generation
+    counter (seqlock protocol) plus identity validation against the live
+    page, so a stale slot can only miss — never return a wrong page.
+    Publishers are the object layers' [insert_page]/[remove_page]; the
+    fault paths probe it before taking the object lock. *)
+module Lookup : sig
+  type okey
+  (** A lookup identity for one memory object (UVM object, BSD VM
+      object): allocate once at object creation. *)
+
+  val okey : t -> okey
+
+  val publish : okey -> pgno:int -> Page.t -> unit
+  (** Publish [page] as the resident page at [pgno]; captures the page's
+      current owner tag for later validation.  Call with the page's
+      owner fields already set. *)
+
+  val revoke : okey -> pgno:int -> unit
+  (** Clear the slot if it still belongs to this (object, offset). *)
+
+  val find : okey -> pgno:int -> Page.t option
+  (** The fast path: an unlocked probe charging one [hash_lookup].
+      [Some page] is a validated hit (never busy, never free) and counts
+      toward [lookup_fast_hits]; [None] means the caller must take the
+      locked path and counts toward [lookup_locked]. *)
+
+  val peek : okey -> pgno:int -> Page.t option
+  (** {!find} without costs or counters — the auditor's diff-check
+      against the locked structures. *)
+end
 
 (** {1 Provenance ledger}
 

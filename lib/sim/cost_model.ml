@@ -19,6 +19,7 @@ type t = {
   loan_page : float;
   proc_overhead : float;
   syscall_overhead : float;
+  line_bounce : float;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     loan_page = 4.0;
     proc_overhead = 250.0;
     syscall_overhead = 20.0;
+    line_bounce = 0.4;
   }
 
 let zero =
@@ -67,6 +69,7 @@ let zero =
     loan_page = 0.0;
     proc_overhead = 0.0;
     syscall_overhead = 0.0;
+    line_bounce = 0.0;
   }
 
 let fast_disk t =

@@ -38,6 +38,10 @@ type t = {
   (* -- process bookkeeping ------------------------------------------- *)
   proc_overhead : float;  (** non-VM part of fork+exit+wait *)
   syscall_overhead : float;  (** fixed syscall entry/exit cost *)
+  (* -- simulated SMP --------------------------------------------------- *)
+  line_bounce : float;
+      (** transferring a dirty cache line when a lock instance last held
+          on another simulated CPU is acquired here (DESIGN.md §16) *)
 }
 
 val default : t

@@ -44,7 +44,17 @@ type lock = {
   mutable l_subsys : string;
   mutable l_span : Span.span option;
   mutable l_recorded : bool;  (** pushed on the held stack at acquire *)
+  mutable l_observed : bool;  (** announced to the contention observer *)
+  mutable l_root : bool;  (** last acquire was a thread-context root *)
 }
+
+(* Contention observer events (the simulated-SMP hook): fired on the
+   outermost acquire of an instance — before the hold's start timestamp
+   is taken, so any wait the observer charges to the clock lands before
+   the hold — and on the matching outermost release. *)
+type contention_event =
+  | Acquired of { cls : string; inst : int; mode : mode; root : bool }
+  | Released of { cls : string; inst : int; mode : mode; root : bool }
 
 (* The held stack mixes locks with context-break markers: an
    [acquire_root] pushes its entry with [h_barrier] set, and order edges
@@ -65,6 +75,7 @@ type t = {
   mutable held_stack : held_entry list;  (** innermost first *)
   edges : (string * string, int ref) Hashtbl.t;
   mutable window_max : float;
+  mutable observer : (contention_event -> unit) option;
 }
 
 let create ?(enabled = false) ~now () =
@@ -80,6 +91,7 @@ let create ?(enabled = false) ~now () =
     held_stack = [];
     edges = Hashtbl.create 16;
     window_max = 0.0;
+    observer = None;
   }
 
 let enabled t = t.enabled
@@ -87,6 +99,7 @@ let set_enabled t v = t.enabled <- v
 let set_spans t v = t.spans <- v
 let set_hist t v = t.hist <- v
 let set_latencies t v = t.latencies <- v
+let set_observer t v = t.observer <- v
 
 let spans_on t =
   match t.spans with Some s -> Span.enabled s | None -> false
@@ -136,6 +149,8 @@ let register t ~cls name =
     l_subsys = "none";
     l_span = None;
     l_recorded = false;
+    l_observed = false;
+    l_root = false;
   }
 
 let instance t ~cls ~id =
@@ -186,6 +201,16 @@ let do_acquire t lock ~mode ~root =
   else if active t then begin
     lock.l_depth <- 1;
     lock.l_mode <- mode;
+    lock.l_root <- root;
+    (* The observer fires before the hold timestamp is taken: contention
+       wait it charges to the clock extends the wait, not the hold. *)
+    (match t.observer with
+    | Some f ->
+        lock.l_observed <- true;
+        f
+          (Acquired
+             { cls = lock.l_cls.c_name; inst = lock.l_inst; mode; root })
+    | None -> lock.l_observed <- false);
     lock.l_since <- t.now ();
     lock.l_subsys <- (if t.enabled then attribution t else "none");
     (match t.spans with
@@ -245,6 +270,20 @@ let release t lock =
     lock.l_depth <- 0;
     let now = t.now () in
     let held_us = now -. lock.l_since in
+    if lock.l_observed then begin
+      lock.l_observed <- false;
+      match t.observer with
+      | Some f ->
+          f
+            (Released
+               {
+                 cls = lock.l_cls.c_name;
+                 inst = lock.l_inst;
+                 mode = lock.l_mode;
+                 root = lock.l_root;
+               })
+      | None -> ()
+    end;
     (match lock.l_span with
     | Some sp ->
         lock.l_span <- None;

@@ -53,6 +53,27 @@ val active : t -> bool
 (** True when acquires record anything: the registry is enabled, or its
     span sink is currently collecting. *)
 
+(** {1 Contention observer (the simulated-SMP hook)} *)
+
+type contention_event =
+  | Acquired of { cls : string; inst : int; mode : mode; root : bool }
+      (** fired on the outermost acquire of an instance, {e before} the
+          hold's start timestamp is read — wait time the observer charges
+          to the machine clock extends the wait, not the hold.  [root]
+          marks an {!acquire_root}: a thread-context marker (pagedaemon,
+          OOM reaper) that no fault path ever blocks on, which a
+          contention model should ignore *)
+  | Released of { cls : string; inst : int; mode : mode; root : bool }
+      (** fired on the matching outermost release, after the hold end
+          timestamp is read *)
+
+val set_observer : t -> (contention_event -> unit) option -> unit
+(** Install the contention observer ({!Smp} wires one per scheduler run).
+    Events fire only while the registry is {!active} — an SMP run needs a
+    traced machine.  Acquire/release pairs are balanced even if the
+    observer is swapped mid-hold (a hold announced at acquire is always
+    announced at release). *)
+
 val register : t -> cls:string -> string -> lock
 (** A fresh lock instance of class [cls].  [cls] need not be in
     {!known_classes} (tests register synthetic classes). *)

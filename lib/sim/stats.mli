@@ -69,6 +69,15 @@ type t = {
   mutable proc_swapouts : int;  (** whole processes swapped out under sustained shortage *)
   mutable proc_swapins : int;  (** swapped-out processes brought back in *)
   mutable reserve_grabs : int;  (** privileged allocations served from the kernel reserve *)
+  mutable lookup_fast_hits : int;  (** page lookups served by the lockless fast path *)
+  mutable lookup_locked : int;  (** page lookups that took the locked path *)
+  mutable cache_alloc_hits : int;  (** page allocations served from a per-CPU free cache *)
+  mutable cache_alloc_misses : int;  (** allocations that fell through to the colored queues *)
+  mutable cache_refills : int;  (** per-CPU cache refill batches pulled from the queues *)
+  mutable cache_drains : int;  (** per-CPU cache drains back to the colored queues *)
+  mutable cache_steals : int;  (** cache fills served outside the CPU's preferred colors *)
+  mutable line_bounces : int;  (** cross-CPU lock-line transfers charged by the SMP model *)
+  mutable lock_wait_us : float;  (** simulated time spent waiting on contended locks *)
   mutable free_pages : int;  (** gauge: free-list depth at last sync *)
   mutable active_pages : int;  (** gauge: active-queue depth at last sync *)
   mutable inactive_pages : int;  (** gauge: inactive-queue depth at last sync *)
@@ -84,6 +93,11 @@ val snapshot : t -> t
 
 val diff : after:t -> before:t -> t
 (** Field-wise subtraction. *)
+
+val add : into:t -> t -> unit
+(** Accumulate a delta (typically a {!diff} over one scheduler quantum)
+    into a per-CPU shard: counters and durations sum, gauges take the
+    delta's value (levels, not flows). *)
 
 val to_rows : t -> (string * float) list
 (** All counters as printable rows, in declaration order. *)

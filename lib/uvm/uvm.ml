@@ -651,7 +651,10 @@ module Sys = struct
             if p.queue = Physmem.Page.Q_free then
               fail "object_page_free"
                 (Printf.sprintf "resident page %d is on the free list" p.id))
-          o.Uvm_object.pages)
+          o.Uvm_object.pages;
+        (* Diff-check the lockless fast path against this locked walk. *)
+        Check.check_lookup ~system:name ~okey:o.Uvm_object.okey
+          ~resident:(Uvm_object.resident o))
       objs
 
   (* Every allocated swap slot must be claimed by exactly one anon or one
@@ -769,6 +772,7 @@ module Sys = struct
     let physmem = Uvm_sys.physmem sys.usys in
     Check.check_ledger ~system:name physmem;
     Check.check_physmem ~system:name physmem;
+    Check.check_smp ~system:name physmem;
     Check.check_pv ~system:name (Uvm_sys.pmap_ctx sys.usys) physmem;
     let amaps, objs = audit_census sys in
     let anons = audit_amaps amaps in

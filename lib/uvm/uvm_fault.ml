@@ -252,6 +252,10 @@ let resolve_object_fault map entry ~vpn ~write ~wire obj =
               else entry.prot
             in
             Physmem.activate physmem page;
+            (* Re-publish: a direct-mapped collision may have evicted
+               this page's slot since insert; the locked path is where
+               the hash heals. *)
+            Physmem.Lookup.publish obj.Uvm_object.okey ~pgno page;
             let transfer = wirings_to_move entry ~prev ~page ~wire in
             unwire_displaced map ~prev ~transfer;
             enter_resolved map ~vpn ~page ~prot ~wire ~prev ~transfer;
@@ -392,10 +396,39 @@ let fault map ~vpn ~access ~wire =
                   (fun () -> resolve_anon_fault map entry ~vpn ~write ~wire anon)
             | None -> (
                 match entry.obj with
-                | Some obj ->
-                    locked ~cls:"object" ~id:obj.Uvm_object.id
-                      ~mode:Sim.Lockstat.Read (fun () ->
-                        resolve_object_fault map entry ~vpn ~write ~wire obj)
+                | Some obj -> (
+                    (* Lockless fast path (DESIGN.md §16): a validated
+                       hit on the heuristic page hash resolves the fault
+                       without taking the object lock or entering the
+                       pager.  Wire faults and COW promotions still need
+                       the locked path's surgery. *)
+                    let pgno = entry.objoff + (vpn - entry.spage) in
+                    let fast =
+                      if wire || (write && entry.cow) then None
+                      else Physmem.Lookup.find obj.Uvm_object.okey ~pgno
+                    in
+                    match fast with
+                    | Some page ->
+                        let physmem = Uvm_sys.physmem sys in
+                        let prev = pte_snapshot map ~vpn in
+                        if write then page.Physmem.Page.dirty <- true;
+                        let prot =
+                          if entry.cow then Pmap.Prot.remove_write entry.prot
+                          else entry.prot
+                        in
+                        Physmem.activate physmem page;
+                        let transfer =
+                          wirings_to_move entry ~prev ~page ~wire
+                        in
+                        unwire_displaced map ~prev ~transfer;
+                        enter_resolved map ~vpn ~page ~prot ~wire ~prev
+                          ~transfer;
+                        Ok page
+                    | None ->
+                        locked ~cls:"object" ~id:obj.Uvm_object.id
+                          ~mode:Sim.Lockstat.Read (fun () ->
+                            resolve_object_fault map entry ~vpn ~write ~wire
+                              obj))
                 | None ->
                     let am = Option.get entry.amap in
                     locked ~cls:"amap" ~id:am.Uvm_amap.id

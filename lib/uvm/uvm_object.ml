@@ -3,6 +3,7 @@ type t = {
   mutable refs : int;
   pages : (int, Physmem.Page.t) Hashtbl.t;
   mutable pgops : pager_ops;
+  okey : Physmem.Lookup.okey;
 }
 
 and pager_ops = {
@@ -37,6 +38,7 @@ let make sys mk_ops =
       refs = 1;
       pages = Hashtbl.create 16;
       pgops = dummy_ops;
+      okey = Physmem.Lookup.okey (Uvm_sys.physmem sys);
     }
   in
   t.pgops <- mk_ops t;
@@ -48,9 +50,12 @@ let insert_page _sys t ~pgno (page : Physmem.Page.t) =
   assert (not (Hashtbl.mem t.pages pgno));
   page.owner <- Uobj_page t;
   page.owner_offset <- pgno;
-  Hashtbl.replace t.pages pgno page
+  Hashtbl.replace t.pages pgno page;
+  Physmem.Lookup.publish t.okey ~pgno page
 
-let remove_page t ~pgno = Hashtbl.remove t.pages pgno
+let remove_page t ~pgno =
+  Physmem.Lookup.revoke t.okey ~pgno;
+  Hashtbl.remove t.pages pgno
 let resident_count t = Hashtbl.length t.pages
 let resident t = Hashtbl.fold (fun pgno page acc -> (pgno, page) :: acc) t.pages []
 
@@ -63,7 +68,8 @@ let free_all_pages sys t =
   let physmem = Uvm_sys.physmem sys in
   let ctx = Uvm_sys.pmap_ctx sys in
   Hashtbl.iter
-    (fun _ (page : Physmem.Page.t) ->
+    (fun pgno (page : Physmem.Page.t) ->
+      Physmem.Lookup.revoke t.okey ~pgno;
       Pmap.page_remove_all ctx page;
       Physmem.free_page physmem page)
     t.pages;

@@ -12,6 +12,9 @@ type t = {
   mutable refs : int;
   pages : (int, Physmem.Page.t) Hashtbl.t;  (** page offset -> resident page *)
   mutable pgops : pager_ops;
+  okey : Physmem.Lookup.okey;
+      (** lockless-lookup identity: [insert_page]/[remove_page]
+          publish/revoke through it, the fault path probes it *)
 }
 
 (** The pager API (paper §6).  Unlike BSD VM, [pgo_get] allocates pages

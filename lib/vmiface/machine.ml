@@ -8,6 +8,7 @@ type config = {
   seed : int;
   fault_plan : (unit -> Sim.Fault_plan.t) option;
   trace_buf : int option;
+  ncpus : int;  (* virtual CPUs: sizes physmem's per-CPU page caches *)
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     seed = 0xB5D;
     fault_plan = None;
     trace_buf = None;
+    ncpus = 1;
   }
 
 (* Process-wide default, set by CLI flags: lets any experiment run under a
@@ -90,6 +92,10 @@ type t = {
   series : Sim.Timeseries.t;
   locks : Sim.Lockstat.t;
   trace_source : Sim.Trace_export.source;
+  mutable runnable_probe : (int -> int) option;
+      (* per-CPU runnable count for the sampler; the SMP scheduler
+         installs [Smp.runnable] here so vmstat's cpuK:runnable column
+         reflects the storm in flight *)
 }
 
 (* Sampling period of the vmstat-style time series, in simulated
@@ -151,7 +157,7 @@ let boot ?(config = default_config) () =
       rng = Sim.Rng.create ~seed:config.seed;
       physmem =
         Physmem.create ~page_size:config.page_size ~lifecycle
-          ~npages:config.ram_pages ~clock ~costs ~stats ();
+          ~ncpus:config.ncpus ~npages:config.ram_pages ~clock ~costs ~stats ();
       pmap_ctx = Pmap.create_ctx ~lifecycle ~clock ~costs ~stats ();
       swap =
         (let specs =
@@ -179,6 +185,7 @@ let boot ?(config = default_config) () =
       series;
       locks;
       trace_source;
+      runnable_probe = None;
     }
   in
   (* Span, gauge-sync and sampler wiring is installed unconditionally:
@@ -224,6 +231,13 @@ let boot ?(config = default_config) () =
       @ List.map (fun n -> "tier:" ^ n) tier_names
       @ [ "lock_acquires"; "lock_maxhold_us" ]
       @ List.map (fun c -> "lockheld:" ^ c) Sim.Lockstat.known_classes
+      @ (if config.ncpus <= 1 then []
+         else
+           List.concat_map
+             (fun k ->
+               let p = Printf.sprintf "cpu%d:" k in
+               [ p ^ "runnable"; p ^ "steals"; p ^ "hit_rate"; p ^ "refills" ])
+             (List.init config.ncpus Fun.id))
     in
     let probe () =
       sync ();
@@ -259,7 +273,30 @@ let boot ?(config = default_config) () =
              (fun c -> Sim.Lockstat.class_hold_us locks c)
              Sim.Lockstat.known_classes
       in
-      Array.of_list (fixed @ tiers @ lock_cols)
+      let cpu_cols =
+        if config.ncpus <= 1 then []
+        else
+          List.concat_map
+            (fun (cw : Physmem.cache_view) ->
+              let runnable =
+                match t.runnable_probe with
+                | Some f -> float_of_int (f cw.Physmem.cw_cpu)
+                | None -> 0.0
+              in
+              let tries = cw.Physmem.cw_hits + cw.Physmem.cw_misses in
+              let hit_rate =
+                if tries = 0 then 0.0
+                else float_of_int cw.Physmem.cw_hits /. float_of_int tries
+              in
+              [
+                runnable;
+                float_of_int cw.Physmem.cw_steals;
+                hit_rate;
+                float_of_int cw.Physmem.cw_refills;
+              ])
+            (Physmem.cache_views t.physmem)
+      in
+      Array.of_list (fixed @ tiers @ lock_cols @ cpu_cols)
     in
     Sim.Timeseries.set_probe series ~columns probe;
     (* Watchdogs over a 4-sample window.  Column indexes match the
@@ -341,7 +378,35 @@ let boot ?(config = default_config) () =
                   ("held_in_window_us", Printf.sprintf "%.0f" held);
                   ("share", Printf.sprintf "%.2f" share);
                 ]
-          | None -> None));
+          | None -> None);
+    (* A CPU whose free cache keeps refilling inside one window is
+       starved: its batches are being consumed (or stolen) faster than
+       the target refill cadence — the cache is too small or the colored
+       queues too empty for the access pattern. *)
+    if config.ncpus > 1 then begin
+      let c_cpu0 =
+        c_lockheld0 + List.length Sim.Lockstat.known_classes
+      in
+      let starve_refills = 8.0 in
+      Sim.Timeseries.add_rule series ~name:"cache_starved" ~window:4 (fun w ->
+          let worst = ref None in
+          for k = 0 to config.ncpus - 1 do
+            let refills = delta w (c_cpu0 + (4 * k) + 3) in
+            if refills > starve_refills then
+              match !worst with
+              | Some (_, best) when best >= refills -> ()
+              | _ -> worst := Some (k, refills)
+          done;
+          match !worst with
+          | Some (k, refills) ->
+              Some
+                [
+                  ("cpu", string_of_int k);
+                  ("refills_in_window", Printf.sprintf "%.0f" refills);
+                  ("limit", Printf.sprintf "%.0f" starve_refills);
+                ]
+          | None -> None)
+    end);
   if Sim.Hist.enabled hist then begin
     Swap.Swaptier.set_hist t.swap (Some hist);
     Sim.Timeseries.attach series clock;
@@ -364,6 +429,7 @@ let boot ?(config = default_config) () =
   t
 
 let page_size t = t.config.page_size
+let set_runnable_probe t f = t.runnable_probe <- f
 let now t = Sim.Simclock.now t.clock
 let charge t us = Sim.Simclock.advance t.clock us
 let set_label t label = t.trace_source.Sim.Trace_export.label <- label

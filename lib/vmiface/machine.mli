@@ -20,6 +20,10 @@ type config = {
   trace_buf : int option;
       (** when set, boot with event tracing enabled, each subsystem ring
           holding this many events *)
+  ncpus : int;
+      (** virtual CPUs (default 1): sizes physmem's per-CPU free-page
+          caches and adds per-CPU vmstat columns; the interleaving itself
+          is driven by {!Sim.Smp} (DESIGN.md §16) *)
 }
 
 val default_config : config
@@ -75,9 +79,16 @@ type t = {
       (** the lock observatory registry (recording while tracing is on;
           its span sink is live whenever [spans] is) *)
   trace_source : Sim.Trace_export.source;
+  mutable runnable_probe : (int -> int) option;
+      (** per-CPU runnable count read by the vmstat sampler's
+          [cpuK:runnable] columns; installed via {!set_runnable_probe} *)
 }
 
 val boot : ?config:config -> unit -> t
+
+val set_runnable_probe : t -> (int -> int) option -> unit
+(** Feed the sampler a per-CPU runnable count (the SMP scheduler's
+    {!Sim.Smp.runnable}); [None] reads as zero. *)
 
 val page_size : t -> int
 val now : t -> float
